@@ -1,0 +1,193 @@
+(* Command-line front end: build path-cached structures over synthetic
+   workloads and inspect query I/O interactively.
+
+     pathcache_cli pst   -n 100000 -b 64 --variant two-level --queries 20
+     pathcache_cli pst3  -n 100000 -b 64 --width 50000
+     pathcache_cli stab  -n 50000 -b 64 --cached true --structure segtree
+     pathcache_cli btree -n 100000 -b 64 --span 500 *)
+
+open Pathcaching
+open Cmdliner
+
+(* ----- shared args ----- *)
+
+let n_arg =
+  Arg.(value & opt int 50_000 & info [ "n" ] ~docv:"N" ~doc:"Number of items.")
+
+let b_arg =
+  Arg.(value & opt int 64 & info [ "b" ] ~docv:"B" ~doc:"Page size (records per page).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let queries_arg =
+  Arg.(value & opt int 10 & info [ "queries" ] ~docv:"K" ~doc:"Number of queries to run.")
+
+let universe = 1_000_000
+
+let dist_arg =
+  let dist_conv =
+    Arg.enum
+      [
+        ("uniform", Workload.Uniform);
+        ("clustered", Workload.Clustered 8);
+        ("diagonal", Workload.Diagonal);
+        ("skyline", Workload.Skyline);
+      ]
+  in
+  Arg.(value & opt dist_conv Workload.Uniform & info [ "dist" ] ~docv:"DIST"
+         ~doc:"Point distribution: uniform, clustered, diagonal, skyline.")
+
+let pp_stats_line tag t ios stats =
+  Printf.printf "%-14s t=%-6d io=%-4d %s\n" tag t ios
+    (Format.asprintf "%a" Query_stats.pp stats)
+
+(* ----- pst (2-sided) ----- *)
+
+let variant_arg =
+  let variant_conv =
+    Arg.enum
+      [
+        ("iko", Ext_pst.Iko);
+        ("basic", Ext_pst.Basic);
+        ("segmented", Ext_pst.Segmented);
+        ("two-level", Ext_pst.Two_level);
+        ("multilevel", Ext_pst.Multilevel);
+      ]
+  in
+  Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
+         ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
+
+let run_pst n b seed k dist variant =
+  let rng = Rng.create seed in
+  let pts = Workload.points rng dist ~n ~universe in
+  let t = Ext_pst.create ~variant ~b pts in
+  Printf.printf "built %s over %d points: %d pages (%.2f x n/B)\n%!"
+    (Format.asprintf "%a" Ext_pst.pp_variant variant)
+    n (Ext_pst.storage_pages t)
+    (float_of_int (Ext_pst.storage_pages t) /. float_of_int (max 1 (n / b)));
+  List.iter
+    (fun (xl, yb) ->
+      let res, st = Ext_pst.query t ~xl ~yb in
+      pp_stats_line
+        (Printf.sprintf "(%d,%d)" xl yb)
+        (List.length res) (Query_stats.total st) st)
+    (Workload.two_sided_corners rng ~k ~universe)
+
+let pst_cmd =
+  let doc = "Build a 2-sided external PST and run random corner queries." in
+  Cmd.v (Cmd.info "pst" ~doc)
+    Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg $ variant_arg)
+
+(* ----- pst3 (3-sided) ----- *)
+
+let width_arg =
+  Arg.(value & opt int 100_000 & info [ "width" ] ~docv:"W"
+         ~doc:"Approximate x-width of 3-sided queries.")
+
+let run_pst3 n b seed k dist width =
+  let rng = Rng.create seed in
+  let pts = Workload.points rng dist ~n ~universe in
+  let cached = Ext_pst3.create ~mode:Ext_pst3.Cached ~b pts in
+  let base = Ext_pst3.create ~mode:Ext_pst3.Baseline ~b pts in
+  Printf.printf "3-sided PST over %d points: cached=%d pages, baseline=%d pages\n%!"
+    n (Ext_pst3.storage_pages cached) (Ext_pst3.storage_pages base);
+  List.iter
+    (fun (xl, xr, yb) ->
+      let res, st = Ext_pst3.query cached ~xl ~xr ~yb in
+      let _, st_b = Ext_pst3.query base ~xl ~xr ~yb in
+      Printf.printf "(%d..%d, y>=%d) t=%-6d cached-io=%-4d baseline-io=%-4d\n"
+        xl xr yb (List.length res) (Query_stats.total st) (Query_stats.total st_b))
+    (Workload.three_sided rng ~k ~universe ~width)
+
+let pst3_cmd =
+  let doc = "Build 3-sided external PSTs (cached and baseline) and compare." in
+  Cmd.v (Cmd.info "pst3" ~doc)
+    Term.(const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg $ width_arg)
+
+(* ----- stab (interval structures) ----- *)
+
+let structure_arg =
+  Arg.(value & opt (enum [ ("segtree", `Seg); ("inttree", `Int); ("pst", `Pst) ]) `Seg
+       & info [ "structure" ] ~docv:"S"
+           ~doc:"Interval structure: segtree, inttree, or pst (KRV reduction).")
+
+let cached_arg =
+  Arg.(value & opt bool true & info [ "cached" ] ~docv:"BOOL"
+         ~doc:"Use path caches (false = naive baseline).")
+
+let run_stab n b seed k structure cached =
+  let rng = Rng.create seed in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
+  let qs = Workload.stab_queries rng ~k ~universe in
+  match structure with
+  | `Seg ->
+      let mode = if cached then Ext_seg.Cached else Ext_seg.Naive in
+      let t = Ext_seg.create ~mode ~b ivs in
+      Printf.printf "segment tree (%s): %d pages\n%!"
+        (Format.asprintf "%a" Ext_seg.pp_mode mode)
+        (Ext_seg.storage_pages t);
+      List.iter
+        (fun q ->
+          let res, st = Ext_seg.stab t q in
+          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
+            (Query_stats.total st) st)
+        qs
+  | `Int ->
+      let mode = if cached then Ext_int.Cached else Ext_int.Naive in
+      let t = Ext_int.create ~mode ~b ivs in
+      Printf.printf "interval tree (%s): %d pages\n%!"
+        (Format.asprintf "%a" Ext_int.pp_mode mode)
+        (Ext_int.storage_pages t);
+      List.iter
+        (fun q ->
+          let res, st = Ext_int.stab t q in
+          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
+            (Query_stats.total st) st)
+        qs
+  | `Pst ->
+      let t = Stabbing.create ~b ivs in
+      Printf.printf "dynamic stabbing store (KRV reduction): %d pages\n%!"
+        (Stabbing.storage_pages t);
+      List.iter
+        (fun q ->
+          let res, st = Stabbing.stab t q in
+          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
+            (Query_stats.total st) st)
+        qs
+
+let stab_cmd =
+  let doc = "Build an interval structure and run stabbing queries." in
+  Cmd.v (Cmd.info "stab" ~doc)
+    Term.(const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg $ structure_arg $ cached_arg)
+
+(* ----- btree ----- *)
+
+let span_arg =
+  Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
+         ~doc:"Width of 1-D range queries.")
+
+let run_btree n b seed k span =
+  let rng = Rng.create seed in
+  let entries = List.init n (fun i -> (i, i)) in
+  let t = Btree.bulk_load (Pager.create ~page_capacity:b ()) entries in
+  Printf.printf "B+-tree over %d keys: height=%d pages=%d\n%!" n
+    (Btree.height t) (Btree.pages_used t);
+  for _ = 1 to k do
+    let lo = Rng.int rng (max 1 (n - span)) in
+    Pager.reset_stats (Btree.pager t);
+    let res = Btree.range t ~lo ~hi:(lo + span - 1) in
+    Printf.printf "range [%d, %d): t=%-6d io=%d\n" lo (lo + span)
+      (List.length res)
+      (Io_stats.total (Pager.stats (Btree.pager t)))
+  done
+
+let btree_cmd =
+  let doc = "Bulk-load an external B+-tree and run range queries." in
+  Cmd.v (Cmd.info "btree" ~doc)
+    Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg)
+
+let () =
+  let doc = "Path caching (PODS'94): optimal external searching structures." in
+  let info = Cmd.info "pathcache_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd ]))

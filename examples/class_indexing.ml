@@ -1,0 +1,88 @@
+(* Object-oriented database scenario: indexing a class hierarchy (§1 of
+   the paper; [KKD, LOL] solved it heuristically, [KRV] reduced it to
+   3-sided searching).
+
+   A retail catalog's product classes form a hierarchy; each product has
+   a price. "Find products of class C or any subclass priced at least P"
+   maps to one 3-sided query over (preorder(class), price).
+
+   Run with: dune exec examples/class_indexing.exe *)
+
+open Pathcaching
+
+let () =
+  let b = 64 in
+  let rng = Rng.create 99 in
+
+  (* Build a catalog hierarchy. *)
+  let h = Class_index.hierarchy () in
+  let add name parent = Class_index.add_class h ~name ~parent in
+  add "goods" "object";
+  add "electronics" "goods";
+  add "computer" "electronics";
+  add "laptop" "computer";
+  add "desktop" "computer";
+  add "phone" "electronics";
+  add "audio" "electronics";
+  add "headphones" "audio";
+  add "speakers" "audio";
+  add "grocery" "goods";
+  add "produce" "grocery";
+  add "dairy" "grocery";
+  Printf.printf "hierarchy with %d classes\n" (Class_index.num_classes h);
+
+  (* 150k products spread over the leaf classes with skewed prices. *)
+  let leafs = [| "laptop"; "desktop"; "phone"; "headphones"; "speakers"; "produce"; "dairy" |] in
+  let products =
+    List.init 150_000 (fun oid ->
+        let cls = leafs.(Rng.int rng (Array.length leafs)) in
+        let base = match cls with
+          | "laptop" -> 900 | "desktop" -> 700 | "phone" -> 500
+          | "headphones" -> 120 | "speakers" -> 180 | _ -> 4
+        in
+        { Class_index.cls; key = base + Rng.int rng (base * 2 + 10); oid })
+  in
+  let index = Class_index.build h ~b products in
+  Printf.printf "indexed %d products in %d pages\n" (Class_index.size index)
+    (Class_index.storage_pages index);
+
+  (* Queries at different hierarchy levels. *)
+  List.iter
+    (fun (cls, price) ->
+      let hits, stats = Class_index.query index ~cls ~key_at_least:price in
+      Printf.printf "%-12s price >= %4d: %6d products, %3d page reads\n" cls
+        price (List.length hits) (Query_stats.total stats))
+    [
+      ("computer", 2000);
+      ("electronics", 1200);
+      ("audio", 300);
+      ("grocery", 10);
+      ("goods", 2500);
+      ("laptop", 0);
+    ];
+
+  (* The same "class subtree" query through a plain B+-tree on price must
+     post-filter by class — it reads every expensive product no matter
+     its class. *)
+  let by_price =
+    List.map (fun (p : Class_index.obj) -> (p.key, p.oid)) products
+    |> List.sort compare
+  in
+  let bt = Btree.bulk_load (Pager.create ~page_capacity:b ()) by_price in
+  Pager.reset_stats (Btree.pager bt);
+  let candidates = Btree.range bt ~lo:20 ~hi:max_int in
+  let tbl = Hashtbl.create 1024 in
+  List.iter (fun (p : Class_index.obj) -> Hashtbl.replace tbl p.oid p.cls) products;
+  let produce =
+    List.filter
+      (fun (_, oid) -> Hashtbl.find_opt tbl oid = Some "produce")
+      candidates
+  in
+  let hits, stats = Class_index.query index ~cls:"produce" ~key_at_least:20 in
+  Printf.printf
+    "\n'produce priced >= 20' two ways:\n\
+    \  class index : %d page reads for %d products\n\
+    \  B+-tree on price alone: %d page reads, scanning %d rows to keep %d\n"
+    (Query_stats.total stats) (List.length hits)
+    (Io_stats.total (Pager.stats (Btree.pager bt)))
+    (List.length candidates) (List.length produce)

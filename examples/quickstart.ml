@@ -1,0 +1,45 @@
+(* Quickstart: index points on a simulated disk and answer 2-sided
+   queries with optimal I/O.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pathcaching
+
+let () =
+  (* A simulated disk with 64-record pages. Every structure owns its own
+     disk, so I/O counts and page usage are exact. *)
+  let b = 64 in
+
+  (* 100k random points: (x, y) with a unique id each. *)
+  let rng = Rng.create 2024 in
+  let points = Workload.points rng Workload.Uniform ~n:100_000 ~universe:1_000_000 in
+
+  (* Build the two-level path-cached priority search tree (Theorem 4.3):
+     optimal O(log_B n + t/B) queries in O((n/B) log log B) pages. *)
+  let pst = Ext_pst.create ~variant:Ext_pst.Two_level ~b points in
+  Printf.printf "indexed %d points in %d pages (%.2f x the n/B floor)\n"
+    (Ext_pst.size pst) (Ext_pst.storage_pages pst)
+    (float_of_int (Ext_pst.storage_pages pst) /. float_of_int (100_000 / b));
+
+  (* A 2-sided query: everything right of xl and above yb. *)
+  let xl = 900_000 and yb = 950_000 in
+  let hits, stats = Ext_pst.query pst ~xl ~yb in
+  Printf.printf "query (x >= %d, y >= %d): %d points, %d page reads %s\n" xl yb
+    (List.length hits) (Query_stats.total stats)
+    (Format.asprintf "%a" Query_stats.pp stats);
+
+  (* Compare with the paper's baseline ([IKO], no caches): same answers,
+     O(log2 n) instead of O(log_B n) search I/Os. *)
+  let baseline = Ext_pst.create ~variant:Ext_pst.Iko ~b points in
+  let hits', stats' = Ext_pst.query baseline ~xl ~yb in
+  assert (Oracle.ids hits = Oracle.ids hits');
+  Printf.printf "same query on the IKO baseline: %d page reads\n"
+    (Query_stats.total stats');
+
+  (* The dynamic structure (Theorem 5.1) supports updates too. *)
+  let dyn = Dynamic_pst.create ~b points in
+  let ios = Dynamic_pst.insert dyn (Point.make ~x:999_999 ~y:999_999 ~id:1_000_001) in
+  Printf.printf "dynamic insert cost: %d I/Os\n" ios;
+  let n_after = Dynamic_pst.query_count dyn ~xl ~yb in
+  Printf.printf "after insert the query finds %d points (was %d)\n" n_after
+    (List.length hits)

@@ -1,0 +1,110 @@
+(** External B+-tree over a simulated block device.
+
+    The paper's Section 1 baseline: optimal external dynamic 1-dimensional
+    range searching — [O(log_B n + t/B)] queries, [O(log_B n)] updates,
+    [O(n/B)] pages. All node data lives in pager pages; every traversal is
+    charged I/O through {!Pc_pagestore.Pager}.
+
+    Keys are [int]s and may repeat; each entry is a [(key, value)] pair
+    (values are typically record or point ids). A page of capacity [B]
+    holds one header cell plus up to [B - 1] payload cells, so the fanout
+    is [B - 1]. Requires [B >= 4].
+
+    The tree also serves the repository as the reference implementation of
+    "skeletal B-tree search" behaviour that the path-cached structures
+    emulate over their own trees. *)
+
+open Pc_pagestore
+
+(** Page payload cells. Exposed so tests can inspect raw pages. *)
+type cell =
+  | Meta of { leaf : bool; next : int }
+      (** header: [next] links leaves left-to-right, [-1] at the end *)
+  | Kv of { key : int; value : int }  (** leaf entry *)
+  | Branch of { sep_key : int; sep_value : int; child : int }
+      (** internal entry: [child] holds entries lexicographically
+          [<= (sep_key, sep_value)]; the globally rightmost spine carries
+          [(max_int, max_int)] *)
+
+type t
+
+(** [create pager] makes an empty tree in [pager]. The pager's page
+    capacity must be at least 4. *)
+val create : cell Pager.t -> t
+
+(** [bulk_load pager entries] builds a tree from entries sorted by key
+    (duplicates allowed), packing leaves to capacity. Raises
+    [Invalid_argument] if the input is not sorted. *)
+val bulk_load : cell Pager.t -> (int * int) list -> t
+
+val pager : t -> cell Pager.t
+val size : t -> int
+val height : t -> int
+
+(** [insert t ~key ~value] adds an entry (duplicates allowed). *)
+val insert : t -> key:int -> value:int -> unit
+
+(** [delete t ~key ~value] removes one entry matching both key and value;
+    returns [false] if absent. *)
+val delete : t -> key:int -> value:int -> bool
+
+(** [find t key] returns some value with that key, if any. *)
+val find : t -> int -> int option
+
+(** [range t ~lo ~hi] returns all [(key, value)] entries with
+    [lo <= key <= hi] in key order, with optimal [O(log_B n + t/B)]
+    I/Os. *)
+val range : t -> lo:int -> hi:int -> (int * int) list
+
+(** [to_list t] lists all entries in key order. *)
+val to_list : t -> (int * int) list
+
+(** {1 Navigation}
+
+    Standard index-navigation operations, each costing [O(log_B n)] I/Os
+    (plus [O(1)] per step for cursors, amortized one read per [B - 1]
+    entries). *)
+
+(** [min_entry t] / [max_entry t] are the extreme entries, if any. *)
+val min_entry : t -> (int * int) option
+
+val max_entry : t -> (int * int) option
+
+(** [succ t k] is the smallest entry with key strictly greater than
+    [k]. *)
+val succ : t -> int -> (int * int) option
+
+(** [pred t k] is the largest entry with key strictly smaller than
+    [k]. *)
+val pred : t -> int -> (int * int) option
+
+(** [count_range t ~lo ~hi] counts entries with [lo <= key <= hi]
+    (reads the same pages as {!range} but materializes nothing). *)
+val count_range : t -> lo:int -> hi:int -> int
+
+(** [iter t f] applies [f key value] to every entry in key order by
+    scanning the leaf chain. *)
+val iter : t -> (int -> int -> unit) -> unit
+
+(** [fold_range t ~lo ~hi ~init ~f] folds over entries in [lo, hi] in
+    key order. *)
+val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+(** Streaming cursors: [cursor_at t k] positions before the first entry
+    with key [>= k]; [cursor_next] yields entries one at a time, reading
+    a page only when crossing leaves. Cursors are invalidated by
+    updates. *)
+type cursor
+
+val cursor_at : t -> int -> cursor
+val cursor_next : t -> cursor -> ((int * int) * cursor) option
+
+(** [pages_used t] is the number of live pages of the backing pager that
+    belong to this tree (the tree assumes exclusive ownership of its
+    pager). *)
+val pages_used : t -> int
+
+(** [check_invariants t] verifies key order, separator bounds, occupancy
+    minima, leaf-chain consistency and the stored size. Raises [Failure]
+    on violation. *)
+val check_invariants : t -> unit

@@ -1,0 +1,110 @@
+open Pc_util
+
+type cls = { name : string; parent : int; mutable children : int list }
+
+type hierarchy = {
+  mutable classes : cls array;
+  by_name : (string, int) Hashtbl.t;
+  mutable count : int;
+  mutable frozen : bool;
+}
+
+let hierarchy () =
+  let root = { name = "object"; parent = -1; children = [] } in
+  let h =
+    {
+      classes = Array.make 16 root;
+      by_name = Hashtbl.create 16;
+      count = 1;
+      frozen = false;
+    }
+  in
+  Hashtbl.replace h.by_name "object" 0;
+  h
+
+let add_class h ~name ~parent =
+  if h.frozen then invalid_arg "Class_index.add_class: hierarchy is frozen";
+  if Hashtbl.mem h.by_name name then
+    invalid_arg ("Class_index.add_class: duplicate class " ^ name);
+  let pidx =
+    match Hashtbl.find_opt h.by_name parent with
+    | Some i -> i
+    | None -> invalid_arg ("Class_index.add_class: unknown parent " ^ parent)
+  in
+  if h.count >= Array.length h.classes then begin
+    let bigger = Array.make (2 * Array.length h.classes) h.classes.(0) in
+    Array.blit h.classes 0 bigger 0 h.count;
+    h.classes <- bigger
+  end;
+  let idx = h.count in
+  h.classes.(idx) <- { name; parent = pidx; children = [] };
+  h.count <- idx + 1;
+  Hashtbl.replace h.by_name name idx;
+  let p = h.classes.(pidx) in
+  p.children <- idx :: p.children
+
+let num_classes h = h.count
+
+type obj = { cls : string; key : int; oid : int }
+
+type t = {
+  h : hierarchy;
+  (* preorder interval of each class: the subtree rooted at class [i] is
+     exactly [fst ranges.(i), snd ranges.(i)] in preorder numbers *)
+  ranges : (int * int) array;
+  pst : Pc_threesided.Ext_pst3.t;
+  objs : (int, obj) Hashtbl.t; (* point id -> object *)
+}
+
+let build ?cache_capacity h ~b objs =
+  h.frozen <- true;
+  let n = h.count in
+  let ranges = Array.make n (0, 0) in
+  let counter = ref 0 in
+  let rec number i =
+    let lo = !counter in
+    incr counter;
+    List.iter number (List.rev h.classes.(i).children);
+    ranges.(i) <- (lo, !counter - 1)
+  in
+  number 0;
+  let table = Hashtbl.create (max 64 (List.length objs)) in
+  let points =
+    List.mapi
+      (fun i o ->
+        let cidx =
+          match Hashtbl.find_opt h.by_name o.cls with
+          | Some c -> c
+          | None -> invalid_arg ("Class_index.build: unknown class " ^ o.cls)
+        in
+        Hashtbl.replace table i o;
+        Point.make ~x:(fst ranges.(cidx)) ~y:o.key ~id:i)
+      objs
+  in
+  {
+    h;
+    ranges;
+    pst =
+      Pc_threesided.Ext_pst3.create ?cache_capacity
+        ~mode:Pc_threesided.Ext_pst3.Cached ~b points;
+    objs = table;
+  }
+
+let size t = Pc_threesided.Ext_pst3.size t.pst
+
+let query t ~cls ~key_at_least =
+  let cidx =
+    match Hashtbl.find_opt t.h.by_name cls with
+    | Some c -> c
+    | None -> invalid_arg ("Class_index.query: unknown class " ^ cls)
+  in
+  let xl, xr = t.ranges.(cidx) in
+  let pts, stats =
+    Pc_threesided.Ext_pst3.query t.pst ~xl ~xr ~yb:key_at_least
+  in
+  (List.map (fun (p : Point.t) -> Hashtbl.find t.objs p.id) pts, stats)
+
+let query_count t ~cls ~key_at_least =
+  List.length (fst (query t ~cls ~key_at_least))
+
+let storage_pages t = Pc_threesided.Ext_pst3.storage_pages t.pst

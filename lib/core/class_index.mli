@@ -1,0 +1,46 @@
+(** Indexing class hierarchies of objects — the paper's second motivating
+    application (§1).
+
+    [KRV] shows that indexing classes in an object-oriented database
+    reduces to 3-sided searching: number the classes by preorder so every
+    subtree of the hierarchy is a contiguous interval, and map an object
+    with key [k] in class [c] to the point [(preorder c, k)]. "Find
+    objects with key at least [k] in class [c] or any of its subclasses"
+    is then the 3-sided query [[subtree-range(c)] x [k, +inf)], which
+    {!Pc_threesided.Ext_pst3} answers I/O-optimally.
+
+    Classes are registered first (the hierarchy is static, as in [KKD,
+    LOL]); the object set is then indexed in one build. *)
+
+type hierarchy
+
+(** [hierarchy ()] creates an empty hierarchy with a root class
+    ["object"]. *)
+val hierarchy : unit -> hierarchy
+
+(** [add_class h ~name ~parent] registers a class under [parent]. Raises
+    [Invalid_argument] if [parent] is unknown, [name] already exists, or
+    the hierarchy was already frozen by {!build}. *)
+val add_class : hierarchy -> name:string -> parent:string -> unit
+
+val num_classes : hierarchy -> int
+
+type t
+
+(** An indexed object: which class it belongs to, its integer key, and a
+    caller-supplied id. *)
+type obj = { cls : string; key : int; oid : int }
+
+(** [build h ~b objs] freezes the hierarchy and indexes the objects.
+    Raises [Invalid_argument] on an unknown class name. *)
+val build : ?cache_capacity:int -> hierarchy -> b:int -> obj list -> t
+
+val size : t -> int
+
+(** [query t ~cls ~key_at_least] reports objects in [cls] or any subclass
+    whose key is [>= key_at_least], with the I/O breakdown. *)
+val query :
+  t -> cls:string -> key_at_least:int -> obj list * Pc_pagestore.Query_stats.t
+
+val query_count : t -> cls:string -> key_at_least:int -> int
+val storage_pages : t -> int

@@ -1,0 +1,51 @@
+open Pc_util
+
+(* The ladder functor is instantiated per structure because the static
+   builder captures the page size; a record of closures hides the
+   locally-generated module type. *)
+type t = {
+  insert_ : Point.t -> unit;
+  delete_ : int -> bool;
+  query_ : int -> int -> int -> Point.t list * Pc_pagestore.Query_stats.t;
+  size_ : unit -> int;
+  levels_ : unit -> int;
+  storage_pages_ : unit -> int;
+}
+
+let create ~b pts =
+  let module Static = struct
+    type t = Pc_threesided.Ext_pst3.t
+    type elt = Point.t
+    type query = int * int * int
+    type answer = Point.t
+
+    let build pts =
+      Pc_threesided.Ext_pst3.create ~mode:Pc_threesided.Ext_pst3.Cached ~b pts
+
+    let query t (xl, xr, yb) = Pc_threesided.Ext_pst3.query t ~xl ~xr ~yb
+    let id (p : Point.t) = p.id
+    let elt_id (p : Point.t) = p.id
+    let storage_pages = Pc_threesided.Ext_pst3.storage_pages
+
+    (* Each static structure owns a private pager; dropping the last
+       reference releases it. *)
+    let destroy _ = ()
+  end in
+  let module Ladder = Logmethod.Make (Static) in
+  let ladder = Ladder.create pts in
+  {
+    insert_ = Ladder.insert ladder;
+    delete_ = (fun id -> Ladder.delete ladder ~id);
+    query_ = (fun xl xr yb -> Ladder.query ladder (xl, xr, yb));
+    size_ = (fun () -> Ladder.size ladder);
+    levels_ = (fun () -> Ladder.levels ladder);
+    storage_pages_ = (fun () -> Ladder.storage_pages ladder);
+  }
+
+let size t = t.size_ ()
+let insert t p = t.insert_ p
+let delete t ~id = t.delete_ id
+let query t ~xl ~xr ~yb = t.query_ xl xr yb
+let query_count t ~xl ~xr ~yb = List.length (fst (query t ~xl ~xr ~yb))
+let levels t = t.levels_ ()
+let storage_pages t = t.storage_pages_ ()

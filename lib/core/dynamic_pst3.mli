@@ -1,0 +1,34 @@
+(** Fully dynamic 3-sided searching (the paper's Theorem 5.2, via generic
+    dynamization).
+
+    Theorem 5.2 claims a dynamic 3-sided structure with optimal queries
+    and [O(log_B n log^2 B)] amortized updates, details deferred to the
+    paper's full version. This module obtains a comparable dynamic
+    structure by running the static Theorem 3.3 structure
+    ({!Pc_threesided.Ext_pst3}) through the logarithmic method
+    ({!Logmethod}): 3-sided queries are decomposable, so the ladder of
+    [O(log2 n)] static levels answers in
+    [O(log2 n * log_B n + t/B)] I/Os with amortized
+    [O((log2 B / B) * log2^2 n)]-ish insertion I/O — a different but
+    honestly-stated tradeoff, recorded in DESIGN.md. *)
+
+open Pc_util
+
+type t
+
+val create : b:int -> Point.t list -> t
+val size : t -> int
+val insert : t -> Point.t -> unit
+
+(** [delete t ~id] tombstones a point; [false] if absent. *)
+val delete : t -> id:int -> bool
+
+val query :
+  t -> xl:int -> xr:int -> yb:int -> Point.t list * Pc_pagestore.Query_stats.t
+
+val query_count : t -> xl:int -> xr:int -> yb:int -> int
+
+(** [levels t] is the number of non-empty ladder levels. *)
+val levels : t -> int
+
+val storage_pages : t -> int

@@ -1,0 +1,144 @@
+module type STATIC = sig
+  type t
+  type elt
+  type query
+  type answer
+
+  val build : elt list -> t
+  val query : t -> query -> answer list * Pc_pagestore.Query_stats.t
+  val id : answer -> int
+  val elt_id : elt -> int
+  val storage_pages : t -> int
+  val destroy : t -> unit
+end
+
+module Make (S : STATIC) = struct
+  (* Level [i] holds either nothing or a static structure over between
+     2^i and 2^(i+1) - 1 elements (we keep the element lists to allow
+     merging without decomposing the structures). *)
+  type level = { structure : S.t; elts : S.elt list; count : int }
+
+  type t = {
+    mutable levels : level option array;
+    tombstones : (int, unit) Hashtbl.t;
+    mutable live : int;
+    mutable dead : int;
+    mutable merges : int;
+    mutable full_rebuilds : int;
+  }
+
+  let empty_levels () = Array.make 48 None
+
+  let place t elts =
+    (* Insert a batch by cascading: find the first empty level that can
+       hold the merged run, absorbing all smaller levels. *)
+    let count = List.length elts in
+    if count > 0 then begin
+      let rec find i acc acc_count =
+        if i >= Array.length t.levels then (i, acc, acc_count)
+        else
+          match t.levels.(i) with
+          | None when acc_count <= 1 lsl i -> (i, acc, acc_count)
+          | None -> find (i + 1) acc acc_count
+          | Some lvl ->
+              S.destroy lvl.structure;
+              t.levels.(i) <- None;
+              t.merges <- t.merges + 1;
+              find (i + 1) (List.rev_append lvl.elts acc) (acc_count + lvl.count)
+      in
+      let i, merged, total = find 0 elts count in
+      if i >= Array.length t.levels then failwith "Logmethod: ladder overflow";
+      t.levels.(i) <-
+        Some { structure = S.build merged; elts = merged; count = total }
+    end
+
+  let create elts =
+    let t =
+      {
+        levels = empty_levels ();
+        tombstones = Hashtbl.create 64;
+        live = List.length elts;
+        dead = 0;
+        merges = 0;
+        full_rebuilds = 0;
+      }
+    in
+    place t elts;
+    t
+
+  let size t = t.live
+
+  let all_live_elts t =
+    Array.to_list t.levels
+    |> List.concat_map (function
+         | None -> []
+         | Some lvl ->
+             List.filter
+               (fun e -> not (Hashtbl.mem t.tombstones (S.elt_id e)))
+               lvl.elts)
+
+  let full_rebuild t =
+    let elts = all_live_elts t in
+    Array.iter
+      (function Some lvl -> S.destroy lvl.structure | None -> ())
+      t.levels;
+    t.levels <- empty_levels ();
+    Hashtbl.reset t.tombstones;
+    t.dead <- 0;
+    t.full_rebuilds <- t.full_rebuilds + 1;
+    place t elts
+
+  let insert t e =
+    (* Re-inserting a tombstoned id resurrects it cleanly because the
+       tombstone would hide the stale copy anyway; clear it. *)
+    Hashtbl.remove t.tombstones (S.elt_id e);
+    t.live <- t.live + 1;
+    place t [ e ]
+
+  let mem_live t id =
+    (not (Hashtbl.mem t.tombstones id))
+    && Array.exists
+         (function
+           | None -> false
+           | Some lvl -> List.exists (fun e -> S.elt_id e = id) lvl.elts)
+         t.levels
+
+  let delete t ~id =
+    if not (mem_live t id) then false
+    else begin
+      Hashtbl.replace t.tombstones id ();
+      t.live <- t.live - 1;
+      t.dead <- t.dead + 1;
+      if t.dead > t.live then full_rebuild t;
+      true
+    end
+
+  let query t q =
+    let stats = Pc_pagestore.Query_stats.create () in
+    let answers =
+      Array.to_list t.levels
+      |> List.concat_map (function
+           | None -> []
+           | Some lvl ->
+               let res, st = S.query lvl.structure q in
+               Pc_pagestore.Query_stats.add ~into:stats st;
+               res)
+      |> List.filter (fun a -> not (Hashtbl.mem t.tombstones (S.id a)))
+    in
+    stats.reported_raw <- List.length answers;
+    (answers, stats)
+
+  let levels t =
+    Array.fold_left
+      (fun acc -> function Some _ -> acc + 1 | None -> acc)
+      0 t.levels
+
+  let storage_pages t =
+    Array.fold_left
+      (fun acc -> function
+        | Some lvl -> acc + S.storage_pages lvl.structure
+        | None -> acc)
+      0 t.levels
+
+  let rebuilds t = (t.merges, t.full_rebuilds)
+end

@@ -1,0 +1,74 @@
+(** Generic logarithmic-method dynamization (Bentley–Saxe) for static
+    external structures with decomposable queries.
+
+    The paper's Theorem 5.2 dynamizes the 3-sided structure with
+    [O(log_B n log^2 B)] amortized updates, deferring details to the full
+    version. This module provides the classical generic alternative: any
+    static structure whose queries are decomposable (the answer over a
+    union of point sets is the union of the answers) can be maintained as
+    [O(log2 n)] static structures of doubling sizes. An insert rebuilds a
+    prefix of the ladder — amortized [O((C(n)/n) log2 n)] I/Os where
+    [C(n)] is the static construction cost — and a query runs on every
+    level, multiplying the query bound by at most [O(log2 n)] but in
+    practice touching only the few non-empty levels. Deletions use
+    tombstones with a global rebuild once half the elements are dead,
+    preserving the amortized bound.
+
+    Used by {!Dynamic_pst3} to obtain a fully dynamic 3-sided structure
+    in Theorem 5.2's spirit; exposed as a functor so downstream users can
+    dynamize their own static structures. *)
+
+module type STATIC = sig
+  type t
+  type elt
+  type query
+  type answer
+
+  (** [build elts] constructs the static structure; called by the ladder
+      on merged levels. *)
+  val build : elt list -> t
+
+  (** [query t q] answers [q]; answers across levels are unioned. *)
+  val query : t -> query -> answer list * Pc_pagestore.Query_stats.t
+
+  (** [id a] identifies an answer element (for tombstone filtering). *)
+  val id : answer -> int
+
+  (** [elt_id e] identifies an input element. *)
+  val elt_id : elt -> int
+
+  (** [storage_pages t] reports the structure's live pages. *)
+  val storage_pages : t -> int
+
+  (** [destroy t] releases the structure's pages (called when levels
+      merge). *)
+  val destroy : t -> unit
+end
+
+module Make (S : STATIC) : sig
+  type t
+
+  val create : S.elt list -> t
+  val size : t -> int
+
+  (** [insert t e] adds an element (rebuilding a prefix of the ladder). *)
+  val insert : t -> S.elt -> unit
+
+  (** [delete t ~id] tombstones the element; returns [false] if no live
+      element has this id. Triggers a full rebuild when half the stored
+      elements are tombstones. *)
+  val delete : t -> id:int -> bool
+
+  (** [query t q] unions the per-level answers, dropping tombstoned
+      elements, and sums the per-level I/O stats. *)
+  val query : t -> S.query -> S.answer list * Pc_pagestore.Query_stats.t
+
+  (** [levels t] is the number of non-empty levels (for tests: must stay
+      [O(log2 n)]). *)
+  val levels : t -> int
+
+  val storage_pages : t -> int
+
+  (** [rebuilds t] counts (level merges, full rebuilds). *)
+  val rebuilds : t -> int * int
+end

@@ -1,0 +1,44 @@
+open Pc_util
+
+(* The [KRV] reduction: interval [lo, hi] -> point (-lo, hi); stab q ->
+   2-sided query with corner (-q, q). The sign flip maps "lo <= q" onto
+   this library's left-bounded x predicate. *)
+
+type t = { pst : Pc_extpst.Dynamic.t; ivals : (int, Ival.t) Hashtbl.t }
+
+let to_point iv = Point.make ~x:(-Ival.lo iv) ~y:(Ival.hi iv) ~id:(Ival.id iv)
+
+let create ?cache_capacity ~b ivs =
+  let ivals = Hashtbl.create (max 64 (List.length ivs)) in
+  List.iter (fun iv -> Hashtbl.replace ivals (Ival.id iv) iv) ivs;
+  {
+    pst = Pc_extpst.Dynamic.create ?cache_capacity ~b (List.map to_point ivs);
+    ivals;
+  }
+
+let size t = Pc_extpst.Dynamic.size t.pst
+
+let insert t iv =
+  Hashtbl.replace t.ivals (Ival.id iv) iv;
+  Pc_extpst.Dynamic.insert t.pst (to_point iv)
+
+let delete t ~id =
+  match Pc_extpst.Dynamic.delete t.pst ~id with
+  | Some ios ->
+      Hashtbl.remove t.ivals id;
+      Some ios
+  | None -> None
+
+let stab t q =
+  let pts, stats = Pc_extpst.Dynamic.query t.pst ~xl:(-q) ~yb:q in
+  let ivs =
+    List.map
+      (fun (p : Point.t) -> Ival.make ~lo:(-p.x) ~hi:p.y ~id:p.id)
+      pts
+  in
+  (ivs, stats)
+
+let stab_count t q = List.length (fst (stab t q))
+let storage_pages t = Pc_extpst.Dynamic.storage_pages t.pst
+let total_ios t = Pc_extpst.Dynamic.total_ios t.pst
+let reset_io_stats t = Pc_extpst.Dynamic.reset_io_stats t.pst

@@ -1,0 +1,38 @@
+(** Dynamic interval management in secondary storage — the paper's first
+    motivating application (§1).
+
+    [KRV] reduces dynamic interval management to stabbing queries, which
+    reduce to diagonal-corner / 2-sided queries: an interval [[lo, hi]]
+    becomes the plane point [(lo, hi)], and the intervals stabbed by [q]
+    are exactly the points with [lo <= q && hi >= q]. Flipping the sign
+    of the first coordinate turns that into this library's 2-sided
+    orientation ([x >= -q && y >= q]), so the fully dynamic structure of
+    §5 answers stabbing queries in [O(log_B n + t/B)] I/Os with
+    [O(log_B n)] amortized updates — the interval-management bounds the
+    paper's conclusion poses as its motivating open problem (with a small
+    space overhead). *)
+
+open Pc_util
+
+type t
+
+(** [create ~b ivs] builds an interval store with page size [b]. *)
+val create : ?cache_capacity:int -> b:int -> Ival.t list -> t
+
+val size : t -> int
+
+(** [insert t iv] adds an interval ([iv]'s id should be fresh). Returns
+    the I/Os performed. *)
+val insert : t -> Ival.t -> int
+
+(** [delete t ~id] removes the interval with this id; [None] if absent. *)
+val delete : t -> id:int -> int option
+
+(** [stab t q] reports all stored intervals containing [q], with the
+    query's I/O breakdown. *)
+val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
+
+val stab_count : t -> int -> int
+val storage_pages : t -> int
+val total_ios : t -> int
+val reset_io_stats : t -> unit

@@ -1,0 +1,406 @@
+open Pc_util
+open Pc_pagestore
+
+type mode = Naive | Cached
+
+let pp_mode ppf = function
+  | Naive -> Format.fprintf ppf "naive"
+  | Cached -> Format.fprintf ppf "cached"
+
+(* ------------------------------------------------------------------ *)
+(* Persistent representation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Desc of desc
+  | Iv of Ival.t
+  | Tagged of { iv : Ival.t; src : int; src_total : int }
+
+and desc = {
+  node : int;
+  depth : int;
+  key : int;  (* routing: values < key go left, >= key go right *)
+  left : int;
+  right : int;
+  is_hop : bool;
+  by_lo_len : int;
+  by_lo : cell Blocked_list.t;  (* node's intervals, increasing lo *)
+  by_hi : cell Blocked_list.t;  (* same intervals, decreasing hi *)
+  cache_l : cell Blocked_list.t;
+      (* tagged first by_lo pages of left-direction path-segment nodes,
+         merged by increasing lo *)
+  cache_r : cell Blocked_list.t;
+      (* tagged first by_hi pages of right-direction nodes, by dec. hi *)
+  locals : cell Blocked_list.t;  (* leaf-local intervals, increasing lo *)
+}
+
+type t = {
+  mode : mode;
+  pager : cell Pager.t;
+  layout : Skeletal_layout.t option;
+  block_pages : int array;
+  size : int;
+  height : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type bnode = {
+  b_idx : int;
+  b_depth : int;
+  b_key : int;  (* routing boundary; for leaves, unused (= range start) *)
+  b_left : bnode option;
+  b_right : bnode option;
+  mutable b_here : Ival.t list;  (* intervals straddling b_key *)
+  mutable b_locals : Ival.t list;
+}
+
+(* Endpoints grouped B per leaf; internal routing keys are the range
+   starts of right subtrees. An interval is stored at the highest node
+   whose key it straddles ([lo < key <= hi]); intervals that straddle no
+   key are confined to one leaf's range and become that leaf's locals. *)
+let build_tree ~b ivs =
+  let endpoints =
+    List.concat_map (fun iv -> [ Ival.lo iv; Ival.hi iv ]) ivs
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  let ne = Array.length endpoints in
+  let nleaves = max 1 (Num_util.ceil_div ne b) in
+  let start i =
+    if i <= 0 then min_int
+    else if i >= nleaves then max_int
+    else endpoints.(i * b)
+  in
+  let counter = ref 0 in
+  let rec make lo_leaf hi_leaf depth =
+    let idx = !counter in
+    incr counter;
+    if hi_leaf - lo_leaf = 1 then
+      {
+        b_idx = idx;
+        b_depth = depth;
+        b_key = start lo_leaf;
+        b_left = None;
+        b_right = None;
+        b_here = [];
+        b_locals = [];
+      }
+    else begin
+      let mid_leaf = (lo_leaf + hi_leaf) / 2 in
+      let l = make lo_leaf mid_leaf (depth + 1) in
+      let r = make mid_leaf hi_leaf (depth + 1) in
+      {
+        b_idx = idx;
+        b_depth = depth;
+        b_key = start mid_leaf;
+        b_left = Some l;
+        b_right = Some r;
+        b_here = [];
+        b_locals = [];
+      }
+    end
+  in
+  let root = make 0 nleaves 0 in
+  (root, !counter)
+
+let allocate root iv =
+  let rec go n =
+    match (n.b_left, n.b_right) with
+    | None, None -> n.b_locals <- iv :: n.b_locals
+    | Some l, Some r ->
+        if Ival.hi iv < n.b_key then go l
+        else if Ival.lo iv >= n.b_key then go r
+        else n.b_here <- iv :: n.b_here
+    | _ -> assert false
+  in
+  go root
+
+let create ?(cache_capacity = 0) ~mode ~b ivs =
+  if b < 2 then invalid_arg "Ext_int.create: b < 2";
+  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  match ivs with
+  | [] ->
+      { mode; pager; layout = None; block_pages = [||]; size = 0; height = 0 }
+  | _ ->
+      let root, num_nodes = build_tree ~b ivs in
+      List.iter (allocate root) ivs;
+      let nodes = Array.make num_nodes root in
+      let rec index n =
+        nodes.(n.b_idx) <- n;
+        Option.iter index n.b_left;
+        Option.iter index n.b_right
+      in
+      index root;
+      let child side i =
+        let n = nodes.(i) in
+        Option.map
+          (fun c -> c.b_idx)
+          (match side with `L -> n.b_left | `R -> n.b_right)
+      in
+      let block_height = max 1 (Num_util.ilog2 (b + 1)) in
+      let layout =
+        Skeletal_layout.compute ~num_nodes ~root:0 ~left:(child `L)
+          ~right:(child `R) ~block_height
+      in
+      let descs = Array.make num_nodes None in
+      (* DFS carrying (ancestor, went_left) so each hop knows the fixed
+         query direction at every covered ancestor. *)
+      let first_entries dir (u : bnode) =
+        let sorted =
+          match dir with
+          | `L -> List.sort Ival.compare_lo u.b_here
+          | `R -> List.sort Ival.compare_hi_desc u.b_here
+        in
+        let k = min b (List.length sorted) in
+        List.map (fun iv -> (iv, u.b_idx, k)) (Blocked.take k sorted)
+      in
+      let rec visit n path =
+        let is_leaf = n.b_left = None in
+        let is_block_root =
+          match path with
+          | [] -> true
+          | (parent, _) :: _ ->
+              not (Skeletal_layout.same_block layout n.b_idx parent.b_idx)
+        in
+        (* A hop's window: path nodes of its own block (leaf, self
+           included — though a leaf holds no straddlers) plus of the
+           parent's block (block root). *)
+        let in_block blk (u, _) = Skeletal_layout.same_block layout u.b_idx blk in
+        let window =
+          (if is_leaf then List.filter (in_block n.b_idx) path else [])
+          @
+          match (is_block_root, path) with
+          | true, (parent, _) :: _ -> List.filter (in_block parent.b_idx) path
+          | _ -> []
+        in
+        let window = if mode = Cached then window else [] in
+        let cache_dir dir =
+          List.concat_map
+            (fun (u, went_left) ->
+              match (dir, went_left) with
+              | `L, true -> first_entries `L u
+              | `R, false -> first_entries `R u
+              | _ -> [])
+            window
+        in
+        let cache_l =
+          cache_dir `L
+          |> List.sort (fun (a, _, _) (b, _, _) -> Ival.compare_lo a b)
+        in
+        let cache_r =
+          cache_dir `R
+          |> List.sort (fun (a, _, _) (b, _, _) -> Ival.compare_hi_desc a b)
+        in
+        let tagged =
+          List.map (fun (iv, src, src_total) -> Tagged { iv; src; src_total })
+        in
+        let store_ivs l = Blocked_list.store pager (List.map (fun iv -> Iv iv) l) in
+        (* A list that fits one page is scanned whole regardless of its
+           internal order, so the two sort orders can share the page. *)
+        let by_lo_list = store_ivs (List.sort Ival.compare_lo n.b_here) in
+        let by_hi_list =
+          if List.length n.b_here <= b then by_lo_list
+          else store_ivs (List.sort Ival.compare_hi_desc n.b_here)
+        in
+        descs.(n.b_idx) <-
+          Some
+            {
+              node = n.b_idx;
+              depth = n.b_depth;
+              key = n.b_key;
+              left = (match n.b_left with Some c -> c.b_idx | None -> -1);
+              right = (match n.b_right with Some c -> c.b_idx | None -> -1);
+              is_hop = is_leaf || is_block_root;
+              by_lo_len = List.length n.b_here;
+              by_lo = by_lo_list;
+              by_hi = by_hi_list;
+              cache_l = Blocked_list.store pager (tagged cache_l);
+              cache_r = Blocked_list.store pager (tagged cache_r);
+              locals = store_ivs (List.sort Ival.compare_lo n.b_locals);
+            };
+        (match n.b_left with Some c -> visit c ((n, true) :: path) | None -> ());
+        match n.b_right with
+        | Some c -> visit c ((n, false) :: path)
+        | None -> ()
+      in
+      visit root [];
+      let block_pages =
+        Array.init (Skeletal_layout.num_blocks layout) (fun blk ->
+            Skeletal_layout.nodes_in layout blk
+            |> List.map (fun i ->
+                   match descs.(i) with Some d -> Desc d | None -> assert false)
+            |> Array.of_list |> Pager.alloc pager)
+      in
+      let rec height n =
+        1
+        + max
+            (match n.b_left with Some c -> height c | None -> 0)
+            (match n.b_right with Some c -> height c | None -> 0)
+      in
+      {
+        mode;
+        pager;
+        layout = Some layout;
+        block_pages;
+        size = List.length ivs;
+        height = height root;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cell_ival = function
+  | Iv iv -> iv
+  | Tagged { iv; _ } -> iv
+  | Desc _ -> invalid_arg "Ext_int: descriptor cell in an interval list"
+
+let stab t q =
+  let stats = Query_stats.create () in
+  match t.layout with
+  | None -> ([], stats)
+  | Some layout ->
+      let b = Pager.page_capacity t.pager in
+      let blocks = Hashtbl.create 16 in
+      let get node =
+        let page = t.block_pages.(Skeletal_layout.block_of layout node) in
+        let descs =
+          match Hashtbl.find_opt blocks page with
+          | Some ds -> ds
+          | None ->
+              let cells = Pager.read t.pager page in
+              stats.skeletal_reads <- stats.skeletal_reads + 1;
+              let ds =
+                Array.to_list cells
+                |> List.filter_map (function Desc d -> Some d | _ -> None)
+              in
+              Hashtbl.add blocks page ds;
+              ds
+        in
+        match List.find_opt (fun d -> d.node = node) descs with
+        | Some d -> d
+        | None -> invalid_arg "Ext_int: descriptor missing from block"
+      in
+      let note_waste reads kept =
+        stats.wasteful_reads <- stats.wasteful_reads + max 0 (reads - (kept / b))
+      in
+      let scan ~kind ?(from = 0) list ~keep =
+        let cells, reads =
+          Blocked_list.scan_prefix_from t.pager list ~from ~keep:(fun c ->
+              keep (cell_ival c))
+        in
+        (match kind with
+        | `Data -> stats.data_reads <- stats.data_reads + reads
+        | `Cache -> stats.cache_reads <- stats.cache_reads + reads);
+        (cells, reads)
+      in
+      let out = ref [] in
+      let add ivs = out := List.rev_append ivs !out in
+      let rec descend acc d =
+        let acc = d :: acc in
+        if d.left < 0 then List.rev acc
+        else if q < d.key then descend acc (get d.left)
+        else descend acc (get d.right)
+      in
+      let path = descend [] (get 0) in
+      let by_idx = Hashtbl.create 16 in
+      List.iter (fun d -> Hashtbl.replace by_idx d.node d) path;
+      (* The query's hits at node u are a prefix of [by_lo] when q goes
+         left at u (its straddlers have hi >= key > q) and of [by_hi]
+         when it goes right. *)
+      let dir_of (u : desc) = if q < u.key then `L else `R in
+      let keep_of = function
+        | `L -> fun iv -> Ival.lo iv <= q
+        | `R -> fun iv -> Ival.hi iv >= q
+      in
+      let node_list (u : desc) = function `L -> u.by_lo | `R -> u.by_hi in
+      (match t.mode with
+      | Naive ->
+          List.iter
+            (fun u ->
+              if u.left >= 0 then begin
+                let dir = dir_of u in
+                let cells, reads =
+                  scan ~kind:`Data (node_list u dir) ~keep:(keep_of dir)
+                in
+                note_waste reads (List.length cells);
+                add (List.map cell_ival cells)
+              end)
+            path
+      | Cached ->
+          List.iter
+            (fun h ->
+              if h.is_hop then begin
+                List.iter
+                  (fun dir ->
+                    let cache =
+                      match dir with `L -> h.cache_l | `R -> h.cache_r
+                    in
+                    let cells, reads = scan ~kind:`Cache cache ~keep:(keep_of dir) in
+                    (* Count kept entries per source to decide
+                       continuations into the sources' own lists. *)
+                    let per_src = Hashtbl.create 4 in
+                    List.iter
+                      (function
+                        | Tagged { iv; src; src_total } ->
+                            add [ iv ];
+                            let k =
+                              match Hashtbl.find_opt per_src src with
+                              | Some (k, _) -> k + 1
+                              | None -> 1
+                            in
+                            Hashtbl.replace per_src src (k, src_total)
+                        | Iv _ | Desc _ ->
+                            invalid_arg "Ext_int: untagged cache cell")
+                      cells;
+                    note_waste reads (List.length cells);
+                    Hashtbl.iter
+                      (fun src (kept, total) ->
+                        if kept = total && total = b then begin
+                          match Hashtbl.find_opt by_idx src with
+                          | Some u ->
+                              (* Only sources whose query direction matches
+                                 this cache contributed to it. *)
+                              let cells, reads =
+                                scan ~kind:`Data ~from:1 (node_list u dir)
+                                  ~keep:(keep_of dir)
+                              in
+                              note_waste reads (List.length cells);
+                              add (List.map cell_ival cells)
+                          | None ->
+                              invalid_arg "Ext_int: cache source not on path"
+                        end)
+                      per_src)
+                  [ `L; `R ]
+              end)
+            path);
+      (* Leaf locals. *)
+      (match List.rev path with
+      | leaf :: _ ->
+          let cells, reads =
+            scan ~kind:`Data leaf.locals ~keep:(fun iv -> Ival.lo iv <= q)
+          in
+          let hits =
+            List.map cell_ival cells |> List.filter (fun iv -> Ival.contains iv q)
+          in
+          note_waste reads (List.length hits);
+          add hits
+      | [] -> ());
+      let raw = !out in
+      stats.reported_raw <- List.length raw;
+      (Ival.dedup_by_id raw, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mode t = t.mode
+let size t = t.size
+let page_size t = Pager.page_capacity t.pager
+let height t = t.height
+let stab_count t q = List.length (fst (stab t q))
+let storage_pages t = Pager.pages_in_use t.pager
+let io_stats t = Pager.stats t.pager
+let reset_io_stats t = Pager.reset_stats t.pager

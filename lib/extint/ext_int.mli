@@ -1,0 +1,46 @@
+(** External interval tree with path caching (paper Theorem 3.5).
+
+    Answers stabbing queries over a simulated disk of page size [B]. Like
+    the in-core interval tree ([Edea, Edeb]), every interval is stored at
+    exactly one node — the highest whose routing key it straddles — in two
+    sorted lists (by increasing left endpoint and by decreasing right
+    endpoint), so the primary storage is linear, [O(n/B)] pages.
+
+    A query's hits at a node are a prefix of one of the two lists, the
+    direction fixed by which side of the key the query point falls — and
+    therefore fixed per leaf. Path caches exploit this: each skeletal
+    block root / leaf carries two direction-split caches (one sorted by
+    [lo], one by decreasing [hi]) holding tagged copies of the first
+    relevant page of every node in the previous / its own block's path
+    segment. Queries read [O(log_B n)] caches and continue into a node's
+    own list only after consuming a full cached page of it.
+
+    - {!Cached}: [O(log_B n + t/B)] query I/Os, [O((n/B) log2 B)] pages
+      (Theorem 3.5);
+    - {!Naive}: no caches, [O(log2 n + t/B)] query I/Os, [O(n/B)] pages.
+
+    Endpoints are grouped [B] per leaf; intervals confined to one leaf's
+    range live in that leaf's local page. *)
+
+open Pc_util
+
+type mode = Naive | Cached
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type t
+
+val create : ?cache_capacity:int -> mode:mode -> b:int -> Ival.t list -> t
+val mode : t -> mode
+val size : t -> int
+val page_size : t -> int
+val height : t -> int
+
+(** [stab t q] reports all intervals containing [q] (id-deduplicated) and
+    the per-query I/O breakdown. *)
+val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
+
+val stab_count : t -> int -> int
+val storage_pages : t -> int
+val io_stats : t -> Pc_pagestore.Io_stats.t
+val reset_io_stats : t -> unit

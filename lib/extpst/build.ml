@@ -1,0 +1,203 @@
+(** Construction of external PST structures (all variants).
+
+    One recursive builder covers the [IKO] baseline, Lemma 3.1, Theorem
+    3.2 and the recursive schemes of Section 4: each level is a region
+    tree of the level's capacity whose nodes are persisted with X/Y-lists,
+    A/S caches and skeletal block pages; regions of the non-final levels
+    embed a sub-structure built over their own points with the remaining
+    (capacity, cache-mode) schedule. *)
+
+open Pc_util
+open Pc_pagestore
+open Types
+
+let store_point_array pager arr =
+  Blocked_list.store_array pager (Array.map (fun p -> Pt p) arr)
+
+let store_src_list pager entries =
+  Blocked_list.store pager
+    (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
+
+(* The depth window of strict ancestors covered by a node's caches: the
+   path segment its parent belongs to (see §3; cache windows tile the
+   path so queries hop between segment boundaries). *)
+let cache_window ~mode ~seg_len ~depth =
+  match mode with
+  | No_caches -> (0, 0)
+  | Full_path -> (0, depth)
+  | Segmented ->
+      if depth = 0 then (0, 0) else (((depth - 1) / seg_len) * seg_len, depth)
+
+(* First X-block (top page-capacity points by x) of a region, tagged with
+   its source node. *)
+let first_x_entries b (n : Region_tree.node) =
+  let k = min b (Array.length n.pts_by_x) in
+  List.init k (fun i -> (n.pts_by_x.(i), n.idx, k))
+
+let first_y_entries b (n : Region_tree.node) =
+  let k = min b (Array.length n.pts_by_y) in
+  List.init k (fun i -> (n.pts_by_y.(i), n.idx, k))
+
+let rec build pager ~modes ~caps pts =
+  let cap, mode, rest_caps, rest_modes =
+    match (caps, modes) with
+    | cap :: rc, mode :: rm -> (cap, mode, rc, rm)
+    | _ -> invalid_arg "Build.build: empty or mismatched schedule"
+  in
+  let b = Pager.page_capacity pager in
+  let seg_len = max 1 (Num_util.ilog2 (max 2 b)) in
+  let rt = Region_tree.build ~capacity:cap pts in
+  let num_nodes = Region_tree.num_nodes rt in
+  if num_nodes = 0 then invalid_arg "Build.build: empty input";
+  let descs = Array.make num_nodes None in
+  (* DFS carrying the ancestor stack: (node, went_left_toward_current). *)
+  let rec visit (n : Region_tree.node) anc =
+    let lo, hi = cache_window ~mode ~seg_len ~depth:n.depth in
+    let covered =
+      List.filter (fun ((a : Region_tree.node), _) -> a.depth >= lo && a.depth < hi) anc
+    in
+    let a_entries =
+      List.concat_map (fun (a, _) -> first_x_entries b a) covered
+      |> List.sort (fun (p1, _, _) (p2, _, _) -> Point.compare_x_desc p1 p2)
+    in
+    let s_entries =
+      List.concat_map
+        (fun ((a : Region_tree.node), went_left) ->
+          if went_left then
+            match a.right with Some s -> first_y_entries b s | None -> []
+          else [])
+        covered
+      |> List.sort (fun (p1, _, _) (p2, _, _) -> Point.compare_y_desc p1 p2)
+    in
+    let n_pts = Array.length n.pts_by_y in
+    let sub =
+      if rest_caps <> [] && n_pts > b then
+        Some
+          (build pager ~modes:rest_modes ~caps:rest_caps
+             (Array.to_list n.pts_by_y))
+      else None
+    in
+    let child_min = function
+      | Some (c : Region_tree.node) -> c.min_y
+      | None -> max_int
+    in
+    let child_idx = function
+      | Some (c : Region_tree.node) -> c.idx
+      | None -> -1
+    in
+    (* A single-page list is scanned whole regardless of internal order,
+       so the X and Y views of a small region share one page. *)
+    let y_list = store_point_array pager n.pts_by_y in
+    let x_list =
+      if n_pts <= b then y_list else store_point_array pager n.pts_by_x
+    in
+    descs.(n.idx) <-
+      Some
+        {
+          node = n.idx;
+          depth = n.depth;
+          split = n.split;
+          min_y = n.min_y;
+          left = child_idx n.left;
+          right = child_idx n.right;
+          left_min_y = child_min n.left;
+          right_min_y = child_min n.right;
+          n_pts;
+          y_list;
+          x_list;
+          a_list = store_src_list pager a_entries;
+          s_list = store_src_list pager s_entries;
+          sub;
+        };
+    (match n.left with Some l -> visit l ((n, true) :: anc) | None -> ());
+    match n.right with Some r -> visit r ((n, false) :: anc) | None -> ()
+  in
+  (match Region_tree.root rt with
+  | Some r -> visit r []
+  | None -> assert false);
+  (* Persist the skeletal blocks: one page of descriptors per block of
+     subtree height [log2 (B + 1)], so a block always fits one page. *)
+  let block_height = max 1 (Num_util.ilog2 (b + 1)) in
+  let node_child side i =
+    let n = Region_tree.node_by_idx rt i in
+    match side with
+    | `L -> Option.map (fun (c : Region_tree.node) -> c.idx) n.left
+    | `R -> Option.map (fun (c : Region_tree.node) -> c.idx) n.right
+  in
+  let layout =
+    Skeletal_layout.compute ~num_nodes ~root:0 ~left:(node_child `L)
+      ~right:(node_child `R) ~block_height
+  in
+  let block_pages =
+    Array.init (Skeletal_layout.num_blocks layout) (fun blk ->
+        let cells =
+          Skeletal_layout.nodes_in layout blk
+          |> List.map (fun i ->
+                 match descs.(i) with
+                 | Some d -> Desc d
+                 | None -> assert false)
+          |> Array.of_list
+        in
+        Pager.alloc pager cells)
+  in
+  {
+    cap;
+    mode;
+    seg_len;
+    levels_below = List.length rest_caps;
+    num_points = List.length pts;
+    layout;
+    block_pages;
+  }
+
+(* [free pager s] releases every page of a structure: list pages, block
+   pages, and sub-structures, recursively. Reading the block pages to
+   discover the lists is charged as maintenance I/O, as a real system
+   walking its catalog would pay. *)
+let rec free pager (s : structure) =
+  Array.iter
+    (fun page ->
+      let cells = Pager.read pager page in
+      Array.iter
+        (function
+          | Desc d ->
+              Blocked_list.free pager d.y_list;
+              (* small regions share one page between both views *)
+              if not (d.x_list == d.y_list) then Blocked_list.free pager d.x_list;
+              Blocked_list.free pager d.a_list;
+              Blocked_list.free pager d.s_list;
+              (match d.sub with Some sub -> free pager sub | None -> ())
+          | Pt _ | Src _ -> ())
+        cells;
+      Pager.free pager page)
+    s.block_pages
+
+(* Capacity/mode schedules for the named variants. *)
+
+let schedule_iko ~b = ([ b ], [ No_caches ])
+let schedule_basic ~b = ([ b ], [ Full_path ])
+let schedule_segmented ~b = ([ b ], [ Segmented ])
+
+let schedule_two_level ~b =
+  let log_b = max 1 (Num_util.ceil_log2 (max 2 b)) in
+  ([ b * log_b; b ], [ Segmented; Full_path ])
+
+(* Capacities B*log B, B*log log B, ... strictly decreasing, ending at B
+   (§4.2). *)
+let schedule_multilevel ~b =
+  let rec caps acc factor =
+    let factor' = max 1 (Num_util.ceil_log2 (max 2 factor)) in
+    if factor' <= 1 || factor' >= factor then List.rev (b :: acc)
+    else caps ((b * factor') :: acc) factor'
+  in
+  let log_b = max 1 (Num_util.ceil_log2 (max 2 b)) in
+  let capacities =
+    if log_b <= 1 then [ b ] else caps [ b * log_b ] log_b
+  in
+  let modes =
+    List.mapi
+      (fun i _ ->
+        if i = List.length capacities - 1 then Full_path else Segmented)
+      capacities
+  in
+  (capacities, modes)

@@ -1,0 +1,54 @@
+open Pc_pagestore
+
+type variant = Iko | Basic | Segmented | Two_level | Multilevel
+
+let pp_variant ppf = function
+  | Iko -> Format.fprintf ppf "iko"
+  | Basic -> Format.fprintf ppf "basic"
+  | Segmented -> Format.fprintf ppf "segmented"
+  | Two_level -> Format.fprintf ppf "two-level"
+  | Multilevel -> Format.fprintf ppf "multilevel"
+
+let all_variants = [ Iko; Basic; Segmented; Two_level; Multilevel ]
+
+type t = {
+  variant : variant;
+  pager : Types.cell Pager.t;
+  structure : Types.structure option; (* None iff the point set is empty *)
+  size : int;
+}
+
+let capacity_schedule ~variant ~b =
+  match variant with
+  | Iko -> Build.schedule_iko ~b
+  | Basic -> Build.schedule_basic ~b
+  | Segmented -> Build.schedule_segmented ~b
+  | Two_level -> Build.schedule_two_level ~b
+  | Multilevel -> Build.schedule_multilevel ~b
+
+let create ?(cache_capacity = 0) ~variant ~b pts =
+  if b < 2 then invalid_arg "Ext_pst.create: b < 2";
+  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  let structure =
+    match pts with
+    | [] -> None
+    | _ ->
+        let caps, modes = capacity_schedule ~variant ~b in
+        Some (Build.build pager ~modes ~caps pts)
+  in
+  { variant; pager; structure; size = List.length pts }
+
+let variant t = t.variant
+let size t = t.size
+let page_size t = Pager.page_capacity t.pager
+
+let query t ~xl ~yb =
+  match t.structure with
+  | None -> ([], Types.new_stats ())
+  | Some s -> Query.two_sided t.pager s ~xl ~yb
+
+let query_count t ~xl ~yb = List.length (fst (query t ~xl ~yb))
+let storage_pages t = Pager.pages_in_use t.pager
+let io_stats t = Pager.stats t.pager
+let reset_io_stats t = Pager.reset_stats t.pager
+let drop_cache t = Pager.drop_cache t.pager

@@ -1,0 +1,64 @@
+(** External priority search trees for 2-sided queries — the paper's core
+    contribution (§3-4).
+
+    A 2-sided query with corner [(xl, yb)] reports every point with
+    [x >= xl && y >= yb]. The five static variants trade storage for the
+    technique used to avoid wasteful I/Os:
+
+    - {!Iko}: the [IKO] baseline — no caches, [O(n/B)] pages, but
+      [O(log2 n + t/B)] query I/Os;
+    - {!Basic} (Lemma 3.1): full-path A/S caches, [O((n/B) log2 n)] pages,
+      optimal [O(log_B n + t/B)] query;
+    - {!Segmented} (Theorem 3.2): caches cover [log2 B]-segments of the
+      path, [O((n/B) log2 B)] pages, optimal query;
+    - {!Two_level} (Theorem 4.3): regions of [B log B] points with X/Y
+      lists and a second-level tree per region, [O((n/B) log2 log2 B)]
+      pages, optimal query;
+    - {!Multilevel} (Theorem 4.4): the recursion iterated,
+      [O((n/B) log* B)] pages, [O(log_B n + t/B + log* B)] query.
+
+    Each structure owns a private simulated disk; query I/Os and resident
+    pages are exact and deterministic (buffer pool disabled by default). *)
+
+open Pc_util
+
+type variant = Iko | Basic | Segmented | Two_level | Multilevel
+
+val pp_variant : Format.formatter -> variant -> unit
+val all_variants : variant list
+
+type t
+
+(** [create ~variant ~b pts] builds the structure over page size [b]
+    (requires [b >= 2]). [cache_capacity] (default 0) sizes an LRU buffer
+    pool in pages — leave it 0 for exact I/O counting. *)
+val create : ?cache_capacity:int -> variant:variant -> b:int -> Point.t list -> t
+
+val variant : t -> variant
+val size : t -> int
+val page_size : t -> int
+
+(** [query t ~xl ~yb] answers the 2-sided query; returns the points (id-
+    deduplicated) and the per-query I/O breakdown. *)
+val query : t -> xl:int -> yb:int -> Point.t list * Types.query_stats
+
+(** [query_count t ~xl ~yb] is [query] reporting only the hit count. *)
+val query_count : t -> xl:int -> yb:int -> int
+
+(** [storage_pages t] is the number of live pages the structure occupies
+    — the space measure of the paper's theorems. *)
+val storage_pages : t -> int
+
+(** [io_stats t] is the cumulative I/O counter of the private disk
+    (includes construction writes). *)
+val io_stats : t -> Pc_pagestore.Io_stats.t
+
+val reset_io_stats : t -> unit
+
+(** [drop_cache t] empties the buffer pool, if one was configured. *)
+val drop_cache : t -> unit
+
+(** [capacity_schedule ~variant ~b] exposes the (capacities, cache modes)
+    schedule a variant uses — one entry per recursion level. *)
+val capacity_schedule :
+  variant:variant -> b:int -> int list * Types.cache_mode list

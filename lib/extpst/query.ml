@@ -1,0 +1,243 @@
+(** The 2-sided query engine shared by every external PST variant (§3-4).
+
+    A query [(xl, yb)] reports all points with [x >= xl && y >= yb]:
+    1. route through skeletal block pages to the corner region;
+    2. answer the corner from its sub-structure (recursive variants) or
+       its single Y-page;
+    3. read the A/S caches of the corner and of each path node at a
+       segment boundary ("hops"); continue into an ancestor's X-list or a
+       sibling's Y-list only when every cached point of that source was
+       inside the query (§4.1) — the continuation's first page is then
+       paid for by the cached page it extends;
+    4. walk descendants of fully-contained siblings top-down through
+       their Y-lists, each read paid for by its parent's containment;
+    5. under [No_caches] ([IKO] baseline), skip 3-4 and read every path
+       node and sibling page directly — [O(log n + t/B)] I/Os. *)
+
+open Pc_util
+open Pc_pagestore
+open Types
+
+type ctx = {
+  pager : cell Pager.t;
+  stats : query_stats;
+  blocks : (int, desc list) Hashtbl.t;
+      (* skeletal pages already read this query (page id -> descriptors):
+         models holding the search path in memory for the duration of one
+         query, as the I/O model permits *)
+}
+
+let make_ctx pager = { pager; stats = new_stats (); blocks = Hashtbl.create 32 }
+
+let get_desc ctx (s : structure) node =
+  let blk = Skeletal_layout.block_of s.layout node in
+  let page = s.block_pages.(blk) in
+  let descs =
+    match Hashtbl.find_opt ctx.blocks page with
+    | Some ds -> ds
+    | None ->
+        let cells = Pager.read ctx.pager page in
+        ctx.stats.skeletal_reads <- ctx.stats.skeletal_reads + 1;
+        let ds =
+          Array.to_list cells
+          |> List.filter_map (function Desc d -> Some d | _ -> None)
+        in
+        Hashtbl.add ctx.blocks page ds;
+        ds
+  in
+  match List.find_opt (fun d -> d.node = node) descs with
+  | Some d -> d
+  | None -> invalid_arg "Query.get_desc: descriptor missing from block"
+
+let cell_point = function
+  | Pt p -> p
+  | Src { p; _ } -> p
+  | Desc _ -> invalid_arg "Query: descriptor cell in a point list"
+
+(* Wasteful reads in the paper's sense: reads that did not return a full
+   page of final results. The caller supplies the truly useful count
+   (after any CPU-side filtering). *)
+let note_waste ctx reads useful =
+  let b = Pager.page_capacity ctx.pager in
+  ctx.stats.wasteful_reads <-
+    ctx.stats.wasteful_reads + max 0 (reads - (useful / b))
+
+(* Scan a blocked point list; returns the kept points and the reads. *)
+let scan_points_counted ctx ?(from = 0) ~kind list ~keep =
+  let cells, reads =
+    Blocked_list.scan_prefix_from ctx.pager list ~from ~keep:(fun c ->
+        keep (cell_point c))
+  in
+  let pts = List.map cell_point cells in
+  (match kind with
+  | `Data -> ctx.stats.data_reads <- ctx.stats.data_reads + reads
+  | `Cache -> ctx.stats.cache_reads <- ctx.stats.cache_reads + reads);
+  (pts, reads)
+
+(* Common case: every kept point is a final result. *)
+let scan_points ctx ?(from = 0) ~kind list ~keep =
+  let pts, reads = scan_points_counted ctx ~from ~kind list ~keep in
+  note_waste ctx reads (List.length pts);
+  pts
+
+(* Scan an A/S cache list; returns the kept points plus, per source node,
+   how many of its cached points were kept out of how many it cached. *)
+let scan_cache ctx list ~keep =
+  let cells, reads =
+    Blocked_list.scan_prefix ctx.pager list ~keep:(fun c -> keep (cell_point c))
+  in
+  ctx.stats.cache_reads <- ctx.stats.cache_reads + reads;
+  let per_src = Hashtbl.create 8 in
+  let pts =
+    List.map
+      (function
+        | Src { p; src; src_total } ->
+            let kept =
+              match Hashtbl.find_opt per_src src with
+              | Some (k, _) -> k + 1
+              | None -> 1
+            in
+            Hashtbl.replace per_src src (kept, src_total);
+            p
+        | Pt _ | Desc _ -> invalid_arg "Query: untagged cell in cache list")
+      cells
+  in
+  note_waste ctx reads (List.length pts);
+  let fully_kept =
+    Hashtbl.fold
+      (fun src (kept, total) acc -> if kept = total then src :: acc else acc)
+      per_src []
+  in
+  (pts, fully_kept)
+
+(* Top-down walk of a fully-contained region's descendants: a child is
+   read (its Y-prefix scanned) because its parent is entirely inside the
+   query; it is recursed into iff it is itself fully contained. *)
+let rec explore_children ctx s ~yb ~add (d : desc) =
+  List.iter
+    (fun (cidx, cmin) ->
+      if cidx >= 0 then begin
+        let cdesc = get_desc ctx s cidx in
+        add
+          (scan_points ctx ~kind:`Data cdesc.y_list ~keep:(fun p ->
+               p.Point.y >= yb));
+        if cmin >= yb then explore_children ctx s ~yb ~add cdesc
+      end)
+    [ (d.left, d.left_min_y); (d.right, d.right_min_y) ]
+
+let rec run ctx (s : structure) ~xl ~yb =
+  if s.num_points = 0 then []
+  else begin
+    let out = ref [] in
+    let add pts = out := List.rev_append pts !out in
+    (* 1. Route to the corner: the first region on the descent toward xl
+       whose own minimum y drops below yb (no descendant can reach back
+       into the query), or the last region on that descent. *)
+    let rec descend acc d =
+      let acc = d :: acc in
+      if d.min_y < yb then List.rev acc
+      else begin
+        let next = if xl <= d.split then d.left else d.right in
+        if next < 0 then List.rev acc else descend acc (get_desc ctx s next)
+      end
+    in
+    let path = Array.of_list (descend [] (get_desc ctx s 0)) in
+    let len = Array.length path in
+    let corner = path.(len - 1) in
+    (* 2. Corner region: recurse into its sub-structure, or scan its
+       single Y-page. *)
+    (match corner.sub with
+    | Some sub -> add (run ctx sub ~xl ~yb)
+    | None ->
+        let pts, reads =
+          scan_points_counted ctx ~kind:`Data corner.y_list ~keep:(fun p ->
+              p.Point.y >= yb)
+        in
+        let hits = List.filter (fun (p : Point.t) -> p.x >= xl) pts in
+        note_waste ctx reads (List.length hits);
+        add hits);
+    (match s.mode with
+    | No_caches ->
+        (* [IKO]: read every strict-ancestor page directly. *)
+        for i = 0 to len - 2 do
+          let u = path.(i) in
+          let pts, reads =
+            scan_points_counted ctx ~kind:`Data u.y_list ~keep:(fun p ->
+                p.Point.y >= yb)
+          in
+          let hits = List.filter (fun (p : Point.t) -> p.x >= xl) pts in
+          note_waste ctx reads (List.length hits);
+          add hits;
+          if xl <= u.split && u.right >= 0 then begin
+            let sdesc = get_desc ctx s u.right in
+            add
+              (scan_points ctx ~kind:`Data sdesc.y_list ~keep:(fun p ->
+                   p.Point.y >= yb));
+            if u.right_min_y >= yb then explore_children ctx s ~yb ~add sdesc
+          end
+        done
+    | Full_path | Segmented ->
+        (* 3. Cache hops: the corner plus each path node sitting at a
+           segment boundary; their windows tile the whole path. *)
+        let d = corner.depth in
+        let hop_depths =
+          match s.mode with
+          | Full_path -> [ d ]
+          | Segmented | No_caches ->
+              List.init (d / s.seg_len) (fun j -> (j + 1) * s.seg_len)
+              |> List.cons d |> List.sort_uniq compare
+        in
+        List.iter
+          (fun hd ->
+            let h = path.(hd) in
+            (* Ancestor cache: strict ancestors of the corner are cut by
+               the query's left side, so their hits form an x-descending
+               prefix. *)
+            let a_pts, a_full = scan_cache ctx h.a_list ~keep:(fun p -> p.Point.x >= xl) in
+            add a_pts;
+            List.iter
+              (fun src ->
+                let u = path.(src_depth_exn path src) in
+                add
+                  (scan_points ctx ~from:1 ~kind:`Data u.x_list ~keep:(fun p ->
+                       p.Point.x >= xl)))
+              a_full;
+            (* Sibling cache: siblings lie right of the query's left side,
+               so their hits form a y-descending prefix. *)
+            let s_pts, s_full = scan_cache ctx h.s_list ~keep:(fun p -> p.Point.y >= yb) in
+            add s_pts;
+            List.iter
+              (fun src ->
+                let sdesc = get_desc ctx s src in
+                add
+                  (scan_points ctx ~from:1 ~kind:`Data sdesc.y_list
+                     ~keep:(fun p -> p.Point.y >= yb)))
+              s_full)
+          hop_depths;
+        (* 4. Descendants of fully-contained siblings. *)
+        for i = 0 to len - 2 do
+          let u = path.(i) in
+          if xl <= u.split && u.right >= 0 && u.right_min_y >= yb then
+            explore_children ctx s ~yb ~add (get_desc ctx s u.right)
+        done);
+    !out
+  end
+
+(* A-list sources are strict ancestors of the corner, i.e. path nodes;
+   find the path position holding a given node idx. *)
+and src_depth_exn path src =
+  let n = Array.length path in
+  let rec loop i =
+    if i >= n then invalid_arg "Query: cache source not on path"
+    else if path.(i).node = src then i
+    else loop (i + 1)
+  in
+  loop 0
+
+(** [two_sided pager s ~xl ~yb] answers the query and returns the
+    deduplicated points with the I/O breakdown. *)
+let two_sided pager s ~xl ~yb =
+  let ctx = make_ctx pager in
+  let raw = run ctx s ~xl ~yb in
+  ctx.stats.reported_raw <- List.length raw;
+  (Point.dedup_by_id raw, ctx.stats)

@@ -1,0 +1,169 @@
+open Pc_util
+
+type node = {
+  idx : int;
+  depth : int;
+  pts_by_y : Point.t array;
+  pts_by_x : Point.t array;
+  min_y : int;
+  split : int;
+  xlo : int;
+  xhi : int;
+  left : node option;
+  right : node option;
+}
+
+type t = {
+  root : node option;
+  nodes : node array; (* indexed by idx *)
+  size : int;
+  capacity : int;
+}
+
+let build ~capacity pts =
+  if capacity < 1 then invalid_arg "Region_tree.build: capacity < 1";
+  let counter = ref 0 in
+  let acc_nodes = ref [] in
+  let rec make pts depth xlo xhi =
+    match pts with
+    | [] -> None
+    | _ ->
+        let idx = !counter in
+        incr counter;
+        let by_y = List.sort Point.compare_y_desc pts in
+        let top = Blocked.take capacity by_y in
+        let rest = Blocked.drop capacity by_y in
+        let pts_by_y = Array.of_list top in
+        let pts_by_x = Array.of_list (List.sort Point.compare_x_desc top) in
+        let min_y =
+          if Array.length pts_by_y = 0 then max_int
+          else (pts_by_y.(Array.length pts_by_y - 1) : Point.t).y
+        in
+        let split, left, right =
+          match rest with
+          | [] -> ((xlo + xhi) / 2, None, None)
+          | _ ->
+              let sorted = List.sort Point.compare_xy rest in
+              let m = List.length sorted in
+              let k = (m - 1) / 2 in
+              let median = List.nth sorted k in
+              let split = median.Point.x in
+              let lefts = Blocked.take (k + 1) sorted in
+              let rights = Blocked.drop (k + 1) sorted in
+              ( split,
+                make lefts (depth + 1) xlo split,
+                make rights (depth + 1) split xhi )
+        in
+        let n =
+          { idx; depth; pts_by_y; pts_by_x; min_y; split; xlo; xhi; left; right }
+        in
+        acc_nodes := n :: !acc_nodes;
+        Some n
+  in
+  let root = make pts 0 min_int max_int in
+  let num = !counter in
+  let nodes =
+    Array.make (max num 1)
+      {
+        idx = 0;
+        depth = 0;
+        pts_by_y = [||];
+        pts_by_x = [||];
+        min_y = max_int;
+        split = 0;
+        xlo = min_int;
+        xhi = max_int;
+        left = None;
+        right = None;
+      }
+  in
+  List.iter (fun n -> nodes.(n.idx) <- n) !acc_nodes;
+  { root; nodes; size = List.length pts; capacity }
+
+let root t = t.root
+let num_nodes t = if t.root = None then 0 else Array.length t.nodes
+let size t = t.size
+let capacity t = t.capacity
+
+let height t =
+  let rec h = function
+    | None -> 0
+    | Some n -> 1 + max (h n.left) (h n.right)
+  in
+  h t.root
+
+let node_by_idx t i = t.nodes.(i)
+let goes_left n ~xl = xl <= n.split
+
+let path_to_corner t ~xl ~yb =
+  let rec walk acc n =
+    let acc = n :: acc in
+    if n.min_y < yb then List.rev acc
+    else if goes_left n ~xl then
+      match n.left with Some l -> walk acc l | None -> List.rev acc
+    else begin
+      match n.right with Some r -> walk acc r | None -> List.rev acc
+    end
+  in
+  match t.root with Some r -> walk [] r | None -> []
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n;
+        go n.left;
+        go n.right
+  in
+  go t.root
+
+let all_points t =
+  let acc = ref [] in
+  iter (fun n -> acc := List.rev_append (Array.to_list n.pts_by_y) !acc) t;
+  !acc
+
+let check_invariants t =
+  let fail msg = failwith ("Region_tree: " ^ msg) in
+  let count = ref 0 in
+  let rec go n =
+    count := !count + Array.length n.pts_by_y;
+    if Array.length n.pts_by_y > t.capacity then fail "over capacity";
+    if Array.length n.pts_by_y <> Array.length n.pts_by_x then
+      fail "pts_by_x cardinality mismatch";
+    if (n.left <> None || n.right <> None)
+       && Array.length n.pts_by_y <> t.capacity
+    then fail "internal region not full";
+    Array.iteri
+      (fun i (p : Point.t) ->
+        if i > 0 && (p : Point.t).y > (n.pts_by_y.(i - 1) : Point.t).y then
+          fail "pts_by_y unsorted";
+        if p.x < n.xlo || p.x > n.xhi then fail "point outside region x-range")
+      n.pts_by_y;
+    Array.iteri
+      (fun i (p : Point.t) ->
+        if i > 0 && p.x > (n.pts_by_x.(i - 1) : Point.t).x then
+          fail "pts_by_x unsorted")
+      n.pts_by_x;
+    let check_child side c =
+      (* Every descendant point lies below the parent's minimum y (ties on
+         y are allowed since top-selection is by the y-then-x order). *)
+      let rec all_pts n =
+        Array.to_list n.pts_by_y
+        @ (match n.left with Some l -> all_pts l | None -> [])
+        @ match n.right with Some r -> all_pts r | None -> []
+      in
+      List.iter
+        (fun (p : Point.t) ->
+          if p.y > n.min_y then fail "heap violation";
+          match side with
+          | `L -> if p.x > n.split then fail "left point beyond split"
+          | `R -> if p.x < n.split then fail "right point before split")
+        (all_pts c)
+    in
+    (match n.left with Some l -> check_child `L l | None -> ());
+    (match n.right with Some r -> check_child `R r | None -> ());
+    (match n.left with Some l -> go l | None -> ());
+    match n.right with Some r -> go r | None -> ()
+  in
+  (match t.root with Some r -> go r | None -> ());
+  if !count <> t.size then fail "point count mismatch"

@@ -1,0 +1,80 @@
+(** Shared representation of all external priority-search-tree variants.
+
+    A structure is a region tree persisted onto the pager:
+    - each region's points are stored twice, as a blocked Y-list
+      (decreasing y) and a blocked X-list (decreasing x) — for the basic
+      variants (capacity [B]) each is a single page;
+    - each region carries an A-list (ancestor cache, decreasing x) and an
+      S-list (sibling cache, decreasing y), both holding tagged copies of
+      the first X/Y blocks of the covered ancestors/siblings (§3, §4);
+    - tree structure lives in skeletal block pages of node descriptors
+      (§2, Figure 2), so locating a root-to-corner path costs one read per
+      [log2 B] levels;
+    - recursive variants embed a sub-structure per region (§4).
+
+    All data needed to answer a query is reached through pages: a query
+    must read a node's skeletal block before using its descriptor, and
+    every point flows out of a Y/X/A/S-list page. *)
+
+open Pc_pagestore
+
+(** How much of the root path a node's A/S caches cover. *)
+type cache_mode =
+  | No_caches  (** the [IKO] baseline: query pays one I/O per path node *)
+  | Full_path  (** Lemma 3.1: caches cover every strict ancestor *)
+  | Segmented
+      (** Theorem 3.2: caches cover the [log B]-segment of the path the
+          node belongs to; queries hop between segment boundaries *)
+
+type cell =
+  | Desc of desc  (** a node descriptor inside a skeletal block page *)
+  | Pt of Pc_util.Point.t  (** a point in an X/Y-list page *)
+  | Src of { p : Pc_util.Point.t; src : int; src_total : int }
+      (** a cache entry: a copied point tagged with the region node it was
+          copied from and how many entries that region contributed —
+          needed to decide whether to continue into the source's own
+          X/Y-list (§4.1) *)
+
+and desc = {
+  node : int;  (** region-tree node idx within this structure's level *)
+  depth : int;
+  split : int;  (** x routing key; descend left iff [xl <= split] *)
+  min_y : int;  (** min y of the region's own points; [max_int] if empty *)
+  left : int;  (** child node idx, [-1] if absent *)
+  right : int;
+  left_min_y : int;  (** children's [min_y], [max_int] if absent — lets a
+                         query test full containment of a sibling without
+                         reading the sibling's block *)
+  right_min_y : int;
+  n_pts : int;  (** number of points stored in this region *)
+  y_list : cell Blocked_list.t;  (** region points, decreasing y *)
+  x_list : cell Blocked_list.t;  (** region points, decreasing x *)
+  a_list : cell Blocked_list.t;  (** ancestor cache ([Src] cells), desc. x *)
+  s_list : cell Blocked_list.t;  (** sibling cache ([Src] cells), desc. y *)
+  sub : structure option;
+      (** second-level structure over this region's points (§4) *)
+}
+
+and structure = {
+  cap : int;  (** region capacity of this level *)
+  mode : cache_mode;
+  seg_len : int;  (** path-segment length for [Segmented] caches *)
+  levels_below : int;  (** number of sub-structure levels under this one *)
+  num_points : int;
+  layout : Pc_util.Skeletal_layout.t;  (** node -> skeletal block *)
+  block_pages : int array;  (** skeletal block id -> page id *)
+}
+
+(** Per-query I/O breakdown; see {!Pc_pagestore.Query_stats}. *)
+type query_stats = Query_stats.t = {
+  mutable skeletal_reads : int;
+  mutable data_reads : int;
+  mutable cache_reads : int;
+  mutable wasteful_reads : int;
+  mutable reported_raw : int;
+}
+
+let new_stats = Query_stats.create
+let total_reads = Query_stats.total
+let add_stats = Query_stats.add
+let pp_stats = Query_stats.pp

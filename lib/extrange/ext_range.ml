@@ -1,0 +1,277 @@
+open Pc_util
+open Pc_pagestore
+
+type cell = Desc of desc | Pt of Point.t
+
+and desc = {
+  node : int;
+  xlo : int;  (* inclusive x-range covered by the subtree *)
+  xhi : int;
+  mid : int;  (* route left iff x <= mid (internal nodes) *)
+  left : int;
+  right : int;
+  n_pts : int;
+  pts_page : cell Blocked_list.t;  (* leaves only: the B points, by y *)
+  y_index : Pc_btree.Btree.t option;
+      (* internal nodes: subtree points as a B+-tree keyed by y *)
+}
+
+type t = {
+  pager : cell Pager.t;  (* skeletal blocks + leaf point pages *)
+  index_pager : Pc_btree.Btree.cell Pager.t;  (* all per-node y-trees *)
+  layout : Skeletal_layout.t option;
+  block_pages : int array;
+  size : int;
+  height : int;
+}
+
+(* In-memory blueprint. *)
+type bnode = {
+  b_idx : int;
+  b_xlo : int;
+  b_xhi : int;
+  b_mid : int;
+  b_left : bnode option;
+  b_right : bnode option;
+  b_pts : Point.t array; (* subtree points, sorted by y then id *)
+}
+
+let create ?(cache_capacity = 0) ~b pts =
+  if b < 4 then invalid_arg "Ext_range.create: b < 4 (B+-tree fanout)";
+  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  let index_pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  match pts with
+  | [] ->
+      {
+        pager;
+        index_pager;
+        layout = None;
+        block_pages = [||];
+        size = 0;
+        height = 0;
+      }
+  | _ ->
+      let sorted = Array.of_list (List.sort Point.compare_xy pts) in
+      let n = Array.length sorted in
+      let nleaves = Num_util.ceil_div n b in
+      let counter = ref 0 in
+      let by_y seg =
+        let arr = Array.copy seg in
+        Array.sort Point.compare_yx arr;
+        arr
+      in
+      (* Balanced tree over runs of [b] consecutive x-sorted points. *)
+      let rec make lo_leaf hi_leaf =
+        let idx = !counter in
+        incr counter;
+        if hi_leaf - lo_leaf = 1 then begin
+          let off = lo_leaf * b in
+          let len = min b (n - off) in
+          let seg = Array.sub sorted off len in
+          {
+            b_idx = idx;
+            b_xlo = (seg.(0) : Point.t).x;
+            b_xhi = (seg.(len - 1) : Point.t).x;
+            b_mid = (seg.(len - 1) : Point.t).x;
+            b_left = None;
+            b_right = None;
+            b_pts = by_y seg;
+          }
+        end
+        else begin
+          let mid_leaf = (lo_leaf + hi_leaf) / 2 in
+          let l = make lo_leaf mid_leaf in
+          let r = make mid_leaf hi_leaf in
+          {
+            b_idx = idx;
+            b_xlo = l.b_xlo;
+            b_xhi = r.b_xhi;
+            b_mid = l.b_xhi;
+            b_left = Some l;
+            b_right = Some r;
+            b_pts = by_y (Array.append l.b_pts r.b_pts);
+          }
+        end
+      in
+      let root = make 0 nleaves in
+      let num_nodes = !counter in
+      let nodes = Array.make num_nodes root in
+      let rec index nd =
+        nodes.(nd.b_idx) <- nd;
+        Option.iter index nd.b_left;
+        Option.iter index nd.b_right
+      in
+      index root;
+      let child side i =
+        let nd = nodes.(i) in
+        Option.map
+          (fun c -> c.b_idx)
+          (match side with `L -> nd.b_left | `R -> nd.b_right)
+      in
+      let block_height = max 1 (Num_util.ilog2 (b + 1)) in
+      let layout =
+        Skeletal_layout.compute ~num_nodes ~root:0 ~left:(child `L)
+          ~right:(child `R) ~block_height
+      in
+      let descs = Array.make num_nodes None in
+      let rec persist nd =
+        let is_leaf = nd.b_left = None in
+        let pts_page =
+          if is_leaf then
+            Blocked_list.store pager
+              (List.map (fun p -> Pt p) (Array.to_list nd.b_pts))
+          else Blocked_list.store pager []
+        in
+        let y_index =
+          if is_leaf then None
+          else
+            Some
+              (Pc_btree.Btree.bulk_load index_pager
+                 (Array.to_list nd.b_pts
+                 |> List.map (fun (p : Point.t) -> (p.y, p.id))
+                 |> List.sort compare))
+        in
+        descs.(nd.b_idx) <-
+          Some
+            {
+              node = nd.b_idx;
+              xlo = nd.b_xlo;
+              xhi = nd.b_xhi;
+              mid = nd.b_mid;
+              left = (match nd.b_left with Some c -> c.b_idx | None -> -1);
+              right = (match nd.b_right with Some c -> c.b_idx | None -> -1);
+              n_pts = Array.length nd.b_pts;
+              pts_page;
+              y_index;
+            };
+        Option.iter persist nd.b_left;
+        Option.iter persist nd.b_right
+      in
+      persist root;
+      let block_pages =
+        Array.init (Skeletal_layout.num_blocks layout) (fun blk ->
+            Skeletal_layout.nodes_in layout blk
+            |> List.map (fun i ->
+                   match descs.(i) with Some d -> Desc d | None -> assert false)
+            |> Array.of_list |> Pager.alloc pager)
+      in
+      let rec height nd =
+        1
+        + max
+            (match nd.b_left with Some c -> height c | None -> 0)
+            (match nd.b_right with Some c -> height c | None -> 0)
+      in
+      {
+        pager;
+        index_pager;
+        layout = Some layout;
+        block_pages;
+        size = n;
+        height = height root;
+      }
+
+let query t ~x1 ~x2 ~y1 ~y2 =
+  let stats = Query_stats.create () in
+  match t.layout with
+  | _ when x1 > x2 || y1 > y2 -> ([], stats)
+  | None -> ([], stats)
+  | Some layout ->
+      let blocks = Hashtbl.create 16 in
+      let get idx =
+        let page = t.block_pages.(Skeletal_layout.block_of layout idx) in
+        let descs =
+          match Hashtbl.find_opt blocks page with
+          | Some ds -> ds
+          | None ->
+              let cells = Pager.read t.pager page in
+              stats.skeletal_reads <- stats.skeletal_reads + 1;
+              let ds =
+                Array.to_list cells
+                |> List.filter_map (function Desc d -> Some d | _ -> None)
+              in
+              Hashtbl.add blocks page ds;
+              ds
+        in
+        List.find (fun d -> d.node = idx) descs
+      in
+      let out = ref [] in
+      let report_y_range (d : desc) =
+        match d.y_index with
+        | Some bt ->
+            let before = Io_stats.snapshot (Pager.stats t.index_pager) in
+            let hits = Pc_btree.Btree.range bt ~lo:y1 ~hi:y2 in
+            let after = Io_stats.snapshot (Pager.stats t.index_pager) in
+            let delta = Io_stats.diff ~after ~before in
+            stats.data_reads <- stats.data_reads + Io_stats.total delta;
+            out := List.rev_append (List.map snd hits) !out
+        | None ->
+            (* canonical leaf: one page, filter on y *)
+            let cells, reads =
+              Blocked_list.scan_prefix t.pager d.pts_page ~keep:(fun _ -> true)
+            in
+            stats.data_reads <- stats.data_reads + reads;
+            List.iter
+              (function
+                | Pt (p : Point.t) ->
+                    if p.y >= y1 && p.y <= y2 then out := p.id :: !out
+                | Desc _ -> ())
+              cells
+      in
+      let report_boundary_leaf (d : desc) =
+        let cells, reads =
+          Blocked_list.scan_prefix t.pager d.pts_page ~keep:(fun _ -> true)
+        in
+        stats.data_reads <- stats.data_reads + reads;
+        let kept = ref 0 in
+        List.iter
+          (function
+            | Pt (p : Point.t) ->
+                if p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2 then begin
+                  incr kept;
+                  out := p.id :: !out
+                end
+            | Desc _ -> ())
+          cells;
+        stats.wasteful_reads <-
+          stats.wasteful_reads
+          + max 0 (reads - (!kept / Pager.page_capacity t.pager))
+      in
+      (* Canonical decomposition of [x1, x2]. *)
+      let rec walk idx =
+        let d = get idx in
+        if d.xhi < x1 || d.xlo > x2 then ()
+        else if x1 <= d.xlo && d.xhi <= x2 then report_y_range d
+        else if d.left < 0 then report_boundary_leaf d
+        else begin
+          walk d.left;
+          walk d.right
+        end
+      in
+      walk 0;
+      let ids = List.sort_uniq compare !out in
+      stats.reported_raw <- List.length !out;
+      (ids, stats)
+
+let size t = t.size
+let page_size t = Pager.page_capacity t.pager
+let height t = t.height
+
+let query_count t ~x1 ~x2 ~y1 ~y2 =
+  List.length (fst (query t ~x1 ~x2 ~y1 ~y2))
+
+let storage_pages t =
+  Pager.pages_in_use t.pager + Pager.pages_in_use t.index_pager
+
+let io_stats t =
+  let a = Io_stats.snapshot (Pager.stats t.pager) in
+  let b = Pager.stats t.index_pager in
+  a.reads <- a.reads + b.reads;
+  a.writes <- a.writes + b.writes;
+  a.cache_hits <- a.cache_hits + b.cache_hits;
+  a.allocs <- a.allocs + b.allocs;
+  a.frees <- a.frees + b.frees;
+  a
+
+let reset_io_stats t =
+  Pager.reset_stats t.pager;
+  Pager.reset_stats t.index_pager

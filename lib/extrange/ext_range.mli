@@ -1,0 +1,39 @@
+(** External range tree for general (4-sided) 2-dimensional range
+    queries — the rightmost query class of the paper's Figure 1.
+
+    The paper stops at 3-sided queries; no technique in it (or in any
+    linear-space structure) achieves [O(log_B n + t/B)] for general
+    2-dimensional ranges. This module rounds out the query taxonomy with
+    the classical external range tree: a balanced x-tree over leaves of
+    [B] points, where every internal node indexes its subtree's points in
+    a B+-tree keyed by [y]. A query [[x1,x2] x [y1,y2]] decomposes
+    [[x1,x2]] into [O(log2 (n/B))] canonical subtrees and runs one
+    y-range per canonical node:
+
+    - query: [O(log2 n * log_B n + t/B)] I/Os;
+    - storage: [O((n/B) log2 (n/B))] pages.
+
+    Results are reported as [(y, id)] pairs for canonical nodes (the
+    x-constraint is implied by canonicity), exactly as a database engine
+    returns record identifiers; boundary leaves are filtered on both
+    coordinates. *)
+
+open Pc_util
+
+type t
+
+val create : ?cache_capacity:int -> b:int -> Point.t list -> t
+val size : t -> int
+val page_size : t -> int
+val height : t -> int
+
+(** [query t ~x1 ~x2 ~y1 ~y2] reports the ids of all points with
+    [x1 <= x <= x2 && y1 <= y <= y2], with the query's I/O breakdown.
+    Empty if [x1 > x2] or [y1 > y2]. *)
+val query :
+  t -> x1:int -> x2:int -> y1:int -> y2:int -> int list * Pc_pagestore.Query_stats.t
+
+val query_count : t -> x1:int -> x2:int -> y1:int -> y2:int -> int
+val storage_pages : t -> int
+val io_stats : t -> Pc_pagestore.Io_stats.t
+val reset_io_stats : t -> unit

@@ -1,0 +1,395 @@
+open Pc_util
+open Pc_pagestore
+
+type mode = Naive | Cached
+
+let pp_mode ppf = function
+  | Naive -> Format.fprintf ppf "naive"
+  | Cached -> Format.fprintf ppf "cached"
+
+(* ------------------------------------------------------------------ *)
+(* Persistent representation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Desc of desc
+  | Iv of Ival.t
+  | Tagged of { iv : Ival.t; src : int; src_total : int }
+
+and desc = {
+  node : int;
+  depth : int;
+  lo : int;  (* half-open cover interval [lo, hi) *)
+  hi : int;
+  mid : int;  (* route left iff q < mid (internal nodes only) *)
+  left : int;  (* child node idx, -1 if leaf *)
+  right : int;
+  is_hop : bool;  (* carries a path cache: block root or leaf *)
+  cl_len : int;
+  cl : cell Blocked_list.t;  (* cover-list, sorted by lo *)
+  cache : cell Blocked_list.t;  (* Tagged first-page copies (hops only) *)
+  locals : cell Blocked_list.t;  (* leaf-local intervals, sorted by lo *)
+}
+
+type t = {
+  mode : mode;
+  pager : cell Pager.t;
+  layout : Skeletal_layout.t option;  (* None iff empty *)
+  block_pages : int array;
+  size : int;
+  height : int;
+  total_allocations : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* In-memory blueprint node. *)
+type bnode = {
+  b_idx : int;
+  b_depth : int;
+  b_lo : int;
+  b_hi : int;
+  b_mid : int;
+  b_left : bnode option;
+  b_right : bnode option;
+  mutable b_cl : Ival.t list;
+  mutable b_locals : Ival.t list;
+}
+
+(* Group the elementary-interval boundaries B per leaf (so the base tree
+   has O(n/B) leaves — the paper's "leaf nodes of the skeletal tree"),
+   then raise a balanced binary tree. *)
+let build_tree ~b ivs =
+  let boundaries =
+    List.concat_map (fun iv -> [ Ival.lo iv; Ival.hi iv + 1 ]) ivs
+    |> List.sort_uniq compare |> Array.of_list
+  in
+  let nb = Array.length boundaries in
+  let nleaves = max 1 (Num_util.ceil_div nb b) in
+  let start i =
+    if i <= 0 then min_int
+    else if i >= nleaves then max_int
+    else boundaries.(i * b)
+  in
+  let counter = ref 0 in
+  let rec make lo_leaf hi_leaf depth =
+    (* subtree over leaves [lo_leaf, hi_leaf) *)
+    let idx = !counter in
+    incr counter;
+    if hi_leaf - lo_leaf = 1 then
+      {
+        b_idx = idx;
+        b_depth = depth;
+        b_lo = start lo_leaf;
+        b_hi = start (lo_leaf + 1);
+        b_mid = start lo_leaf;
+        b_left = None;
+        b_right = None;
+        b_cl = [];
+        b_locals = [];
+      }
+    else begin
+      let mid_leaf = (lo_leaf + hi_leaf) / 2 in
+      let l = make lo_leaf mid_leaf (depth + 1) in
+      let r = make mid_leaf hi_leaf (depth + 1) in
+      {
+        b_idx = idx;
+        b_depth = depth;
+        b_lo = l.b_lo;
+        b_hi = r.b_hi;
+        b_mid = r.b_lo;
+        b_left = Some l;
+        b_right = Some r;
+        b_cl = [];
+        b_locals = [];
+      }
+    end
+  in
+  let root = make 0 nleaves 0 in
+  (root, !counter)
+
+(* Standard segment-tree allocation over the grouped tree: an interval is
+   stored at every maximal node its point-range covers; the pieces that
+   end inside a leaf's range go to that leaf's local list. *)
+let allocate root iv =
+  let ilo = Ival.lo iv and ihi1 = Ival.hi iv + 1 in
+  let covers n = ilo <= n.b_lo && n.b_hi <= ihi1 in
+  let overlaps n = ilo < n.b_hi && n.b_lo < ihi1 in
+  let rec go n =
+    if covers n then n.b_cl <- iv :: n.b_cl
+    else begin
+      match (n.b_left, n.b_right) with
+      | None, None -> n.b_locals <- iv :: n.b_locals
+      | l, r ->
+          (match l with Some l when overlaps l -> go l | _ -> ());
+          (match r with Some r when overlaps r -> go r | _ -> ())
+    end
+  in
+  if overlaps root then go root
+
+let create ?(cache_capacity = 0) ~mode ~b ivs =
+  if b < 2 then invalid_arg "Ext_seg.create: b < 2";
+  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  match ivs with
+  | [] ->
+      {
+        mode;
+        pager;
+        layout = None;
+        block_pages = [||];
+        size = 0;
+        height = 0;
+        total_allocations = 0;
+      }
+  | _ ->
+      let root, num_nodes = build_tree ~b ivs in
+      List.iter (allocate root) ivs;
+      let nodes = Array.make num_nodes root in
+      let rec index n =
+        nodes.(n.b_idx) <- n;
+        Option.iter index n.b_left;
+        Option.iter index n.b_right
+      in
+      index root;
+      let child side i =
+        let n = nodes.(i) in
+        Option.map
+          (fun c -> c.b_idx)
+          (match side with `L -> n.b_left | `R -> n.b_right)
+      in
+      let block_height = max 1 (Num_util.ilog2 (b + 1)) in
+      let layout =
+        Skeletal_layout.compute ~num_nodes ~root:0 ~left:(child `L)
+          ~right:(child `R) ~block_height
+      in
+      let total_allocations = ref 0 in
+      let descs = Array.make num_nodes None in
+      (* DFS with the ancestor path to assemble hop caches: a leaf's cache
+         covers the path nodes of its own block (itself included); a block
+         root's cache covers the path nodes of its parent's block. Those
+         windows tile every root-to-leaf path exactly once. *)
+      let first_cl_entries (u : bnode) =
+        let sorted = List.sort Ival.compare_lo u.b_cl in
+        let k = min b (List.length sorted) in
+        List.map
+          (fun iv -> (iv, u.b_idx, k))
+          (Pc_util.Blocked.take k sorted)
+      in
+      let rec visit n path =
+        (* [path]: ancestors, innermost first. *)
+        let is_leaf = n.b_left = None && n.b_right = None in
+        let is_block_root =
+          match path with
+          | [] -> true
+          | parent :: _ ->
+              not (Skeletal_layout.same_block layout n.b_idx parent.b_idx)
+        in
+        let window =
+          (if is_leaf then
+             n
+             :: List.filter
+                  (fun u -> Skeletal_layout.same_block layout u.b_idx n.b_idx)
+                  path
+           else [])
+          @
+          match (is_block_root, path) with
+          | true, parent :: _ ->
+              List.filter
+                (fun u ->
+                  Skeletal_layout.same_block layout u.b_idx parent.b_idx)
+                path
+          | _ -> []
+        in
+        let window = if mode = Cached then window else [] in
+        let cache_entries =
+          List.concat_map first_cl_entries window
+          |> List.map (fun (iv, src, src_total) -> Tagged { iv; src; src_total })
+        in
+        let cl_sorted = List.sort Ival.compare_lo n.b_cl in
+        let locals_sorted = List.sort Ival.compare_lo n.b_locals in
+        total_allocations := !total_allocations + List.length n.b_cl;
+        descs.(n.b_idx) <-
+          Some
+            {
+              node = n.b_idx;
+              depth = n.b_depth;
+              lo = n.b_lo;
+              hi = n.b_hi;
+              mid = n.b_mid;
+              left = (match n.b_left with Some c -> c.b_idx | None -> -1);
+              right = (match n.b_right with Some c -> c.b_idx | None -> -1);
+              is_hop = is_leaf || is_block_root;
+              cl_len = List.length cl_sorted;
+              cl = Blocked_list.store pager (List.map (fun iv -> Iv iv) cl_sorted);
+              cache = Blocked_list.store pager cache_entries;
+              locals =
+                Blocked_list.store pager
+                  (List.map (fun iv -> Iv iv) locals_sorted);
+            };
+        Option.iter (fun c -> visit c (n :: path)) n.b_left;
+        Option.iter (fun c -> visit c (n :: path)) n.b_right
+      in
+      visit root [];
+      let block_pages =
+        Array.init (Skeletal_layout.num_blocks layout) (fun blk ->
+            Skeletal_layout.nodes_in layout blk
+            |> List.map (fun i ->
+                   match descs.(i) with Some d -> Desc d | None -> assert false)
+            |> Array.of_list |> Pager.alloc pager)
+      in
+      let rec height n =
+        1
+        + max
+            (match n.b_left with Some c -> height c | None -> 0)
+            (match n.b_right with Some c -> height c | None -> 0)
+      in
+      {
+        mode;
+        pager;
+        layout = Some layout;
+        block_pages;
+        size = List.length ivs;
+        height = height root;
+        total_allocations = !total_allocations;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cell_ival = function
+  | Iv iv -> iv
+  | Tagged { iv; _ } -> iv
+  | Desc _ -> invalid_arg "Ext_seg: descriptor cell in an interval list"
+
+let get_desc t ~stats ~blocks layout node =
+  let page = t.block_pages.(Skeletal_layout.block_of layout node) in
+  let descs =
+    match Hashtbl.find_opt blocks page with
+    | Some ds -> ds
+    | None ->
+        let cells = Pager.read t.pager page in
+        stats.Query_stats.skeletal_reads <-
+          stats.Query_stats.skeletal_reads + 1;
+        let ds =
+          Array.to_list cells
+          |> List.filter_map (function Desc d -> Some d | _ -> None)
+        in
+        Hashtbl.add blocks page ds;
+        ds
+  in
+  match List.find_opt (fun d -> d.node = node) descs with
+  | Some d -> d
+  | None -> invalid_arg "Ext_seg: descriptor missing from block"
+
+let scan t ~stats ~kind ?(from = 0) list ~keep =
+  let cells, reads =
+    Blocked_list.scan_prefix_from t.pager list ~from ~keep:(fun c ->
+        keep (cell_ival c))
+  in
+  (match kind with
+  | `Data -> stats.Query_stats.data_reads <- stats.Query_stats.data_reads + reads
+  | `Cache ->
+      stats.Query_stats.cache_reads <- stats.Query_stats.cache_reads + reads);
+  (cells, reads)
+
+let stab t q =
+  let stats = Query_stats.create () in
+  match t.layout with
+  | None -> ([], stats)
+  | Some layout ->
+      let blocks = Hashtbl.create 16 in
+      let get = get_desc t ~stats ~blocks layout in
+      let out = ref [] in
+      let add ivs = out := List.rev_append ivs !out in
+      let b = Pager.page_capacity t.pager in
+      let note_waste reads kept =
+        (* A read is wasteful unless it returned a full page of results
+           (paper §2: "ones that return fewer than B intervals"). *)
+        stats.wasteful_reads <- stats.wasteful_reads + max 0 (reads - (kept / b))
+      in
+      (* Descend to the leaf whose cover contains q. *)
+      let rec descend acc d =
+        let acc = d :: acc in
+        if d.left < 0 then List.rev acc
+        else if q < d.mid then descend acc (get d.left)
+        else descend acc (get d.right)
+      in
+      let path = descend [] (get 0) in
+      let by_idx = Hashtbl.create 16 in
+      List.iter (fun d -> Hashtbl.replace by_idx d.node d) path;
+      (match t.mode with
+      | Naive ->
+          (* Read every path node's cover-list directly: every interval in
+             it contains q, but underfull lists make the read wasteful. *)
+          List.iter
+            (fun d ->
+              let cells, reads = scan t ~stats ~kind:`Data d.cl ~keep:(fun _ -> true) in
+              note_waste reads (List.length cells);
+              add (List.map cell_ival cells))
+            path
+      | Cached ->
+          (* Read each hop's coalesced cache, then continue into the tail
+             of any cover-list whose first page the cache held whole. *)
+          List.iter
+            (fun d ->
+              if d.is_hop then begin
+                let cells, reads =
+                  scan t ~stats ~kind:`Cache d.cache ~keep:(fun _ -> true)
+                in
+                note_waste reads (List.length cells);
+                let continuations = Hashtbl.create 4 in
+                List.iter
+                  (function
+                    | Tagged { iv; src; src_total } ->
+                        add [ iv ];
+                        if src_total = b && not (Hashtbl.mem continuations src)
+                        then Hashtbl.add continuations src ()
+                    | Iv _ | Desc _ ->
+                        invalid_arg "Ext_seg: untagged cache cell")
+                  cells;
+                Hashtbl.iter
+                  (fun src () ->
+                    let u = Hashtbl.find by_idx src in
+                    let cells, reads =
+                      scan t ~stats ~kind:`Data ~from:1 u.cl ~keep:(fun _ ->
+                          true)
+                    in
+                    note_waste reads (List.length cells);
+                    add (List.map cell_ival cells))
+                  continuations
+              end)
+            path);
+      (* Leaf locals: intervals confined to the leaf's range, sorted by
+         left endpoint so the candidates form a prefix. *)
+      (match List.rev path with
+      | leaf :: _ ->
+          let cells, reads =
+            scan t ~stats ~kind:`Data leaf.locals ~keep:(fun iv ->
+                Ival.lo iv <= q)
+          in
+          let hits =
+            List.map cell_ival cells |> List.filter (fun iv -> Ival.contains iv q)
+          in
+          note_waste reads (List.length hits);
+          add hits
+      | [] -> ());
+      let raw = !out in
+      stats.reported_raw <- List.length raw;
+      (Ival.dedup_by_id raw, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mode t = t.mode
+let size t = t.size
+let page_size t = Pager.page_capacity t.pager
+let height t = t.height
+let stab_count t q = List.length (fst (stab t q))
+let storage_pages t = Pager.pages_in_use t.pager
+let io_stats t = Pager.stats t.pager
+let reset_io_stats t = Pager.reset_stats t.pager
+let total_allocations t = t.total_allocations

@@ -1,0 +1,54 @@
+(** External segment tree with path caching (paper §2, Theorem 3.4).
+
+    Answers stabbing queries — report all intervals containing a point —
+    over a simulated disk of page size [B].
+
+    Layout: the interval endpoints are grouped [B] per leaf, so the base
+    tree has [O(n/B)] leaves; intervals falling inside a single leaf's
+    range live in that leaf's local page, the rest are allocated to
+    cover-lists exactly as in the in-core segment tree. The tree is packed
+    into skeletal blocks of height [log2 B] (Figure 2), and each block
+    root / leaf carries a path cache coalescing the first cover-list page
+    of every node in the previous / its own block's path segment
+    (Figure 3), tagged by source so a query can continue into long
+    cover-lists it has fully consumed.
+
+    - {!Cached} (Theorem 3.4): [O(log_B n + t/B)] query I/Os,
+      [O((n/B) log2 n)] pages.
+    - {!Naive}: same layout without caches — every path node's cover-list
+      is read directly, [O(log2 n + t/B)] query I/Os, the baseline the
+      theorem improves on ([BlGb]).
+
+    The paper assumes intervals share no endpoints; shared endpoints are
+    supported but may make leaf-local lists longer than one page, adding
+    the corresponding scan I/Os. *)
+
+open Pc_util
+
+type mode = Naive | Cached
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type t
+
+(** [create ~mode ~b ivs] builds the structure on its own simulated disk
+    with page capacity [b] (requires [b >= 2]). *)
+val create : ?cache_capacity:int -> mode:mode -> b:int -> Ival.t list -> t
+
+val mode : t -> mode
+val size : t -> int
+val page_size : t -> int
+val height : t -> int
+
+(** [stab t q] reports all intervals containing [q] (id-deduplicated),
+    with the per-query I/O breakdown. *)
+val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
+
+val stab_count : t -> int -> int
+val storage_pages : t -> int
+val io_stats : t -> Pc_pagestore.Io_stats.t
+val reset_io_stats : t -> unit
+
+(** [total_allocations t] is the summed cover-list length — the
+    [O(n log n)] replication the theorem's space bound tracks. *)
+val total_allocations : t -> int

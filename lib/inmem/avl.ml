@@ -1,0 +1,175 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type elt = Ord.t
+  type t = Leaf | Node of { l : t; v : elt; r : t; h : int; n : int }
+
+  let empty = Leaf
+  let is_empty t = t = Leaf
+  let height = function Leaf -> 0 | Node { h; _ } -> h
+  let cardinal = function Leaf -> 0 | Node { n; _ } -> n
+
+  let node l v r =
+    Node
+      {
+        l;
+        v;
+        r;
+        h = 1 + max (height l) (height r);
+        n = 1 + cardinal l + cardinal r;
+      }
+
+  (* Standard AVL rebalancing: [balance l v r] assumes [l] and [r] are
+     valid AVL trees whose heights differ by at most 2. *)
+  let balance l v r =
+    let hl = height l and hr = height r in
+    if hl > hr + 1 then
+      match l with
+      | Node { l = ll; v = lv; r = lr; _ } ->
+          if height ll >= height lr then node ll lv (node lr v r)
+          else begin
+            match lr with
+            | Node { l = lrl; v = lrv; r = lrr; _ } ->
+                node (node ll lv lrl) lrv (node lrr v r)
+            | Leaf -> assert false
+          end
+      | Leaf -> assert false
+    else if hr > hl + 1 then
+      match r with
+      | Node { l = rl; v = rv; r = rr; _ } ->
+          if height rr >= height rl then node (node l v rl) rv rr
+          else begin
+            match rl with
+            | Node { l = rll; v = rlv; r = rlr; _ } ->
+                node (node l v rll) rlv (node rlr rv rr)
+            | Leaf -> assert false
+          end
+      | Leaf -> assert false
+    else node l v r
+
+  let rec mem x = function
+    | Leaf -> false
+    | Node { l; v; r; _ } ->
+        let c = Ord.compare x v in
+        if c = 0 then true else if c < 0 then mem x l else mem x r
+
+  let rec add x = function
+    | Leaf -> node Leaf x Leaf
+    | Node { l; v; r; _ } as t ->
+        let c = Ord.compare x v in
+        if c = 0 then t
+        else if c < 0 then balance (add x l) v r
+        else balance l v (add x r)
+
+  let rec min_binding = function
+    | Leaf -> None
+    | Node { l = Leaf; v; _ } -> Some v
+    | Node { l; _ } -> min_binding l
+
+  let rec remove_min = function
+    | Leaf -> Leaf
+    | Node { l = Leaf; r; _ } -> r
+    | Node { l; v; r; _ } -> balance (remove_min l) v r
+
+  let rec remove x = function
+    | Leaf -> Leaf
+    | Node { l; v; r; _ } ->
+        let c = Ord.compare x v in
+        if c < 0 then balance (remove x l) v r
+        else if c > 0 then balance l v (remove x r)
+        else begin
+          match min_binding r with
+          | None -> l
+          | Some succ -> balance l succ (remove_min r)
+        end
+
+  let to_list t =
+    let rec loop acc = function
+      | Leaf -> acc
+      | Node { l; v; r; _ } -> loop (v :: loop acc r) l
+    in
+    loop [] t
+
+  let of_list xs = List.fold_left (fun t x -> add x t) empty xs
+  let min_elt = min_binding
+
+  let rec max_elt = function
+    | Leaf -> None
+    | Node { r = Leaf; v; _ } -> Some v
+    | Node { r; _ } -> max_elt r
+
+  let rec nth t i =
+    match t with
+    | Leaf -> None
+    | Node { l; v; r; _ } ->
+        let nl = cardinal l in
+        if i < nl then nth l i else if i = nl then Some v else nth r (i - nl - 1)
+
+  let rec rank x = function
+    | Leaf -> 0
+    | Node { l; v; r; _ } ->
+        let c = Ord.compare x v in
+        if c <= 0 then rank x l else cardinal l + 1 + rank x r
+
+  let range t ~lo ~hi =
+    let rec loop acc = function
+      | Leaf -> acc
+      | Node { l; v; r; _ } ->
+          let cl = Ord.compare lo v and ch = Ord.compare v hi in
+          let acc = if ch < 0 then loop acc r else acc in
+          let acc = if cl <= 0 && ch <= 0 then v :: acc else acc in
+          if cl < 0 then loop acc l else acc
+    in
+    loop [] t
+
+  let floor t x =
+    let rec loop best = function
+      | Leaf -> best
+      | Node { l; v; r; _ } ->
+          let c = Ord.compare v x in
+          if c = 0 then Some v
+          else if c < 0 then loop (Some v) r
+          else loop best l
+    in
+    loop None t
+
+  let ceiling t x =
+    let rec loop best = function
+      | Leaf -> best
+      | Node { l; v; r; _ } ->
+          let c = Ord.compare v x in
+          if c = 0 then Some v
+          else if c > 0 then loop (Some v) l
+          else loop best r
+    in
+    loop None t
+
+  let check_invariants t =
+    (* Returns (height, size, min, max) while validating every cached
+       field and the AVL balance condition. *)
+    let rec check = function
+      | Leaf -> (0, 0, None, None)
+      | Node { l; v; r; h; n } ->
+          let hl, nl, minl, maxl = check l in
+          let hr, nr, minr, maxr = check r in
+          if h <> 1 + max hl hr then failwith "Avl: bad cached height";
+          if n <> 1 + nl + nr then failwith "Avl: bad cached size";
+          if abs (hl - hr) > 1 then failwith "Avl: unbalanced";
+          (match maxl with
+          | Some m when Ord.compare m v >= 0 ->
+              failwith "Avl: order violation (left)"
+          | _ -> ());
+          (match minr with
+          | Some m when Ord.compare v m >= 0 ->
+              failwith "Avl: order violation (right)"
+          | _ -> ());
+          let minv = match minl with Some _ -> minl | None -> Some v in
+          let maxv = match maxr with Some _ -> maxr | None -> Some v in
+          (h, n, minv, maxv)
+    in
+    ignore (check t)
+end

@@ -1,0 +1,54 @@
+(** Height-balanced binary search trees (AVL), as a functor over a total
+    order.
+
+    The balanced BST is the skeleton shared by every structure in the
+    paper: segment trees, interval trees and priority search trees are all
+    "a balanced search tree plus per-node secondary data". This
+    implementation is a persistent set with order statistics; the
+    in-memory oracles and several builders use it. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type elt = Ord.t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val remove : elt -> t -> t
+  val cardinal : t -> int
+  val height : t -> int
+  val to_list : t -> elt list
+
+  (** [of_list xs] builds the set; duplicates (under [Ord.compare]) are
+      kept once. *)
+  val of_list : elt list -> t
+
+  val min_elt : t -> elt option
+  val max_elt : t -> elt option
+
+  (** [nth t i] is the [i]-th smallest element (0-based). *)
+  val nth : t -> int -> elt option
+
+  (** [rank x t] is the number of elements strictly smaller than [x]. *)
+  val rank : elt -> t -> int
+
+  (** [range t ~lo ~hi] lists elements [e] with [lo <= e <= hi] in order. *)
+  val range : t -> lo:elt -> hi:elt -> elt list
+
+  (** [floor t x] is the largest element [<= x]. *)
+  val floor : t -> elt -> elt option
+
+  (** [ceiling t x] is the smallest element [>= x]. *)
+  val ceiling : t -> elt -> elt option
+
+  (** [check_invariants t] verifies BST order, AVL balance and cached
+      sizes; raises [Failure] on violation. For tests. *)
+  val check_invariants : t -> unit
+end

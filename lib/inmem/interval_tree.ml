@@ -1,0 +1,118 @@
+open Pc_util
+
+type node = {
+  key : int;
+  level : int;
+  index : int;
+  mutable by_lo : Ival.t list;
+  mutable by_hi_desc : Ival.t list;
+  left : node option;
+  right : node option;
+}
+
+type t = { root : node option; size : int; num_nodes : int }
+
+let build ivs =
+  let counter = ref 0 in
+  let next_index () =
+    let i = !counter in
+    incr counter;
+    i
+  in
+  let endpoints = Array.of_list (Ival.endpoints ivs) in
+  (* Recursive construction over an endpoint range and the intervals that
+     fall entirely inside it. *)
+  let rec make lo_i hi_i ivs level =
+    if lo_i > hi_i then begin
+      assert (ivs = []);
+      None
+    end
+    else begin
+      let mid_i = (lo_i + hi_i) / 2 in
+      let key = endpoints.(mid_i) in
+      let here, rest = List.partition (fun iv -> Ival.contains iv key) ivs in
+      let lefts, rights = List.partition (fun iv -> Ival.hi iv < key) rest in
+      let index = next_index () in
+      let left = make lo_i (mid_i - 1) lefts (level + 1) in
+      let right = make (mid_i + 1) hi_i rights (level + 1) in
+      Some
+        {
+          key;
+          level;
+          index;
+          by_lo = List.sort Ival.compare_lo here;
+          by_hi_desc = List.sort Ival.compare_hi_desc here;
+          left;
+          right;
+        }
+    end
+  in
+  let root = make 0 (Array.length endpoints - 1) ivs 0 in
+  { root; size = List.length ivs; num_nodes = !counter }
+
+let root t = t.root
+let size t = t.size
+let num_nodes t = t.num_nodes
+
+let height t =
+  let rec h = function
+    | None -> 0
+    | Some n -> 1 + max (h n.left) (h n.right)
+  in
+  h t.root
+
+let path_to t q =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n ->
+        let acc = n :: acc in
+        if q < n.key then walk acc n.left
+        else if q > n.key then walk acc n.right
+        else List.rev acc
+  in
+  walk [] t.root
+
+let stab t q =
+  let report (n : node) =
+    if q <= n.key then
+      (* Every interval here has [hi >= key >= q]; the hits are the
+         prefix with [lo <= q]. *)
+      fst (Blocked.prefix_while (fun iv -> Ival.lo iv <= q) n.by_lo)
+    else fst (Blocked.prefix_while (fun iv -> Ival.hi iv >= q) n.by_hi_desc)
+  in
+  path_to t q |> List.concat_map report
+
+let iter_nodes f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n;
+        go n.left;
+        go n.right
+  in
+  go t.root
+
+let check_invariants t =
+  let fail msg = failwith ("Interval_tree: " ^ msg) in
+  let rec sorted cmp = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted cmp rest
+  in
+  let rec go lo hi = function
+    | None -> ()
+    | Some n ->
+        if n.key < lo || n.key > hi then fail "BST order violation";
+        List.iter
+          (fun iv ->
+            if not (Ival.contains iv n.key) then
+              fail "interval does not straddle node key")
+          n.by_lo;
+        if not (sorted Ival.compare_lo n.by_lo) then fail "by_lo unsorted";
+        if not (sorted Ival.compare_hi_desc n.by_hi_desc) then
+          fail "by_hi_desc unsorted";
+        let ids l = List.map Ival.id l |> List.sort compare in
+        if ids n.by_lo <> ids n.by_hi_desc then fail "list contents differ";
+        go lo (n.key - 1) n.left;
+        go (n.key + 1) hi n.right
+  in
+  go min_int max_int t.root

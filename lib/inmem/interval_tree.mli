@@ -1,0 +1,48 @@
+(** Internal-memory interval tree ([Edea, Edeb]).
+
+    A balanced BST over interval endpoints; every input interval is stored
+    at exactly one node — the highest node whose key (midpoint) it
+    contains — in two sorted lists: by increasing left endpoint and by
+    decreasing right endpoint. A stabbing query for [q] walks the
+    root-to-leaf search path of [q]; at a node with key [m], if [q <= m]
+    the query result within that node is a prefix of the left-sorted list
+    (intervals with [lo <= q]), otherwise a prefix of the right-sorted
+    list (intervals with [hi >= q]). [O(log n + t)] query, [O(n)] space —
+    each interval stored once, unlike the segment tree.
+
+    The node structure is exposed for reuse by the external interval tree
+    of Theorem 3.5 ({!Pc_extint}). *)
+
+open Pc_util
+
+type node = {
+  key : int;  (** the midpoint endpoint this node discriminates on *)
+  level : int;
+  index : int;  (** dense id *)
+  mutable by_lo : Ival.t list;  (** node's intervals, increasing [lo] *)
+  mutable by_hi_desc : Ival.t list;  (** same intervals, decreasing [hi] *)
+  left : node option;
+  right : node option;
+}
+
+type t
+
+val build : Ival.t list -> t
+val root : t -> node option
+val size : t -> int
+val num_nodes : t -> int
+val height : t -> int
+
+(** [stab t q] reports all intervals containing [q]. *)
+val stab : t -> int -> Ival.t list
+
+(** [path_to t q] is the search path of [q] (top-down). The path ends when
+    a node with no further child in [q]'s direction is reached. *)
+val path_to : t -> int -> node list
+
+val iter_nodes : (node -> unit) -> t -> unit
+
+(** [check_invariants t] validates: BST order on keys, each interval
+    straddles its node's key, list sortedness, and that both lists of a
+    node hold the same interval set. *)
+val check_invariants : t -> unit

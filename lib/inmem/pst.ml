@@ -1,0 +1,96 @@
+open Pc_util
+
+type node = {
+  point : Point.t;  (* the max-y point of this subtree's point set *)
+  split : int;  (* left points have x <= split, right points x >= split *)
+  left : t;
+  right : t;
+}
+
+and t = Leaf | Node of node
+
+(* Build by extracting the max-y point and splitting the rest at the
+   median x. Ties on x may land on either side of the split, so both
+   subtrees satisfy the weak invariant documented on [split]. *)
+let build pts =
+  let rec build_seg = function
+    | [] -> Leaf
+    | pts ->
+        let top =
+          List.fold_left
+            (fun best p -> if Point.compare_yx p best > 0 then p else best)
+            (List.hd pts) pts
+        in
+        let rest = List.filter (fun p -> p.Point.id <> top.Point.id) pts in
+        let n = List.length rest in
+        if n = 0 then
+          Node { point = top; split = top.Point.x; left = Leaf; right = Leaf }
+        else begin
+          let sorted = List.sort Point.compare_xy rest in
+          let k = (n - 1) / 2 in
+          let median = List.nth sorted k in
+          let lefts = Blocked.take (k + 1) sorted in
+          let rights = Blocked.drop (k + 1) sorted in
+          Node
+            {
+              point = top;
+              split = median.Point.x;
+              left = build_seg lefts;
+              right = build_seg rights;
+            }
+        end
+  in
+  build_seg pts
+
+let rec size = function Leaf -> 0 | Node n -> 1 + size n.left + size n.right
+let is_empty t = t = Leaf
+
+let rec height = function
+  | Leaf -> 0
+  | Node n -> 1 + max (height n.left) (height n.right)
+
+let query_3sided t ~xl ~xr ~yb =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf -> ()
+    | Node n ->
+        (* The y-heap property prunes whole subtrees below [yb]; the split
+           key prunes subtrees outside [xl, xr]. *)
+        if n.point.Point.y >= yb then begin
+          if n.point.Point.x >= xl && n.point.Point.x <= xr then
+            acc := n.point :: !acc;
+          if xl <= n.split then go n.left;
+          if xr >= n.split then go n.right
+        end
+  in
+  go t;
+  !acc
+
+let query_2sided t ~xl ~yb = query_3sided t ~xl ~xr:max_int ~yb
+
+let max_y = function Leaf -> None | Node n -> Some n.point.Point.y
+
+let rec to_list = function
+  | Leaf -> []
+  | Node n -> (n.point :: to_list n.left) @ to_list n.right
+
+let check_invariants t =
+  let rec check = function
+    | Leaf -> ()
+    | Node n ->
+        List.iter
+          (fun (p : Point.t) ->
+            if p.y > n.point.Point.y then failwith "Pst: heap violation")
+          (to_list n.left @ to_list n.right);
+        List.iter
+          (fun (p : Point.t) ->
+            if p.x > n.split then failwith "Pst: split violation (left)")
+          (to_list n.left);
+        List.iter
+          (fun (p : Point.t) ->
+            if p.x < n.split then failwith "Pst: split violation (right)")
+          (to_list n.right);
+        check n.left;
+        check n.right
+  in
+  check t

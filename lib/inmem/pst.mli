@@ -1,0 +1,40 @@
+(** McCreight's priority search tree (static, internal memory).
+
+    A max-PST over planar points: the root stores the point with the
+    largest [y]; the remaining points are split at the median [x] between
+    the two subtrees. Answers 3-sided queries
+    [{(x,y) : xl <= x <= xr, y >= yb}] in [O(log n + t)] and 2-sided
+    (quadrant) queries as the special case [xr = +inf].
+
+    This is the in-core structure that path caching externalises in
+    Sections 3-4 of the paper; here it doubles as the semantic oracle for
+    the external versions and as the region-level structure used by tests. *)
+
+open Pc_util
+
+type t
+
+val build : Point.t list -> t
+val size : t -> int
+val is_empty : t -> bool
+
+(** [height t] is the tree height (0 for empty). *)
+val height : t -> int
+
+(** [query_3sided t ~xl ~xr ~yb] reports all points in
+    [[xl, xr] x [yb, +inf)]. *)
+val query_3sided : t -> xl:int -> xr:int -> yb:int -> Point.t list
+
+(** [query_2sided t ~xl ~yb] reports all points in
+    [[xl, +inf) x [yb, +inf)]. *)
+val query_2sided : t -> xl:int -> yb:int -> Point.t list
+
+(** [max_y t] is the maximum y coordinate stored, if any. *)
+val max_y : t -> int option
+
+(** [to_list t] lists all points (unspecified order). *)
+val to_list : t -> Point.t list
+
+(** [check_invariants t] verifies the heap-on-y and split-on-x invariants;
+    raises [Failure] on violation. For tests. *)
+val check_invariants : t -> unit

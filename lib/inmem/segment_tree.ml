@@ -1,0 +1,154 @@
+open Pc_util
+
+type node = {
+  cover_lo : int;
+  cover_hi : int;
+  level : int;
+  index : int;
+  mutable cover_list : Ival.t list;
+  left : node option;
+  right : node option;
+}
+
+type t = { root : node option; size : int; num_nodes : int }
+
+(* A closed integer interval [lo, hi] covers the half-open point range
+   [lo, hi+1); elementary intervals are delimited by the sorted distinct
+   boundary values {lo} ∪ {hi+1}, with min_int / max_int sentinels so any
+   query point lies in exactly one leaf. *)
+let boundaries ivs =
+  let bs = List.concat_map (fun iv -> [ Ival.lo iv; Ival.hi iv + 1 ]) ivs in
+  List.sort_uniq compare bs
+
+let build ivs =
+  let counter = ref 0 in
+  let next_index () =
+    let i = !counter in
+    incr counter;
+    i
+  in
+  let bs = Array.of_list (boundaries ivs) in
+  let k = Array.length bs in
+  (* Leaf i covers [edge i, edge (i+1)) over edges
+     min_int, bs.(0), ..., bs.(k-1), max_int. *)
+  let edge i = if i = 0 then min_int else if i > k then max_int else bs.(i - 1) in
+  let nleaves = k + 1 in
+  let rec make lo_leaf hi_leaf level =
+    (* Builds the subtree over leaves [lo_leaf, hi_leaf). *)
+    if hi_leaf - lo_leaf = 1 then
+      {
+        cover_lo = edge lo_leaf;
+        cover_hi = edge (lo_leaf + 1);
+        level;
+        index = next_index ();
+        cover_list = [];
+        left = None;
+        right = None;
+      }
+    else begin
+      let index = next_index () in
+      let mid = (lo_leaf + hi_leaf) / 2 in
+      let l = make lo_leaf mid (level + 1) in
+      let r = make mid hi_leaf (level + 1) in
+      {
+        cover_lo = l.cover_lo;
+        cover_hi = r.cover_hi;
+        level;
+        index;
+        cover_list = [];
+        left = Some l;
+        right = Some r;
+      }
+    end
+  in
+  let root = if nleaves = 0 then None else Some (make 0 nleaves 0) in
+  (* Allocation: an interval is stored at every maximal node whose cover
+     it contains. *)
+  let covers_node iv n = Ival.lo iv <= n.cover_lo && n.cover_hi <= Ival.hi iv + 1 in
+  let overlaps_node iv n =
+    Ival.lo iv < n.cover_hi && n.cover_lo < Ival.hi iv + 1
+  in
+  let rec allocate iv n =
+    if covers_node iv n then n.cover_list <- iv :: n.cover_list
+    else begin
+      (match n.left with
+      | Some l when overlaps_node iv l -> allocate iv l
+      | _ -> ());
+      match n.right with
+      | Some r when overlaps_node iv r -> allocate iv r
+      | _ -> ()
+    end
+  in
+  (match root with
+  | Some r -> List.iter (fun iv -> allocate iv r) ivs
+  | None -> ());
+  { root; size = List.length ivs; num_nodes = !counter }
+
+let root t = t.root
+let size t = t.size
+let num_nodes t = t.num_nodes
+
+let height t =
+  let rec h n =
+    1
+    + max
+        (match n.left with Some l -> h l | None -> 0)
+        (match n.right with Some r -> h r | None -> 0)
+  in
+  match t.root with Some r -> h r | None -> 0
+
+let contains_point n q = n.cover_lo <= q && q < n.cover_hi
+
+let path_to t q =
+  let rec walk acc n =
+    let acc = n :: acc in
+    match (n.left, n.right) with
+    | Some l, _ when contains_point l q -> walk acc l
+    | _, Some r when contains_point r q -> walk acc r
+    | _ -> List.rev acc
+  in
+  match t.root with
+  | Some r when contains_point r q -> walk [] r
+  | _ -> []
+
+let stab t q = path_to t q |> List.concat_map (fun n -> n.cover_list)
+
+let iter_nodes f t =
+  let rec go n =
+    f n;
+    (match n.left with Some l -> go l | None -> ());
+    match n.right with Some r -> go r | None -> ()
+  in
+  match t.root with Some r -> go r | None -> ()
+
+let total_allocations t =
+  let acc = ref 0 in
+  iter_nodes (fun n -> acc := !acc + List.length n.cover_list) t;
+  !acc
+
+let check_invariants t =
+  let fail msg = failwith ("Segment_tree: " ^ msg) in
+  let check_node parent n =
+    if n.cover_lo >= n.cover_hi then fail "empty cover interval";
+    (match parent with
+    | Some p ->
+        if n.cover_lo < p.cover_lo || n.cover_hi > p.cover_hi then
+          fail "child cover escapes parent"
+    | None -> ());
+    List.iter
+      (fun iv ->
+        if not (Ival.lo iv <= n.cover_lo && n.cover_hi <= Ival.hi iv + 1) then
+          fail "allocated interval does not cover node";
+        match parent with
+        | Some p ->
+            if Ival.lo iv <= p.cover_lo && p.cover_hi <= Ival.hi iv + 1 then
+              fail "interval should have been allocated higher"
+        | None -> ())
+      n.cover_list
+  in
+  let rec go parent n =
+    check_node parent n;
+    (match n.left with Some l -> go (Some n) l | None -> ());
+    match n.right with Some r -> go (Some n) r | None -> ()
+  in
+  match t.root with Some r -> go None r | None -> ()

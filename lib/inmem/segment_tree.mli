@@ -1,0 +1,55 @@
+(** Internal-memory segment tree over a set of intervals ([Ben]).
+
+    A binary search tree over the interval endpoints; every node carries a
+    half-open cover-interval and a cover-list [CL(x)] of input intervals
+    allocated to it (an interval is allocated to the highest nodes whose
+    cover-interval it contains but whose parent's it does not). Stabbing
+    queries walk the root-to-leaf path of the query point and report the
+    union of the cover-lists on the path — [O(log n + t)] time,
+    [O(n log n)] space.
+
+    The node structure is exposed: the external segment tree of Section 2
+    ({!Pc_extseg}) is built by blocking exactly this tree. *)
+
+open Pc_util
+
+type node = {
+  cover_lo : int;  (** inclusive left end of the cover-interval *)
+  cover_hi : int;  (** exclusive right end; [max_int] means unbounded *)
+  level : int;  (** depth, root = 0 *)
+  index : int;  (** dense preorder id, usable as an array index *)
+  mutable cover_list : Ival.t list;  (** intervals allocated here *)
+  left : node option;
+  right : node option;
+}
+
+type t
+
+(** [build ivs] constructs the tree. Endpoints need not be distinct. *)
+val build : Ival.t list -> t
+
+val root : t -> node option
+val size : t -> int
+
+(** [num_nodes t] counts tree nodes. *)
+val num_nodes : t -> int
+
+val height : t -> int
+
+(** [stab t q] reports all intervals containing [q]. *)
+val stab : t -> int -> Ival.t list
+
+(** [path_to t q] is the root-to-leaf path of nodes whose cover-interval
+    contains [q] (top-down). *)
+val path_to : t -> int -> node list
+
+(** [iter_nodes f t] visits every node in preorder. *)
+val iter_nodes : (node -> unit) -> t -> unit
+
+(** [total_allocations t] is the summed length of all cover-lists — the
+    [O(n log n)] replication factor measured by experiment E5. *)
+val total_allocations : t -> int
+
+(** [check_invariants t] validates cover-interval nesting and the
+    allocation rule. Raises [Failure] on violation. *)
+val check_invariants : t -> unit

@@ -1,0 +1,109 @@
+open Pc_util
+
+type t = Leaf | Node of { l : t; p : Point.t; r : t; n : int }
+
+let empty = Leaf
+let size = function Leaf -> 0 | Node { n; _ } -> n
+let is_empty t = t = Leaf
+
+let key_compare (a : Point.t) (b : Point.t) =
+  let c = compare a.x b.x in
+  if c <> 0 then c else compare a.id b.id
+
+let node l p r = Node { l; p; r; n = 1 + size l + size r }
+
+(* [join l p r]: all keys in [l] < key of [p] < all keys in [r], but the
+   heap property may be violated at the root; rotate the larger-y child
+   up. *)
+let rec join l p r =
+  match (l, r) with
+  | Leaf, Leaf -> node Leaf p Leaf
+  | Node nl, Leaf ->
+      if nl.p.Point.y > p.Point.y then node nl.l nl.p (join nl.r p Leaf)
+      else node l p Leaf
+  | Leaf, Node nr ->
+      if nr.p.Point.y > p.Point.y then node (join Leaf p nr.l) nr.p nr.r
+      else node Leaf p r
+  | Node nl, Node nr ->
+      if nl.p.Point.y > p.Point.y && nl.p.Point.y >= nr.p.Point.y then
+        node nl.l nl.p (join nl.r p r)
+      else if nr.p.Point.y > p.Point.y then node (join l p nr.l) nr.p nr.r
+      else node l p r
+
+let rec insert t x =
+  match t with
+  | Leaf -> node Leaf x Leaf
+  | Node { l; p; r; _ } ->
+      let c = key_compare x p in
+      if c = 0 then join l x r
+      else if c < 0 then join (insert l x) p r
+      else join l p (insert r x)
+
+(* [merge l r]: all keys in [l] < all keys in [r]; produce a single treap. *)
+let rec merge l r =
+  match (l, r) with
+  | Leaf, t | t, Leaf -> t
+  | Node nl, Node nr ->
+      if nl.p.Point.y >= nr.p.Point.y then node nl.l nl.p (merge nl.r r)
+      else node (merge l nr.l) nr.p nr.r
+
+let rec delete t x =
+  match t with
+  | Leaf -> Leaf
+  | Node { l; p; r; _ } ->
+      let c = key_compare x p in
+      if c = 0 then merge l r
+      else if c < 0 then join (delete l x) p r
+      else join l p (delete r x)
+
+let rec mem t x =
+  match t with
+  | Leaf -> false
+  | Node { l; p; r; _ } ->
+      let c = key_compare x p in
+      if c = 0 then true else if c < 0 then mem l x else mem r x
+
+let of_list pts = List.fold_left insert empty pts
+
+let to_list t =
+  let rec loop acc = function
+    | Leaf -> acc
+    | Node { l; p; r; _ } -> loop (p :: loop acc r) l
+  in
+  loop [] t
+
+let query_3sided t ~xl ~xr ~yb =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf -> ()
+    | Node { l; p; r; _ } ->
+        if p.Point.y >= yb then begin
+          if p.Point.x >= xl && p.Point.x <= xr then acc := p :: !acc;
+          if p.Point.x >= xl then go l;
+          if p.Point.x <= xr then go r
+        end
+  in
+  go t;
+  !acc
+
+let query_2sided t ~xl ~yb = query_3sided t ~xl ~xr:max_int ~yb
+
+let check_invariants t =
+  let rec check = function
+    | Leaf -> ()
+    | Node { l; p; r; n } ->
+        if n <> 1 + size l + size r then failwith "Treap_pst: bad cached size";
+        (match l with
+        | Node { p = lp; _ } ->
+            if key_compare lp p >= 0 then failwith "Treap_pst: order (left)";
+            if lp.Point.y > p.Point.y then failwith "Treap_pst: heap (left)"
+        | Leaf -> ());
+        (match r with
+        | Node { p = rp; _ } ->
+            if key_compare p rp >= 0 then failwith "Treap_pst: order (right)";
+            if rp.Point.y > p.Point.y then failwith "Treap_pst: heap (right)"
+        | Leaf -> ());
+        check l;
+        check r
+  in
+  check t

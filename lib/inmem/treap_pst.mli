@@ -1,0 +1,33 @@
+(** Dynamic in-memory priority search structure (treap keyed by x with y
+    as heap priority).
+
+    A treap whose BST order is the point's x (ties broken by id) and whose
+    max-heap priority is the point's y answers the same 3-sided queries as
+    {!Pst} while supporting insertion and deletion in expected
+    [O(log n)] — the in-core dynamic counterpart that Section 5 of the
+    paper externalises. Used as the dynamic oracle in tests. *)
+
+open Pc_util
+
+type t
+
+val empty : t
+val size : t -> int
+val is_empty : t -> bool
+
+(** [insert t p] adds [p]. Points are identified by [(x, id)]; inserting a
+    duplicate key replaces the old point. *)
+val insert : t -> Point.t -> t
+
+(** [delete t p] removes the point with [p]'s [(x, id)] key, if present. *)
+val delete : t -> Point.t -> t
+
+val mem : t -> Point.t -> bool
+val of_list : Point.t list -> t
+val to_list : t -> Point.t list
+val query_3sided : t -> xl:int -> xr:int -> yb:int -> Point.t list
+val query_2sided : t -> xl:int -> yb:int -> Point.t list
+
+(** [check_invariants t] verifies BST order on [(x, id)] and the max-heap
+    property on [y]. Raises [Failure] on violation. *)
+val check_invariants : t -> unit

@@ -1,0 +1,29 @@
+(** Mutable I/O counters for a simulated block device.
+
+    The paper's cost model charges one unit per page transferred between
+    disk and memory. [reads] and [writes] count transfers that actually hit
+    the (simulated) disk; [cache_hits] counts accesses absorbed by the
+    buffer pool and therefore free under the model. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cache_hits : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [total t] is [reads + writes]: the paper's I/O cost. *)
+val total : t -> int
+
+(** [snapshot t] copies the current counter values. *)
+val snapshot : t -> t
+
+(** [diff ~after ~before] is the counter-wise difference; used to attribute
+    I/Os to a single query or update. *)
+val diff : after:t -> before:t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+(* Classic hashtable + doubly-linked recency list. Nodes are mutable
+   records; [head] is most recently used, [tail] least. *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+}
+
+let create cap =
+  if cap < 0 then invalid_arg "Lru.create: negative capacity";
+  { cap; table = Hashtbl.create (max 16 cap); head = None; tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k
+
+let put t k v =
+  if t.cap = 0 then None
+  else
+    match Hashtbl.find_opt t.table k with
+    | Some node ->
+        node.value <- v;
+        unlink t node;
+        push_front t node;
+        None
+    | None ->
+        let evicted =
+          if Hashtbl.length t.table >= t.cap then
+            match t.tail with
+            | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.key;
+                Some (lru.key, lru.value)
+            | None -> None
+          else None
+        in
+        let node = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.add t.table k node;
+        push_front t node;
+        evicted
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t acc = Hashtbl.fold (fun k node acc -> f k node.value acc) t.table acc

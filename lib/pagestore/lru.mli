@@ -1,0 +1,32 @@
+(** A fixed-capacity LRU map from int keys to values.
+
+    Backs the pager's buffer pool. Capacity 0 is legal and means "cache
+    nothing" — the configuration used when experiments need exact,
+    deterministic I/O counts. *)
+
+type 'a t
+
+(** [create capacity] makes an empty cache. Requires [capacity >= 0]. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** [find t k] returns the cached value and promotes [k] to most recently
+    used. *)
+val find : 'a t -> int -> 'a option
+
+(** [mem t k] tests membership without promoting. *)
+val mem : 'a t -> int -> bool
+
+(** [put t k v] inserts or updates [k], evicting the least recently used
+    entry if the cache is full. Returns the evicted binding, if any. *)
+val put : 'a t -> int -> 'a -> (int * 'a) option
+
+(** [remove t k] drops [k] if present. *)
+val remove : 'a t -> int -> unit
+
+val clear : 'a t -> unit
+
+(** [fold f t acc] folds over current bindings in unspecified order. *)
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

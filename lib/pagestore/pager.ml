@@ -1,0 +1,111 @@
+exception Io_fault of { page : int; op : string }
+exception Page_overflow of { page : int; len : int; capacity : int }
+
+type 'a slot = Live of 'a array | Freed
+
+type 'a t = {
+  page_capacity : int;
+  mutable slots : 'a slot option array;
+  mutable next_id : int;
+  mutable live : int;
+  cache : 'a array Lru.t;
+  stats : Io_stats.t;
+  mutable fault : (op:string -> page:int -> bool) option;
+}
+
+let create ?(cache_capacity = 0) ~page_capacity () =
+  if page_capacity <= 0 then invalid_arg "Pager.create: page_capacity <= 0";
+  {
+    page_capacity;
+    slots = Array.make 64 None;
+    next_id = 0;
+    live = 0;
+    cache = Lru.create cache_capacity;
+    stats = Io_stats.create ();
+    fault = None;
+  }
+
+let page_capacity t = t.page_capacity
+let cache_capacity t = Lru.capacity t.cache
+
+let check_fault t ~op ~page =
+  match t.fault with
+  | Some f when f ~op ~page -> raise (Io_fault { page; op })
+  | _ -> ()
+
+let ensure_capacity t id =
+  let len = Array.length t.slots in
+  if id >= len then begin
+    let slots = Array.make (max (len * 2) (id + 1)) None in
+    Array.blit t.slots 0 slots 0 len;
+    t.slots <- slots
+  end
+
+let check_len t ~page records =
+  let len = Array.length records in
+  if len > t.page_capacity then
+    raise (Page_overflow { page; len; capacity = t.page_capacity })
+
+let alloc t records =
+  let id = t.next_id in
+  check_len t ~page:id records;
+  check_fault t ~op:"alloc" ~page:id;
+  ensure_capacity t id;
+  t.slots.(id) <- Some (Live records);
+  t.next_id <- id + 1;
+  t.live <- t.live + 1;
+  t.stats.allocs <- t.stats.allocs + 1;
+  t.stats.writes <- t.stats.writes + 1;
+  ignore (Lru.put t.cache id records);
+  id
+
+let alloc_empty t = alloc t [||]
+
+let get_slot t id op =
+  if id < 0 || id >= t.next_id then
+    invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id);
+  match t.slots.(id) with
+  | Some (Live records) -> records
+  | Some Freed -> invalid_arg (Printf.sprintf "Pager.%s: page %d was freed" op id)
+  | None -> invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id)
+
+let read t id =
+  check_fault t ~op:"read" ~page:id;
+  match Lru.find t.cache id with
+  | Some records ->
+      t.stats.cache_hits <- t.stats.cache_hits + 1;
+      records
+  | None ->
+      let records = get_slot t id "read" in
+      t.stats.reads <- t.stats.reads + 1;
+      ignore (Lru.put t.cache id records);
+      records
+
+let write t id records =
+  check_len t ~page:id records;
+  check_fault t ~op:"write" ~page:id;
+  ignore (get_slot t id "write");
+  t.slots.(id) <- Some (Live records);
+  t.stats.writes <- t.stats.writes + 1;
+  ignore (Lru.put t.cache id records)
+
+let free t id =
+  ignore (get_slot t id "free");
+  t.slots.(id) <- Some Freed;
+  t.live <- t.live - 1;
+  t.stats.frees <- t.stats.frees + 1;
+  Lru.remove t.cache id
+
+let pages_in_use t = t.live
+let stats t = t.stats
+let reset_stats t = Io_stats.reset t.stats
+
+let with_counted t f =
+  let before = Io_stats.snapshot t.stats in
+  let result = f () in
+  let after = Io_stats.snapshot t.stats in
+  (result, Io_stats.diff ~after ~before)
+
+let set_fault t f = t.fault <- Some f
+let clear_fault t = t.fault <- None
+let drop_cache t = Lru.clear t.cache

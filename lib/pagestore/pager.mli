@@ -1,0 +1,68 @@
+(** A simulated block device with strict page capacity and I/O accounting.
+
+    Every external data structure in this repository performs all of its
+    data access through a pager: this is the substrate that stands in for
+    the disk of the paper's I/O model (see DESIGN.md §2). A page holds at
+    most [page_capacity] records of type ['a]; reading or writing a page
+    costs one I/O unless the access is absorbed by the optional LRU buffer
+    pool. Counters live in {!Io_stats}.
+
+    The store is typed per instance: a structure that needs pages of
+    points and pages of node metadata either uses two pagers or a variant
+    payload type. Page ids are dense non-negative ints. *)
+
+type 'a t
+
+exception Io_fault of { page : int; op : string }
+(** Raised when fault injection (see {!set_fault}) rejects an access. *)
+
+exception Page_overflow of { page : int; len : int; capacity : int }
+(** Raised when a page is written with more records than it can hold. *)
+
+(** [create ~page_capacity ()] makes an empty device. [cache_capacity]
+    (default [0]) sizes the LRU buffer pool in pages; [0] disables caching
+    so every access costs exactly one I/O. *)
+val create : ?cache_capacity:int -> page_capacity:int -> unit -> 'a t
+
+val page_capacity : 'a t -> int
+val cache_capacity : 'a t -> int
+
+(** [alloc t records] allocates a fresh page holding [records] and returns
+    its id. Counts one write I/O. *)
+val alloc : 'a t -> 'a array -> int
+
+(** [alloc_empty t] allocates a fresh empty page (one write I/O). *)
+val alloc_empty : 'a t -> int
+
+(** [read t id] returns the page contents. Counts one read I/O on a buffer
+    pool miss, zero on a hit. The returned array must not be mutated. *)
+val read : 'a t -> int -> 'a array
+
+(** [write t id records] replaces the page contents (one write I/O). *)
+val write : 'a t -> int -> 'a array -> unit
+
+(** [free t id] releases the page. Freed pages no longer count toward
+    {!pages_in_use} and may not be accessed again. *)
+val free : 'a t -> int -> unit
+
+(** [pages_in_use t] is the current number of live pages — the storage
+    measure reported by the experiments. *)
+val pages_in_use : 'a t -> int
+
+val stats : 'a t -> Io_stats.t
+val reset_stats : 'a t -> unit
+
+(** [with_counted t f] runs [f ()] and returns its result together with the
+    I/Os it performed on [t]. *)
+val with_counted : 'a t -> (unit -> 'b) -> 'b * Io_stats.t
+
+(** [set_fault t f] installs a fault predicate consulted before every read
+    and write ([f ~op ~page] returning [true] triggers {!Io_fault}).
+    [clear_fault] removes it. Used by failure-injection tests. *)
+val set_fault : 'a t -> (op:string -> page:int -> bool) -> unit
+
+val clear_fault : 'a t -> unit
+
+(** [drop_cache t] empties the buffer pool (e.g. between benchmark
+    repetitions) without touching the stats. *)
+val drop_cache : 'a t -> unit

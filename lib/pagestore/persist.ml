@@ -1,0 +1,34 @@
+let format_version = 1
+
+let save ~magic path v =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "PCACHE";
+      output_binary_int oc format_version;
+      output_binary_int oc (String.length magic);
+      output_string oc magic;
+      try Marshal.to_channel oc v []
+      with Invalid_argument _ ->
+        invalid_arg
+          "Persist.save: value contains closures (clear fault hooks first)")
+
+let load ~magic path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = really_input_string ic 6 in
+      if header <> "PCACHE" then failwith "Persist.load: not a pathcaching file";
+      let version = input_binary_int ic in
+      if version <> format_version then
+        failwith
+          (Printf.sprintf "Persist.load: format version %d, expected %d"
+             version format_version);
+      let mlen = input_binary_int ic in
+      let file_magic = really_input_string ic mlen in
+      if file_magic <> magic then
+        failwith
+          (Printf.sprintf "Persist.load: magic %S, expected %S" file_magic magic);
+      Marshal.from_channel ic)

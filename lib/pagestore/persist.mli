@@ -1,0 +1,28 @@
+(** Saving and loading structures to the host filesystem.
+
+    The simulated disk lives in memory; this module lets a built
+    structure (its pager, pages, skeletal layout and handles — everything
+    but closures) be written to a real file and reloaded later, so
+    expensive builds can be reused across processes, e.g. by the CLI or
+    the benchmark harness.
+
+    Serialization uses OCaml's [Marshal] with a caller-chosen magic
+    string and a format version prepended, which catches loading a file
+    into the wrong structure type or an incompatible build. As with all
+    [Marshal]-based schemes, loading a file produced by different,
+    binary-incompatible code is undefined — keep saved files paired with
+    the binary that wrote them.
+
+    Structures holding an installed fault-injection hook cannot be saved
+    (closures are not serializable); {!Pager.clear_fault} first. *)
+
+(** [save ~magic path v] writes [v] to [path]. Raises [Sys_error] on I/O
+    failure and [Invalid_argument] if [v] contains closures (e.g. an
+    installed pager fault hook). *)
+val save : magic:string -> string -> 'a -> unit
+
+(** [load ~magic path] reads a value previously written with the same
+    [magic]. Raises [Failure] if the file's magic or format version does
+    not match. Type safety is the caller's responsibility: annotate the
+    result with the type that was saved. *)
+val load : magic:string -> string -> 'a

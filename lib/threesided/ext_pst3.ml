@@ -1,0 +1,519 @@
+open Pc_util
+open Pc_pagestore
+
+type mode = Baseline | Cached
+
+let pp_mode ppf = function
+  | Baseline -> Format.fprintf ppf "baseline"
+  | Cached -> Format.fprintf ppf "cached"
+
+(* ------------------------------------------------------------------ *)
+(* Persistent representation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Desc of desc
+  | Pt of Point.t
+  | Src of { p : Point.t; src : int; src_total : int }
+
+and desc = {
+  node : int;
+  depth : int;
+  split : int;
+  min_y : int;
+  min_x : int;  (* x extremes of the region's own points; quick-reject *)
+  max_x : int;
+  left : int;
+  right : int;
+  left_min_y : int;
+  right_min_y : int;
+  n_pts : int;
+  y_list : cell Blocked_list.t;  (* own points, decreasing y *)
+  x_list : cell Blocked_list.t;  (* own points, decreasing x *)
+  x_asc_list : cell Blocked_list.t;  (* own points, increasing x *)
+  a_list : cell Blocked_list.t;  (* window-ancestor cache, decreasing x *)
+  a_asc_list : cell Blocked_list.t;  (* same sources, increasing x *)
+  sr_list : cell Blocked_list.t;  (* right-sibling cache, decreasing y *)
+  sl_list : cell Blocked_list.t;  (* left-sibling cache, decreasing y *)
+}
+
+type t = {
+  mode : mode;
+  pager : cell Pager.t;
+  layout : Skeletal_layout.t option;
+  block_pages : int array;
+  seg_len : int;
+  size : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let store_points pager pts = Blocked_list.store pager (List.map (fun p -> Pt p) pts)
+
+let store_srcs pager entries =
+  Blocked_list.store pager
+    (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
+
+let create ?(cache_capacity = 0) ~mode ~b pts =
+  if b < 2 then invalid_arg "Ext_pst3.create: b < 2";
+  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  match pts with
+  | [] ->
+      {
+        mode;
+        pager;
+        layout = None;
+        block_pages = [||];
+        seg_len = 1;
+        size = 0;
+      }
+  | _ ->
+      let seg_len = max 1 (Num_util.ilog2 (max 2 b)) in
+      let rt = Pc_extpst.Region_tree.build ~capacity:b pts in
+      let num_nodes = Pc_extpst.Region_tree.num_nodes rt in
+      let descs = Array.make num_nodes None in
+      (* First-page entries of an ancestor or sibling region, in the order
+         needed by each cache. With capacity B every region fits one page,
+         so the "first page" is the whole region. *)
+      let first_entries order (u : Pc_extpst.Region_tree.node) =
+        let pts =
+          match order with
+          | `X_desc -> Array.to_list u.pts_by_x
+          | `X_asc -> List.rev (Array.to_list u.pts_by_x)
+          | `Y_desc -> Array.to_list u.pts_by_y
+        in
+        let k = min b (List.length pts) in
+        List.map (fun p -> (p, u.idx, k)) (Blocked.take k pts)
+      in
+      let rec visit (n : Pc_extpst.Region_tree.node) anc =
+        let lo, hi =
+          if mode = Baseline then (0, 0)
+          else if n.depth = 0 then (0, 0)
+          else (((n.depth - 1) / seg_len) * seg_len, n.depth)
+        in
+        let window =
+          List.filter
+            (fun ((a : Pc_extpst.Region_tree.node), _) ->
+              a.depth >= lo && a.depth < hi)
+            anc
+        in
+        let sort_fst cmp = List.sort (fun (p1, _, _) (p2, _, _) -> cmp p1 p2) in
+        let a_entries =
+          List.concat_map (fun (a, _) -> first_entries `X_desc a) window
+          |> sort_fst Point.compare_x_desc
+        in
+        let a_asc_entries =
+          List.concat_map (fun (a, _) -> first_entries `X_asc a) window
+          |> sort_fst Point.compare_xy
+        in
+        let sib_entries pick =
+          List.concat_map
+            (fun ((a : Pc_extpst.Region_tree.node), went_left) ->
+              match pick went_left a with
+              | Some s -> first_entries `Y_desc s
+              | None -> None |> Option.to_list |> List.concat)
+            window
+          |> sort_fst Point.compare_y_desc
+        in
+        let sr_entries =
+          sib_entries (fun went_left a -> if went_left then a.right else None)
+        in
+        let sl_entries =
+          sib_entries (fun went_left a -> if went_left then None else a.left)
+        in
+        let n_pts = Array.length n.pts_by_y in
+        let min_x =
+          if n_pts = 0 then max_int else (n.pts_by_x.(n_pts - 1) : Point.t).x
+        in
+        let max_x = if n_pts = 0 then min_int else (n.pts_by_x.(0) : Point.t).x in
+        let child_idx = function
+          | Some (c : Pc_extpst.Region_tree.node) -> c.idx
+          | None -> -1
+        in
+        let child_min = function
+          | Some (c : Pc_extpst.Region_tree.node) -> c.min_y
+          | None -> max_int
+        in
+        (* Single-page point lists are order-insensitive to scan, so the
+           three sort orders share one page. *)
+        let y_list = store_points pager (Array.to_list n.pts_by_y) in
+        let x_list =
+          if n_pts <= b then y_list
+          else store_points pager (Array.to_list n.pts_by_x)
+        in
+        let x_asc_list =
+          if n_pts <= b then y_list
+          else store_points pager (List.rev (Array.to_list n.pts_by_x))
+        in
+        descs.(n.idx) <-
+          Some
+            {
+              node = n.idx;
+              depth = n.depth;
+              split = n.split;
+              min_y = n.min_y;
+              min_x;
+              max_x;
+              left = child_idx n.left;
+              right = child_idx n.right;
+              left_min_y = child_min n.left;
+              right_min_y = child_min n.right;
+              n_pts;
+              y_list;
+              x_list;
+              x_asc_list;
+              a_list = store_srcs pager a_entries;
+              a_asc_list = store_srcs pager a_asc_entries;
+              sr_list = store_srcs pager sr_entries;
+              sl_list = store_srcs pager sl_entries;
+            };
+        (match n.left with Some l -> visit l ((n, true) :: anc) | None -> ());
+        match n.right with Some r -> visit r ((n, false) :: anc) | None -> ()
+      in
+      (match Pc_extpst.Region_tree.root rt with
+      | Some r -> visit r []
+      | None -> assert false);
+      let child side i =
+        let n = Pc_extpst.Region_tree.node_by_idx rt i in
+        Option.map
+          (fun (c : Pc_extpst.Region_tree.node) -> c.idx)
+          (match side with `L -> n.left | `R -> n.right)
+      in
+      let block_height = max 1 (Num_util.ilog2 (b + 1)) in
+      let layout =
+        Skeletal_layout.compute ~num_nodes ~root:0 ~left:(child `L)
+          ~right:(child `R) ~block_height
+      in
+      let block_pages =
+        Array.init (Skeletal_layout.num_blocks layout) (fun blk ->
+            Skeletal_layout.nodes_in layout blk
+            |> List.map (fun i ->
+                   match descs.(i) with Some d -> Desc d | None -> assert false)
+            |> Array.of_list |> Pager.alloc pager)
+      in
+      {
+        mode;
+        pager;
+        layout = Some layout;
+        block_pages;
+        seg_len;
+        size = List.length pts;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cell_point = function
+  | Pt p -> p
+  | Src { p; _ } -> p
+  | Desc _ -> invalid_arg "Ext_pst3: descriptor cell in a point list"
+
+type side = L | R
+
+let query t ~xl ~xr ~yb =
+  let stats = Query_stats.create () in
+  match t.layout with
+  | _ when xl > xr -> ([], stats)
+  | None -> ([], stats)
+  | Some layout ->
+      let b = Pager.page_capacity t.pager in
+      let blocks = Hashtbl.create 16 in
+      let get node =
+        let page = t.block_pages.(Skeletal_layout.block_of layout node) in
+        let descs =
+          match Hashtbl.find_opt blocks page with
+          | Some ds -> ds
+          | None ->
+              let cells = Pager.read t.pager page in
+              stats.skeletal_reads <- stats.skeletal_reads + 1;
+              let ds =
+                Array.to_list cells
+                |> List.filter_map (function Desc d -> Some d | _ -> None)
+              in
+              Hashtbl.add blocks page ds;
+              ds
+        in
+        match List.find_opt (fun d -> d.node = node) descs with
+        | Some d -> d
+        | None -> invalid_arg "Ext_pst3: descriptor missing from block"
+      in
+      let note_waste reads kept =
+        stats.wasteful_reads <- stats.wasteful_reads + max 0 (reads - (kept / b))
+      in
+      let scan ~kind ?(from = 0) list ~keep =
+        let cells, reads =
+          Blocked_list.scan_prefix_from t.pager list ~from ~keep:(fun c ->
+              keep (cell_point c))
+        in
+        (match kind with
+        | `Data -> stats.data_reads <- stats.data_reads + reads
+        | `Cache -> stats.cache_reads <- stats.cache_reads + reads);
+        (cells, reads)
+      in
+      let out = ref [] in
+      let in_query (p : Point.t) = p.x >= xl && p.x <= xr && p.y >= yb in
+      let add pts = out := List.rev_append (List.filter in_query pts) !out in
+      (* --- Shared prefix: both boundaries route the same way. A node is
+         cut by both vertical lines, so its hits are extracted by reading
+         its single page (guarded by the x quick-reject when cached). --- *)
+      let shared = ref [] in
+      let split_node = ref None in
+      let rec descend_shared d =
+        shared := d :: !shared;
+        if d.min_y < yb then ()
+        else begin
+          let dir_l = xl <= d.split and dir_r = xr < d.split in
+          if dir_l <> dir_r then split_node := Some d
+          else begin
+            let next = if dir_l then d.left else d.right in
+            if next >= 0 then descend_shared (get next)
+          end
+        end
+      in
+      descend_shared (get 0);
+      let shared_set = Hashtbl.create 16 in
+      List.iter (fun d -> Hashtbl.replace shared_set d.node ()) !shared;
+      List.iter
+        (fun (u : desc) ->
+          let skip =
+            t.mode = Cached && (u.max_x < xl || u.min_x > xr || u.n_pts = 0)
+          in
+          if not skip then begin
+            let cells, reads =
+              scan ~kind:`Data u.y_list ~keep:(fun p -> p.Point.y >= yb)
+            in
+            let hits = List.filter in_query (List.map cell_point cells) in
+            note_waste reads (List.length hits);
+            add hits
+          end)
+        !shared;
+      (* --- Below the split: mirrored 2-sided machinery per side. --- *)
+      let explore_children (d : desc) =
+        let rec go (d : desc) =
+          List.iter
+            (fun (cidx, cmin) ->
+              if cidx >= 0 then begin
+                let c = get cidx in
+                let cells, reads =
+                  scan ~kind:`Data c.y_list ~keep:(fun p -> p.Point.y >= yb)
+                in
+                note_waste reads (List.length cells);
+                add (List.map cell_point cells);
+                if cmin >= yb then go c
+              end)
+            [ (d.left, d.left_min_y); (d.right, d.right_min_y) ]
+        in
+        go d
+      in
+      let scan_cache list ~keep ~skip =
+        let cells, reads = scan ~kind:`Cache list ~keep in
+        let per_src = Hashtbl.create 8 in
+        let pts =
+          List.filter_map
+            (function
+              | Src { p; src; src_total } ->
+                  if skip src then None
+                  else begin
+                    let k =
+                      match Hashtbl.find_opt per_src src with
+                      | Some (k, _) -> k + 1
+                      | None -> 1
+                    in
+                    Hashtbl.replace per_src src (k, src_total);
+                    Some p
+                  end
+              | Pt _ | Desc _ -> invalid_arg "Ext_pst3: untagged cache cell")
+            cells
+        in
+        note_waste reads (List.length pts);
+        let full =
+          Hashtbl.fold
+            (fun src (k, total) acc -> if k = total then src :: acc else acc)
+            per_src []
+        in
+        (pts, full)
+      in
+      let run_side side ~split:(sp : desc) start_idx =
+        if start_idx >= 0 then begin
+          (* The split's children head the two paths; each is a "sibling"
+             of the other side's path at the split and must not be
+             re-reported from sibling caches (its own side answers it). *)
+          let skip_anc src = Hashtbl.mem shared_set src in
+          let skip_sib src =
+            skip_anc src || src = sp.left || src = sp.right
+          in
+          (* Descend toward this side's boundary. *)
+          let goes_deeper (u : desc) =
+            match side with L -> xl <= u.split | R -> xr < u.split
+          in
+          let rec descend acc d =
+            let acc = d :: acc in
+            if d.min_y < yb then List.rev acc
+            else begin
+              let next = if goes_deeper d then d.left else d.right in
+              if next < 0 then List.rev acc else descend acc (get next)
+            end
+          in
+          let path = Array.of_list (descend [] (get start_idx)) in
+          let len = Array.length path in
+          let corner = path.(len - 1) in
+          let by_idx = Hashtbl.create 16 in
+          Array.iter (fun d -> Hashtbl.replace by_idx d.node d) path;
+          (* Corner region's own points. *)
+          let cells, reads =
+            scan ~kind:`Data corner.y_list ~keep:(fun p -> p.Point.y >= yb)
+          in
+          let hits = List.filter in_query (List.map cell_point cells) in
+          note_waste reads (List.length hits);
+          add hits;
+          (* Right-side special case: the descent can stop because the
+             corner has no right child while its left child is still
+             inside [xl, xr] (its x-range sits below the corner's split,
+             which is <= xr). No path node owns that child as a sibling,
+             so handle it here. The left side has no mirror case: a
+             skipped right child always lies strictly left of xl. *)
+          (match side with
+          | R
+            when corner.min_y >= yb
+                 && (not (goes_deeper corner))
+                 && corner.right < 0 && corner.left >= 0 ->
+              let sdesc = get corner.left in
+              let cells, reads =
+                scan ~kind:`Data sdesc.y_list ~keep:(fun p -> p.Point.y >= yb)
+              in
+              note_waste reads (List.length cells);
+              add (List.map cell_point cells);
+              if corner.left_min_y >= yb then explore_children sdesc
+          | L | R -> ());
+          (match t.mode with
+          | Baseline ->
+              (* Read every strict-ancestor page and sibling page. *)
+              for i = 0 to len - 2 do
+                let u = path.(i) in
+                let cells, reads =
+                  scan ~kind:`Data u.y_list ~keep:(fun p -> p.Point.y >= yb)
+                in
+                let hits = List.filter in_query (List.map cell_point cells) in
+                note_waste reads (List.length hits);
+                add hits;
+                let sib =
+                  match side with
+                  | L -> if goes_deeper u then u.right else -1
+                  | R -> if goes_deeper u then -1 else u.left
+                in
+                let sib_min =
+                  match side with L -> u.right_min_y | R -> u.left_min_y
+                in
+                if sib >= 0 then begin
+                  let sdesc = get sib in
+                  let cells, reads =
+                    scan ~kind:`Data sdesc.y_list ~keep:(fun p ->
+                        p.Point.y >= yb)
+                  in
+                  note_waste reads (List.length cells);
+                  add (List.map cell_point cells);
+                  if sib_min >= yb then explore_children sdesc
+                end
+              done
+          | Cached ->
+              (* Hops: segment boundaries strictly below the split, plus
+                 the corner. Their cache windows tile the below-split
+                 ancestors; window entries from shared nodes are skipped
+                 (answered above). *)
+              let split_depth = corner.depth - len in
+              let dc = corner.depth in
+              let hop_depths =
+                List.init (dc / t.seg_len) (fun j -> (j + 1) * t.seg_len)
+                |> List.filter (fun depth -> depth > split_depth)
+                |> List.cons dc |> List.sort_uniq compare
+              in
+              List.iter
+                (fun hd ->
+                  let h = path.(hd - split_depth - 1) in
+                  let a_cache, keep_a, own_list =
+                    match side with
+                    | L ->
+                        ( h.a_list,
+                          (fun (p : Point.t) -> p.x >= xl),
+                          fun (u : desc) -> u.x_list )
+                    | R ->
+                        ( h.a_asc_list,
+                          (fun (p : Point.t) -> p.x <= xr),
+                          fun (u : desc) -> u.x_asc_list )
+                  in
+                  let a_pts, a_full = scan_cache a_cache ~keep:keep_a ~skip:skip_anc in
+                  add a_pts;
+                  List.iter
+                    (fun src ->
+                      match Hashtbl.find_opt by_idx src with
+                      | Some u ->
+                          let cells, reads =
+                            scan ~kind:`Data ~from:1 (own_list u) ~keep:keep_a
+                          in
+                          note_waste reads (List.length cells);
+                          add (List.map cell_point cells)
+                      | None -> ())
+                    a_full;
+                  let s_cache =
+                    match side with L -> h.sr_list | R -> h.sl_list
+                  in
+                  let s_pts, s_full =
+                    scan_cache s_cache ~keep:(fun p -> p.Point.y >= yb)
+                      ~skip:skip_sib
+                  in
+                  add s_pts;
+                  List.iter
+                    (fun src ->
+                      let sdesc = get src in
+                      if not (sdesc.max_x < xl || sdesc.min_x > xr) then begin
+                        let cells, reads =
+                          scan ~kind:`Data ~from:1 sdesc.y_list ~keep:(fun p ->
+                              p.Point.y >= yb)
+                        in
+                        note_waste reads (List.length cells);
+                        add (List.map cell_point cells)
+                      end)
+                    s_full)
+                hop_depths;
+              (* Descendants of fully-contained siblings. *)
+              for i = 0 to len - 2 do
+                let u = path.(i) in
+                let sib, sib_min =
+                  match side with
+                  | L ->
+                      if goes_deeper u then (u.right, u.right_min_y)
+                      else (-1, max_int)
+                  | R ->
+                      if goes_deeper u then (-1, max_int)
+                      else (u.left, u.left_min_y)
+                in
+                if sib >= 0 && sib_min >= yb then explore_children (get sib)
+              done)
+        end
+      in
+      (match !split_node with
+      | None -> ()
+      | Some sp ->
+          run_side L ~split:sp sp.left;
+          run_side R ~split:sp sp.right);
+      let raw = !out in
+      stats.reported_raw <- List.length raw;
+      (Point.dedup_by_id raw, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mode t = t.mode
+let size t = t.size
+let page_size t = Pager.page_capacity t.pager
+
+let query_count t ~xl ~xr ~yb =
+  List.length (fst (query t ~xl ~xr ~yb))
+
+let storage_pages t = Pager.pages_in_use t.pager
+let io_stats t = Pager.stats t.pager
+let reset_io_stats t = Pager.reset_stats t.pager

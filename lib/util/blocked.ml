@@ -1,0 +1,46 @@
+let chunk ~b xs =
+  if b <= 0 then invalid_arg "Blocked.chunk: b <= 0";
+  let rec loop acc current count = function
+    | [] ->
+        let acc =
+          if current = [] then acc
+          else Array.of_list (List.rev current) :: acc
+        in
+        List.rev acc
+    | x :: rest ->
+        if count = b then
+          loop (Array.of_list (List.rev current) :: acc) [ x ] 1 rest
+        else loop acc (x :: current) (count + 1) rest
+  in
+  loop [] [] 0 xs
+
+let chunk_array ~b arr =
+  if b <= 0 then invalid_arg "Blocked.chunk_array: b <= 0";
+  let n = Array.length arr in
+  let rec loop acc i =
+    if i >= n then List.rev acc
+    else
+      let len = min b (n - i) in
+      loop (Array.sub arr i len :: acc) (i + len)
+  in
+  loop [] 0
+
+let blocks_needed ~b len = Num_util.ceil_div len b
+
+let take n xs =
+  let rec loop acc n = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> loop (x :: acc) (n - 1) rest
+  in
+  loop [] n xs
+
+let rec drop n xs =
+  if n <= 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let prefix_while p xs =
+  let rec loop acc = function
+    | [] -> (List.rev acc, false)
+    | x :: rest -> if p x then loop (x :: acc) rest else (List.rev acc, true)
+  in
+  loop [] xs

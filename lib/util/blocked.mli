@@ -1,0 +1,29 @@
+(** Helpers for splitting ordered lists into disk blocks of capacity [b].
+
+    Path caching stores every list (cover-lists, A-lists, S-lists, X/Y
+    lists) "in a blocked fashion" — consecutive runs of at most [B]
+    elements per page. These helpers centralise the chunking arithmetic so
+    all structures block lists identically. *)
+
+(** [chunk ~b xs] splits [xs] into consecutive arrays of length [b]
+    (the last one possibly shorter). [chunk ~b []] is [[]]. Requires
+    [b > 0]. *)
+val chunk : b:int -> 'a list -> 'a array list
+
+(** [chunk_array ~b arr] is {!chunk} on an array input. *)
+val chunk_array : b:int -> 'a array -> 'a array list
+
+(** [blocks_needed ~b len] is the number of pages a [len]-element list
+    occupies: [ceil (len / b)]. *)
+val blocks_needed : b:int -> int -> int
+
+(** [take n xs] is the first [min n (length xs)] elements of [xs]. *)
+val take : int -> 'a list -> 'a list
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+val drop : int -> 'a list -> 'a list
+
+(** [prefix_while p xs] is the longest prefix of [xs] whose elements all
+    satisfy [p], paired with a flag telling whether the scan stopped
+    before the end of the list. *)
+val prefix_while : ('a -> bool) -> 'a list -> 'a list * bool

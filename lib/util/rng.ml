@@ -1,0 +1,47 @@
+(* Splitmix64, truncated to OCaml's 63-bit native ints. The generator is a
+   single mutable counter, so [copy] is a cheap snapshot. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = max_int / 2 / bound * bound in
+  let rec loop () =
+    let v = next t in
+    if v < limit || limit = 0 then v mod bound else loop ()
+  in
+  loop ()
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let float t = Int64.to_float (Int64.shift_right_logical (next64 t) 11) /. 9007199254740992.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = mix (next64 t) }

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All workload generators and property tests derive their randomness from
+    this module so that every experiment in EXPERIMENTS.md is exactly
+    reproducible from a seed printed alongside its results. *)
+
+type t
+
+(** [create seed] makes an independent generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] snapshots the generator state. *)
+val copy : t -> t
+
+(** [next t] returns the next raw 62-bit non-negative integer. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t ~lo ~hi] is uniform in the inclusive range [lo, hi]. *)
+val int_in : t -> lo:int -> hi:int -> int
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new independent generator from [t], advancing
+    [t]. *)
+val split : t -> t

@@ -1,0 +1,57 @@
+type t = {
+  block_height : int;
+  block_of : int array; (* node id -> block id, -1 if unreachable *)
+  members : int list array; (* block id -> node ids, preorder *)
+}
+
+let compute ~num_nodes ~root ~left ~right ~block_height =
+  if block_height < 1 then
+    invalid_arg "Skeletal_layout.compute: block_height < 1";
+  if num_nodes < 1 then invalid_arg "Skeletal_layout.compute: no nodes";
+  let block_of = Array.make num_nodes (-1) in
+  let visit_order = ref [] in
+  let num_blocks = ref 0 in
+  (* DFS carrying (block id, depth within block). A child at in-block
+     depth [block_height] starts a fresh block. *)
+  let rec visit node block in_depth =
+    block_of.(node) <- block;
+    visit_order := node :: !visit_order;
+    let descend child =
+      match child with
+      | None -> ()
+      | Some c ->
+          if in_depth + 1 >= block_height then begin
+            let b = !num_blocks in
+            incr num_blocks;
+            visit c b 0
+          end
+          else visit c block (in_depth + 1)
+    in
+    descend (left node);
+    descend (right node)
+  in
+  let root_block = !num_blocks in
+  incr num_blocks;
+  visit root root_block 0;
+  let members = Array.make !num_blocks [] in
+  (* [visit_order] is reverse preorder; prepending restores preorder. *)
+  List.iter
+    (fun node ->
+      let b = block_of.(node) in
+      members.(b) <- node :: members.(b))
+    !visit_order;
+  { block_height; block_of; members }
+
+let block_height t = t.block_height
+let num_blocks t = Array.length t.members
+
+let block_of t node =
+  let b = t.block_of.(node) in
+  if b < 0 then invalid_arg "Skeletal_layout.block_of: unreachable node";
+  b
+
+let nodes_in t block = t.members.(block)
+let same_block t a b = block_of t a = block_of t b
+
+let max_block_size t =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.members

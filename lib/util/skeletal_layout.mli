@@ -1,0 +1,46 @@
+(** Assignment of binary-tree nodes to skeletal blocks (paper §2, Fig. 2).
+
+    To search a height-[H] binary tree with [O(H / log B)] I/Os, the paper
+    maps subtrees of height [log B] into disk blocks: the resulting
+    "skeletal B-tree" crosses one block per [log B] levels. This module
+    computes that assignment purely (no I/O): nodes are identified by
+    dense int ids; the caller persists each block's node descriptors into
+    one page and charges reads when a traversal crosses block boundaries.
+
+    A node at depth [d] belongs to the block rooted at its ancestor whose
+    depth is the largest multiple of [block_height] that is [<= d]; a
+    block therefore holds at most [2^block_height - 1] nodes. Choosing
+    [block_height = floor(log2 (B + 1))] keeps every block within a page
+    of capacity [B]. *)
+
+type t
+
+(** [compute ~num_nodes ~root ~left ~right ~block_height] assigns every
+    node reachable from [root] to a block. [left]/[right] give children by
+    id ([None] for absent). Block ids are dense, [0 .. num_blocks - 1];
+    block [0] contains [root]. *)
+val compute :
+  num_nodes:int ->
+  root:int ->
+  left:(int -> int option) ->
+  right:(int -> int option) ->
+  block_height:int ->
+  t
+
+val block_height : t -> int
+val num_blocks : t -> int
+
+(** [block_of t node] is the block id holding [node]. *)
+val block_of : t -> int -> int
+
+(** [nodes_in t block] lists the node ids of a block (root-first,
+    preorder). *)
+val nodes_in : t -> int -> int list
+
+(** [same_block t a b] tests whether two nodes share a block — a traversal
+    stepping between them needs no new page read. *)
+val same_block : t -> int -> int -> bool
+
+(** [max_block_size t] is the largest node count of any block; always
+    [<= 2^block_height - 1]. *)
+val max_block_size : t -> int

@@ -1,0 +1,222 @@
+(* Tests for the application layer: dynamic interval management via the
+   [KRV] stabbing reduction, and OODB class-hierarchy indexing via
+   3-sided queries (the paper's §1 motivations). *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Stabbing / interval management ----- *)
+
+let test_stab_static () =
+  let rng = Rng.create 51 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n:500 ~universe:1000 in
+  let t = Stabbing.create ~b:16 ivs in
+  check_int "size" 500 (Stabbing.size t);
+  List.iter
+    (fun q ->
+      Alcotest.(check (list int))
+        "stab matches oracle"
+        (Oracle.stabbing ivs ~q |> Oracle.ival_ids)
+        (Oracle.ival_ids (fst (Stabbing.stab t q))))
+    (Workload.stab_queries rng ~k:40 ~universe:1100)
+
+let test_stab_dynamic_churn () =
+  let rng = Rng.create 53 in
+  let t = Stabbing.create ~b:16 [] in
+  let model = Hashtbl.create 64 in
+  let next = ref 0 in
+  for _ = 0 to 800 do
+    let c = Rng.int rng 10 in
+    if c < 5 then begin
+      let lo = Rng.int rng 900 in
+      let iv = Ival.make ~lo ~hi:(lo + Rng.int rng 100) ~id:!next in
+      incr next;
+      ignore (Stabbing.insert t iv);
+      Hashtbl.replace model (Ival.id iv) iv
+    end
+    else if c < 7 && Hashtbl.length model > 0 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      check_bool "delete present" true (Stabbing.delete t ~id <> None);
+      Hashtbl.remove model id
+    end
+    else begin
+      let q = Rng.int rng 1100 in
+      let want =
+        Hashtbl.fold (fun _ iv acc -> if Ival.contains iv q then iv :: acc else acc) model []
+        |> Oracle.ival_ids
+      in
+      Alcotest.(check (list int)) "stab under churn" want
+        (Oracle.ival_ids (fst (Stabbing.stab t q)))
+    end
+  done;
+  check_int "final size" (Hashtbl.length model) (Stabbing.size t)
+
+let test_stab_io_optimal_shape () =
+  let rng = Rng.create 55 in
+  let n = 20000 in
+  let b = 64 in
+  let ivs = Workload.intervals rng Workload.Short_ivals ~n ~universe:1_000_000 in
+  let t = Stabbing.create ~b ivs in
+  List.iter
+    (fun q ->
+      let res, st = Stabbing.stab t q in
+      let bound =
+        (16 * Num_util.ceil_log ~base:b (max 2 n))
+        + (5 * Num_util.ceil_div (List.length res) b)
+        + 16
+      in
+      check_bool "stab I/O within optimal shape" true (Query_stats.total st <= bound))
+    (Workload.stab_queries rng ~k:25 ~universe:1_000_000)
+
+let test_stab_delete_absent () =
+  let t = Stabbing.create ~b:8 [ Ival.make ~lo:0 ~hi:5 ~id:0 ] in
+  check_bool "absent" true (Stabbing.delete t ~id:42 = None)
+
+(* ----- Class indexing ----- *)
+
+(* vehicle -> {car -> {sedan, suv}, truck}; device -> {phone} *)
+let sample_hierarchy () =
+  let h = Class_index.hierarchy () in
+  Class_index.add_class h ~name:"vehicle" ~parent:"object";
+  Class_index.add_class h ~name:"car" ~parent:"vehicle";
+  Class_index.add_class h ~name:"sedan" ~parent:"car";
+  Class_index.add_class h ~name:"suv" ~parent:"car";
+  Class_index.add_class h ~name:"truck" ~parent:"vehicle";
+  Class_index.add_class h ~name:"device" ~parent:"object";
+  Class_index.add_class h ~name:"phone" ~parent:"device";
+  h
+
+let sample_objects () =
+  [
+    { Class_index.cls = "sedan"; key = 10; oid = 0 };
+    { Class_index.cls = "sedan"; key = 90; oid = 1 };
+    { Class_index.cls = "suv"; key = 50; oid = 2 };
+    { Class_index.cls = "car"; key = 70; oid = 3 };
+    { Class_index.cls = "truck"; key = 30; oid = 4 };
+    { Class_index.cls = "phone"; key = 95; oid = 5 };
+    { Class_index.cls = "vehicle"; key = 5; oid = 6 };
+  ]
+
+let oids l = List.map (fun (o : Class_index.obj) -> o.oid) l |> List.sort compare
+
+let test_class_basic () =
+  let h = sample_hierarchy () in
+  check_int "classes" 8 (Class_index.num_classes h);
+  let t = Class_index.build h ~b:4 (sample_objects ()) in
+  check_int "size" 7 (Class_index.size t);
+  (* car subtree with key >= 40: suv(50), car(70), sedan(90) *)
+  Alcotest.(check (list int)) "car subtree"
+    [ 1; 2; 3 ]
+    (oids (fst (Class_index.query t ~cls:"car" ~key_at_least:40)));
+  (* whole vehicle subtree, any key *)
+  Alcotest.(check (list int)) "vehicle subtree"
+    [ 0; 1; 2; 3; 4; 6 ]
+    (oids (fst (Class_index.query t ~cls:"vehicle" ~key_at_least:min_int)));
+  (* leaf class *)
+  Alcotest.(check (list int)) "sedan only" [ 1 ]
+    (oids (fst (Class_index.query t ~cls:"sedan" ~key_at_least:50)));
+  (* root covers everything *)
+  check_int "root" 7 (Class_index.query_count t ~cls:"object" ~key_at_least:min_int);
+  check_int "high threshold" 2
+    (Class_index.query_count t ~cls:"object" ~key_at_least:90)
+
+let test_class_errors () =
+  let h = sample_hierarchy () in
+  Alcotest.check_raises "unknown parent"
+    (Invalid_argument "Class_index.add_class: unknown parent nope") (fun () ->
+      Class_index.add_class h ~name:"x" ~parent:"nope");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Class_index.add_class: duplicate class car") (fun () ->
+      Class_index.add_class h ~name:"car" ~parent:"object");
+  let t = Class_index.build h ~b:4 [] in
+  ignore t;
+  Alcotest.check_raises "frozen"
+    (Invalid_argument "Class_index.add_class: hierarchy is frozen") (fun () ->
+      Class_index.add_class h ~name:"late" ~parent:"object")
+
+let test_class_random_vs_filter () =
+  (* random hierarchy + objects, queries checked against a direct filter
+     over the transitive subclass set *)
+  let rng = Rng.create 57 in
+  let h = Class_index.hierarchy () in
+  let names = Array.init 40 (fun i -> Printf.sprintf "c%d" i) in
+  let parents = Hashtbl.create 64 in
+  Array.iteri
+    (fun i name ->
+      let parent = if i = 0 then "object" else names.(Rng.int rng i) in
+      Class_index.add_class h ~name ~parent;
+      Hashtbl.replace parents name parent)
+    names;
+  let objs =
+    List.init 600 (fun oid ->
+        {
+          Class_index.cls = names.(Rng.int rng 40);
+          key = Rng.int rng 1000;
+          oid;
+        })
+  in
+  let t = Class_index.build h ~b:16 objs in
+  let rec is_subclass c target =
+    c = target
+    || match Hashtbl.find_opt parents c with
+       | Some p -> is_subclass p target
+       | None -> target = "object"
+  in
+  for _ = 0 to 30 do
+    let target = names.(Rng.int rng 40) in
+    let k = Rng.int rng 1000 in
+    let want =
+      List.filter
+        (fun (o : Class_index.obj) -> o.key >= k && is_subclass o.cls target)
+        objs
+      |> oids
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "subtree %s key>=%d" target k)
+      want
+      (oids (fst (Class_index.query t ~cls:target ~key_at_least:k)))
+  done
+
+let test_class_io_shape () =
+  let rng = Rng.create 59 in
+  let h = Class_index.hierarchy () in
+  for i = 0 to 63 do
+    Class_index.add_class h
+      ~name:(Printf.sprintf "k%d" i)
+      ~parent:(if i = 0 then "object" else Printf.sprintf "k%d" ((i - 1) / 2))
+  done;
+  let n = 20000 in
+  let objs =
+    List.init n (fun oid ->
+        {
+          Class_index.cls = Printf.sprintf "k%d" (Rng.int rng 64);
+          key = Rng.int rng 1_000_000;
+          oid;
+        })
+  in
+  let t = Class_index.build h ~b:64 objs in
+  for i = 0 to 15 do
+    let cls = Printf.sprintf "k%d" (i * 4) in
+    let res, st = Class_index.query t ~cls ~key_at_least:900_000 in
+    let bound =
+      (20 * Num_util.ceil_log ~base:64 n)
+      + (5 * Num_util.ceil_div (List.length res) 64)
+      + 20
+    in
+    check_bool "class query I/O shape" true (Query_stats.total st <= bound)
+  done
+
+let suite =
+  [
+    ("stabbing static vs oracle", `Quick, test_stab_static);
+    ("stabbing dynamic churn", `Slow, test_stab_dynamic_churn);
+    ("stabbing I/O shape", `Quick, test_stab_io_optimal_shape);
+    ("stabbing delete absent", `Quick, test_stab_delete_absent);
+    ("class indexing basic", `Quick, test_class_basic);
+    ("class indexing errors", `Quick, test_class_errors);
+    ("class indexing random vs filter", `Quick, test_class_random_vs_filter);
+    ("class indexing I/O shape", `Quick, test_class_io_shape);
+  ]

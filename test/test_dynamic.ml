@@ -1,0 +1,194 @@
+(* Tests for the fully dynamic external PST (§5, Theorem 5.1): model-based
+   churn fuzzing, invariant checks, buffer semantics, and the amortized
+   update / query I/O shapes. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty_start () =
+  let t = Dynamic_pst.create ~b:8 [] in
+  check_int "size" 0 (Dynamic_pst.size t);
+  check_int "no hits" 0 (Dynamic_pst.query_count t ~xl:min_int ~yb:min_int);
+  ignore (Dynamic_pst.insert t (Point.make ~x:1 ~y:2 ~id:0));
+  check_int "one" 1 (Dynamic_pst.query_count t ~xl:0 ~yb:0);
+  Alcotest.(check (option pass)) "delete works" (Some 0)
+    (Option.map (fun _ -> 0) (Dynamic_pst.delete t ~id:0));
+  check_int "empty again" 0 (Dynamic_pst.size t)
+
+let test_delete_absent () =
+  let t = Dynamic_pst.create ~b:8 [ Point.make ~x:1 ~y:1 ~id:0 ] in
+  check_bool "absent" true (Dynamic_pst.delete t ~id:99 = None);
+  check_int "unchanged" 1 (Dynamic_pst.size t)
+
+let test_buffered_insert_then_delete () =
+  (* deleting a point whose insert is still buffered must cancel it *)
+  let t = Dynamic_pst.create ~b:64 (List.init 500 (fun i -> Point.make ~x:i ~y:i ~id:i)) in
+  ignore (Dynamic_pst.insert t (Point.make ~x:7 ~y:100000 ~id:9999));
+  check_bool "visible while buffered" true
+    (List.exists (fun (p : Point.t) -> p.id = 9999)
+       (fst (Dynamic_pst.query t ~xl:0 ~yb:99999)));
+  Alcotest.(check bool) "cancel" true (Dynamic_pst.delete t ~id:9999 <> None);
+  check_int "gone" 0 (List.length (fst (Dynamic_pst.query t ~xl:0 ~yb:99999)))
+
+let test_churn_vs_model () =
+  let rng = Rng.create 31 in
+  List.iter
+    (fun (b, n0, steps) ->
+      let pts0 = Workload.points rng Workload.Uniform ~n:n0 ~universe:1000 in
+      let t = Dynamic_pst.create ~b pts0 in
+      let model = Hashtbl.create 64 in
+      List.iter (fun (p : Point.t) -> Hashtbl.replace model p.id p) pts0;
+      let next = ref (n0 + 10000) in
+      for step = 0 to steps do
+        let c = Rng.int rng 10 in
+        if c < 5 then begin
+          let p =
+            Point.make ~x:(Rng.int rng 1000) ~y:(Rng.int rng 1000) ~id:!next
+          in
+          incr next;
+          ignore (Dynamic_pst.insert t p);
+          Hashtbl.replace model p.id p
+        end
+        else if c < 8 && Hashtbl.length model > 0 then begin
+          let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+          let id = List.nth ids (Rng.int rng (List.length ids)) in
+          check_bool "delete present" true (Dynamic_pst.delete t ~id <> None);
+          Hashtbl.remove model id
+        end
+        else begin
+          let xl = Rng.int rng 1000 and yb = Rng.int rng 1000 in
+          let got = Oracle.ids (fst (Dynamic_pst.query t ~xl ~yb)) in
+          let want =
+            Hashtbl.fold
+              (fun _ (p : Point.t) acc ->
+                if p.x >= xl && p.y >= yb then p.id :: acc else acc)
+              model []
+            |> List.sort compare
+          in
+          Alcotest.(check (list int)) "query matches model" want got
+        end;
+        if step mod 200 = 0 then Dynamic_pst.check_invariants t
+      done;
+      Dynamic_pst.check_invariants t;
+      Alcotest.(check (list int))
+        "final set"
+        (Hashtbl.fold (fun id _ acc -> id :: acc) model [] |> List.sort compare)
+        (Oracle.ids (Dynamic_pst.to_list t));
+      check_int "size counter" (Hashtbl.length model) (Dynamic_pst.size t))
+    [ (8, 0, 600); (8, 300, 600); (16, 1000, 800); (64, 2000, 800) ]
+
+let test_insert_heavy_then_query () =
+  (* grow far past the initial size: global rebuilds must keep queries
+     exact *)
+  let t = Dynamic_pst.create ~b:16 [] in
+  let model = ref [] in
+  for i = 0 to 3000 do
+    let p = Point.make ~x:(i * 7 mod 997) ~y:(i * 13 mod 991) ~id:i in
+    ignore (Dynamic_pst.insert t p);
+    model := p :: !model
+  done;
+  let g, _ = Dynamic_pst.rebuilds t in
+  check_bool "global rebuilds happened" true (g >= 2);
+  List.iter
+    (fun (xl, yb) ->
+      Alcotest.(check (list int))
+        "query after growth"
+        (Oracle.two_sided !model ~xl ~yb |> Oracle.ids)
+        (Oracle.ids (fst (Dynamic_pst.query t ~xl ~yb))))
+    [ (0, 0); (500, 500); (900, 100); (100, 900) ]
+
+let test_amortized_update_io () =
+  let rng = Rng.create 37 in
+  let amortized n0 =
+    let pts0 = Workload.points rng Workload.Uniform ~n:n0 ~universe:1_000_000 in
+    let t = Dynamic_pst.create ~b:64 pts0 in
+    Dynamic_pst.reset_io_stats t;
+    let total = ref 0 in
+    let nops = 2000 in
+    for i = 0 to nops - 1 do
+      total :=
+        !total
+        + Dynamic_pst.insert t
+            (Point.make ~x:(Rng.int rng 1_000_000) ~y:(Rng.int rng 1_000_000)
+               ~id:(n0 + i + 1))
+    done;
+    float_of_int !total /. float_of_int nops
+  in
+  let a_small = amortized 4000 in
+  let a_big = amortized 64000 in
+  check_bool
+    (Printf.sprintf "amortized update I/O stays low (%.1f, %.1f)" a_small a_big)
+    true
+    (a_small < 25. && a_big < 25.);
+  (* growth with n must be far slower than linear: log_B n behaviour *)
+  check_bool "sub-linear growth" true (a_big < a_small *. 4.)
+
+let test_pending_bounded () =
+  let t = Dynamic_pst.create ~b:16 (List.init 2000 (fun i -> Point.make ~x:i ~y:i ~id:i)) in
+  for i = 0 to 500 do
+    ignore (Dynamic_pst.insert t (Point.make ~x:i ~y:(2 * i) ~id:(10000 + i)))
+  done;
+  Dynamic_pst.check_invariants t (* includes buffer-capacity checks *)
+
+let test_query_io_shape () =
+  (* dynamic queries keep the optimal shape: bounded by c1 log_B n + c2 t/B *)
+  let rng = Rng.create 41 in
+  let n = 32000 in
+  let b = 64 in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe:1_000_000 in
+  let t = Dynamic_pst.create ~b pts in
+  (* mix in some churn so buffers are non-trivial *)
+  for i = 0 to 300 do
+    ignore
+      (Dynamic_pst.insert t
+         (Point.make ~x:(Rng.int rng 1_000_000) ~y:(Rng.int rng 1_000_000)
+            ~id:(n + i)))
+  done;
+  List.iter
+    (fun (xl, yb) ->
+      let res, st = Dynamic_pst.query t ~xl ~yb in
+      let tt = List.length res in
+      let bound =
+        (16 * Num_util.ceil_log ~base:b (max 2 n))
+        + (5 * Num_util.ceil_div tt b)
+        + 16
+      in
+      check_bool
+        (Printf.sprintf "dynamic query %d I/Os <= %d (t=%d)"
+           (Query_stats.total st) bound tt)
+        true
+        (Query_stats.total st <= bound))
+    (Workload.two_sided_corners rng ~k:20 ~universe:1_000_000)
+
+let prop_dynamic_small =
+  QCheck.Test.make ~name:"dynamic small instances match oracle" ~count:30
+    QCheck.(
+      pair (int_range 4 12)
+        (small_list (pair (int_range 0 20) (int_range 0 20))))
+    (fun (b, raw) ->
+      let pts = List.mapi (fun i (x, y) -> Point.make ~x ~y ~id:i) raw in
+      let t = Dynamic_pst.create ~b [] in
+      List.iter (fun p -> ignore (Dynamic_pst.insert t p)) pts;
+      List.for_all
+        (fun xl ->
+          List.for_all
+            (fun yb ->
+              Oracle.ids (fst (Dynamic_pst.query t ~xl ~yb))
+              = Oracle.ids (Oracle.two_sided pts ~xl ~yb))
+            [ 0; 10; 21 ])
+        [ 0; 10; 21 ])
+
+let suite =
+  [
+    ("empty start", `Quick, test_empty_start);
+    ("delete absent", `Quick, test_delete_absent);
+    ("buffered insert then delete", `Quick, test_buffered_insert_then_delete);
+    ("churn vs model", `Slow, test_churn_vs_model);
+    ("insert-heavy growth", `Quick, test_insert_heavy_then_query);
+    ("amortized update I/O (Thm 5.1)", `Slow, test_amortized_update_io);
+    ("pending buffers bounded", `Quick, test_pending_bounded);
+    ("query I/O shape under churn", `Slow, test_query_io_shape);
+    QCheck_alcotest.to_alcotest prop_dynamic_small;
+  ]

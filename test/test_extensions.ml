@@ -1,0 +1,253 @@
+(* Tests for the extension layer: the generic logarithmic-method
+   dynamization, the dynamic 3-sided structure built with it (Theorem
+   5.2's spirit), and the general 4-sided external range tree (the last
+   query class of Figure 1). *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Logmethod over a trivial static structure ----- *)
+
+(* A "static structure" that is just a sorted array with binary search,
+   enough to validate the ladder mechanics. *)
+module Sorted_static = struct
+  type elt = int * int (* (key, id) *)
+  type t = elt array
+  type query = int * int
+  type answer = elt
+
+  let build elts =
+    let a = Array.of_list elts in
+    Array.sort compare a;
+    a
+
+  let query t (lo, hi) =
+    ( Array.to_list t |> List.filter (fun (k, _) -> k >= lo && k <= hi),
+      Pc_pagestore.Query_stats.create () )
+
+  let id (_, i) = i
+  let elt_id (_, i) = i
+  let storage_pages t = Array.length t / 4
+  let destroy _ = ()
+end
+
+module Ladder = Logmethod.Make (Sorted_static)
+
+let test_ladder_basics () =
+  let t = Ladder.create [ (5, 0); (3, 1); (9, 2) ] in
+  check_int "size" 3 (Ladder.size t);
+  check_int "hits" 2 (List.length (fst (Ladder.query t (3, 5))));
+  Ladder.insert t (4, 3);
+  check_int "after insert" 3 (List.length (fst (Ladder.query t (3, 5))));
+  check_bool "delete" true (Ladder.delete t ~id:1);
+  check_bool "delete gone" false (Ladder.delete t ~id:1);
+  check_int "after delete" 2 (List.length (fst (Ladder.query t (3, 5))));
+  check_int "size tracks" 3 (Ladder.size t)
+
+let test_ladder_levels_logarithmic () =
+  let t = Ladder.create [] in
+  for i = 0 to 1023 do
+    Ladder.insert t (i, i)
+  done;
+  check_bool "<= log2 n + 1 levels" true (Ladder.levels t <= 11);
+  check_int "all present" 1024 (List.length (fst (Ladder.query t (min_int, max_int))))
+
+let test_ladder_model_churn () =
+  let rng = Rng.create 61 in
+  let t = Ladder.create [] in
+  let model = Hashtbl.create 64 in
+  let next = ref 0 in
+  for _ = 0 to 1200 do
+    let c = Rng.int rng 10 in
+    if c < 5 then begin
+      let k = Rng.int rng 100 in
+      Ladder.insert t (k, !next);
+      Hashtbl.replace model !next k;
+      incr next
+    end
+    else if c < 8 && Hashtbl.length model > 0 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      check_bool "del present" true (Ladder.delete t ~id);
+      Hashtbl.remove model id
+    end
+    else begin
+      let lo = Rng.int rng 100 in
+      let hi = lo + Rng.int rng 30 in
+      let got =
+        fst (Ladder.query t (lo, hi)) |> List.map snd |> List.sort compare
+      in
+      let want =
+        Hashtbl.fold (fun id k acc -> if k >= lo && k <= hi then id :: acc else acc) model []
+        |> List.sort compare
+      in
+      Alcotest.(check (list int)) "ladder matches model" want got
+    end
+  done;
+  let _merges, rebuilds = Ladder.rebuilds t in
+  check_bool "tombstone rebuilds happened" true (rebuilds >= 0)
+
+let test_ladder_reinsert_after_delete () =
+  let t = Ladder.create [ (1, 7) ] in
+  check_bool "del" true (Ladder.delete t ~id:7);
+  Ladder.insert t (2, 7);
+  Alcotest.(check (list (pair int int))) "resurrected with new key" [ (2, 7) ]
+    (fst (Ladder.query t (min_int, max_int)))
+
+(* ----- Dynamic 3-sided ----- *)
+
+let test_dynamic_pst3_churn () =
+  let rng = Rng.create 63 in
+  let t = Dynamic_pst3.create ~b:16 [] in
+  let model = Hashtbl.create 64 in
+  let next = ref 0 in
+  for _ = 0 to 600 do
+    let c = Rng.int rng 10 in
+    if c < 5 then begin
+      let p = Point.make ~x:(Rng.int rng 500) ~y:(Rng.int rng 500) ~id:!next in
+      incr next;
+      Dynamic_pst3.insert t p;
+      Hashtbl.replace model p.Point.id p
+    end
+    else if c < 7 && Hashtbl.length model > 0 then begin
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      check_bool "delete" true (Dynamic_pst3.delete t ~id);
+      Hashtbl.remove model id
+    end
+    else begin
+      let a = Rng.int rng 500 and b = Rng.int rng 500 and yb = Rng.int rng 500 in
+      let xl = min a b and xr = max a b in
+      let got = Oracle.ids (fst (Dynamic_pst3.query t ~xl ~xr ~yb)) in
+      let pts = Hashtbl.fold (fun _ p acc -> p :: acc) model [] in
+      let want = Oracle.three_sided pts ~xl ~xr ~yb |> Oracle.ids in
+      Alcotest.(check (list int)) "3-sided ladder matches model" want got
+    end
+  done;
+  check_int "size" (Hashtbl.length model) (Dynamic_pst3.size t);
+  check_bool "levels logarithmic" true
+    (Dynamic_pst3.levels t <= Num_util.ceil_log2 (max 2 (2 * (!next + 1))) + 1)
+
+let test_dynamic_pst3_io_shape () =
+  (* query I/O must stay within a log2 n multiple of the static bound *)
+  let rng = Rng.create 65 in
+  let n = 20000 in
+  let b = 64 in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe:1_000_000 in
+  let t = Dynamic_pst3.create ~b pts in
+  for i = 0 to 200 do
+    Dynamic_pst3.insert t
+      (Point.make ~x:(Rng.int rng 1_000_000) ~y:(Rng.int rng 1_000_000)
+         ~id:(n + i))
+  done;
+  List.iter
+    (fun (xl, xr, yb) ->
+      let res, st = Dynamic_pst3.query t ~xl ~xr ~yb in
+      let tt = List.length res in
+      let levels = Dynamic_pst3.levels t in
+      let bound =
+        (levels * ((20 * Num_util.ceil_log ~base:b (max 2 n)) + 20))
+        + (5 * Num_util.ceil_div tt b)
+      in
+      check_bool "ladder query I/O bounded" true (Query_stats.total st <= bound))
+    (Workload.three_sided rng ~k:15 ~universe:1_000_000 ~width:100_000)
+
+(* ----- external range tree (4-sided) ----- *)
+
+let test_range_tree_vs_oracle () =
+  let rng = Rng.create 67 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun dist ->
+              let pts = Workload.points rng dist ~n ~universe:1000 in
+              let t = Ext_range.create ~b pts in
+              for _ = 0 to 25 do
+                let x1 = Rng.int rng 1000 and x2 = Rng.int rng 1000 in
+                let y1 = Rng.int rng 1000 and y2 = Rng.int rng 1000 in
+                let x1, x2 = (min x1 x2, max x1 x2) in
+                let y1, y2 = (min y1 y2, max y1 y2) in
+                let got, _ = Ext_range.query t ~x1 ~x2 ~y1 ~y2 in
+                let want =
+                  Oracle.range_2d pts ~x1 ~x2 ~y1 ~y2 |> Oracle.ids
+                in
+                Alcotest.(check (list int)) "range tree matches oracle" want got
+              done)
+            [ Workload.Uniform; Workload.Clustered 4 ])
+        [ 0; 1; 30; 800 ])
+    [ 4; 8; 32 ]
+
+let test_range_tree_edges () =
+  let pts = List.init 100 (fun i -> Point.make ~x:i ~y:(99 - i) ~id:i) in
+  let t = Ext_range.create ~b:8 pts in
+  check_int "everything" 100
+    (Ext_range.query_count t ~x1:min_int ~x2:max_int ~y1:min_int ~y2:max_int);
+  check_int "nothing (inverted x)" 0
+    (Ext_range.query_count t ~x1:10 ~x2:5 ~y1:0 ~y2:99);
+  check_int "nothing (inverted y)" 0
+    (Ext_range.query_count t ~x1:0 ~x2:99 ~y1:10 ~y2:5);
+  check_int "single cell" 1 (Ext_range.query_count t ~x1:30 ~x2:30 ~y1:69 ~y2:69)
+
+let test_range_tree_io_shape () =
+  let rng = Rng.create 69 in
+  let n = 32000 in
+  let b = 64 in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe:1_000_000 in
+  let t = Ext_range.create ~b pts in
+  let log2n = Num_util.ceil_log2 n in
+  let logbn = Num_util.ceil_log ~base:b n in
+  for _ = 0 to 15 do
+    let x1 = Rng.int rng 900_000 in
+    let y1 = Rng.int rng 900_000 in
+    let res, st = Ext_range.query t ~x1 ~x2:(x1 + 50_000) ~y1 ~y2:(y1 + 50_000) in
+    let tt = List.length res in
+    (* O(log2 n * log_B n + t/B) with explicit constants *)
+    let bound = (4 * log2n * logbn) + (4 * Num_util.ceil_div tt b) + 20 in
+    check_bool
+      (Printf.sprintf "%d I/Os <= %d (t=%d)" (Query_stats.total st) bound tt)
+      true
+      (Query_stats.total st <= bound)
+  done;
+  (* storage O((n/B) log2 (n/B)) *)
+  let factor =
+    float_of_int (Ext_range.storage_pages t) /. float_of_int (n / b)
+  in
+  check_bool
+    (Printf.sprintf "storage factor %.1f within 3x log2(n/B)" factor)
+    true
+    (factor <= 3. *. float_of_int (Num_util.ceil_log2 (n / b)))
+
+let prop_range_tree_random =
+  QCheck.Test.make ~name:"random small range-tree instances match oracle"
+    ~count:50
+    QCheck.(
+      pair (int_range 4 12)
+        (pair
+           (small_list (pair (int_range 0 25) (int_range 0 25)))
+           (pair (pair (int_range 0 30) (int_range 0 30))
+              (pair (int_range 0 30) (int_range 0 30)))))
+    (fun (b, (raw, ((xa, xb), (ya, yb)))) ->
+      let pts = List.mapi (fun i (x, y) -> Point.make ~x ~y ~id:i) raw in
+      let t = Ext_range.create ~b pts in
+      let x1 = min xa xb and x2 = max xa xb in
+      let y1 = min ya yb and y2 = max ya yb in
+      fst (Ext_range.query t ~x1 ~x2 ~y1 ~y2)
+      = (Oracle.range_2d pts ~x1 ~x2 ~y1 ~y2 |> Oracle.ids))
+
+let suite =
+  [
+    ("ladder basics", `Quick, test_ladder_basics);
+    ("ladder levels logarithmic", `Quick, test_ladder_levels_logarithmic);
+    ("ladder model churn", `Quick, test_ladder_model_churn);
+    ("ladder reinsert after delete", `Quick, test_ladder_reinsert_after_delete);
+    ("dynamic 3-sided churn (Thm 5.2)", `Slow, test_dynamic_pst3_churn);
+    ("dynamic 3-sided I/O shape", `Quick, test_dynamic_pst3_io_shape);
+    ("range tree vs oracle", `Slow, test_range_tree_vs_oracle);
+    ("range tree edges", `Quick, test_range_tree_edges);
+    ("range tree I/O shape", `Quick, test_range_tree_io_shape);
+    QCheck_alcotest.to_alcotest prop_range_tree_random;
+  ]

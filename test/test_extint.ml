@@ -1,0 +1,139 @@
+(* Tests for the external interval tree (Theorem 3.5): oracle agreement,
+   single-copy storage, and the storage advantage over the segment tree. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let both_modes = [ Ext_int.Naive; Ext_int.Cached ]
+
+let assert_stab_matches ivs t q =
+  let got, stats = Ext_int.stab t q in
+  let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+  Alcotest.(check (list int))
+    (Format.asprintf "%a q=%d" Ext_int.pp_mode (Ext_int.mode t) q)
+    want (Oracle.ival_ids got);
+  check_int "no duplicate reports" (List.length got)
+    stats.Query_stats.reported_raw
+
+let test_vs_oracle () =
+  let rng = Rng.create 29 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun dist ->
+              let ivs = Workload.intervals rng dist ~n ~universe:2000 in
+              let ts = List.map (fun m -> Ext_int.create ~mode:m ~b ivs) both_modes in
+              List.iter
+                (fun q -> List.iter (fun t -> assert_stab_matches ivs t q) ts)
+                (Workload.stab_queries rng ~k:30 ~universe:2100))
+            [ Workload.Short_ivals; Workload.Long_ivals; Workload.Mixed_ivals;
+              Workload.Nested_ivals ])
+        [ 0; 1; 13; 400 ])
+    [ 4; 8; 64 ]
+
+let test_endpoint_queries () =
+  (* stabbing exactly at endpoints and at routing keys *)
+  let ivs =
+    [ Ival.make ~lo:10 ~hi:20 ~id:0; Ival.make ~lo:20 ~hi:30 ~id:1;
+      Ival.make ~lo:0 ~hi:40 ~id:2; Ival.make ~lo:21 ~hi:22 ~id:3 ]
+  in
+  List.iter
+    (fun m ->
+      let t = Ext_int.create ~mode:m ~b:4 ivs in
+      List.iter (fun q -> assert_stab_matches ivs t q) [ 0; 10; 20; 21; 22; 30; 40; 41; 5 ])
+    both_modes
+
+let test_nested_stack () =
+  let ivs = List.init 60 (fun i -> Ival.make ~lo:i ~hi:(200 - i) ~id:i) in
+  List.iter
+    (fun m ->
+      let t = Ext_int.create ~mode:m ~b:8 ivs in
+      check_int "center hits all" 60 (Ext_int.stab_count t 100);
+      check_int "edge hits one" 1 (Ext_int.stab_count t 0))
+    both_modes
+
+let test_storage_beats_segment_tree () =
+  (* Theorem 3.5 vs 3.4: interval tree stores each interval once, so its
+     cached storage must undercut the segment tree's O((n/B) log n). *)
+  let rng = Rng.create 31 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n:16000 ~universe:1_000_000 in
+  let it = Ext_int.create ~mode:Ext_int.Cached ~b:64 ivs in
+  let st = Ext_seg.create ~mode:Ext_seg.Cached ~b:64 ivs in
+  check_bool
+    (Printf.sprintf "interval %d < segment %d pages" (Ext_int.storage_pages it)
+       (Ext_seg.storage_pages st))
+    true
+    (Ext_int.storage_pages it < Ext_seg.storage_pages st)
+
+let test_query_io_bound () =
+  let rng = Rng.create 33 in
+  let n = 16000 in
+  let b = 64 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe:(1 lsl 22) in
+  let t = Ext_int.create ~mode:Ext_int.Cached ~b ivs in
+  List.iter
+    (fun q ->
+      let res, stq = Ext_int.stab t q in
+      let tt = List.length res in
+      let bound =
+        (10 * Num_util.ceil_log ~base:b (max 2 n)) + (4 * Num_util.ceil_div tt b) + 10
+      in
+      check_bool
+        (Printf.sprintf "%d I/Os <= %d (t=%d)" (Query_stats.total stq) bound tt)
+        true
+        (Query_stats.total stq <= bound))
+    (Workload.stab_queries rng ~k:30 ~universe:(1 lsl 22))
+
+let test_cached_beats_naive_waste () =
+  let rng = Rng.create 35 in
+  let u = 1 lsl 22 in
+  let ivs =
+    List.init 8000 (fun i ->
+        let k = 2 + Rng.int rng 16 in
+        let len = max 1 (u lsr k) in
+        let lo = Rng.int rng (u - len) in
+        Ival.make ~lo ~hi:(lo + len) ~id:i)
+  in
+  let naive = Ext_int.create ~mode:Ext_int.Naive ~b:64 ivs in
+  let cached = Ext_int.create ~mode:Ext_int.Cached ~b:64 ivs in
+  let qs = Workload.stab_queries rng ~k:60 ~universe:u in
+  let waste t =
+    List.fold_left
+      (fun acc q ->
+        let _, st = Ext_int.stab t q in
+        acc + st.Query_stats.wasteful_reads)
+      0 qs
+  in
+  let wn = waste naive and wc = waste cached in
+  check_bool (Printf.sprintf "cached waste %d <= naive waste %d" wc wn) true (wc <= wn)
+
+let prop_extint_random =
+  QCheck.Test.make ~name:"random small instances match oracle (both modes)"
+    ~count:50
+    QCheck.(
+      triple (int_range 2 10)
+        (small_list (pair (int_range 0 30) (int_range 0 15)))
+        (int_range 0 50))
+    (fun (b, raw, q) ->
+      let ivs = List.mapi (fun i (lo, len) -> Ival.make ~lo ~hi:(lo + len) ~id:i) raw in
+      let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+      List.for_all
+        (fun m ->
+          let t = Ext_int.create ~mode:m ~b ivs in
+          Oracle.ival_ids (fst (Ext_int.stab t q)) = want)
+        both_modes)
+
+let suite =
+  [
+    ("vs oracle", `Slow, test_vs_oracle);
+    ("endpoint queries", `Quick, test_endpoint_queries);
+    ("nested stack", `Quick, test_nested_stack);
+    ("storage beats segment tree (Thm 3.5)", `Quick, test_storage_beats_segment_tree);
+    ("query I/O bound", `Quick, test_query_io_bound);
+    ("cached waste <= naive", `Quick, test_cached_beats_naive_waste);
+    QCheck_alcotest.to_alcotest prop_extint_random;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the external segment tree (§2, Theorem 3.4): oracle
+   agreement in both modes, duplicate-freedom, the O(n log n) allocation
+   bound, and the cached-vs-naive I/O separation of Figure 3. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let both_modes = [ Ext_seg.Naive; Ext_seg.Cached ]
+
+let assert_stab_matches ivs t q =
+  let got, stats = Ext_seg.stab t q in
+  let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+  Alcotest.(check (list int))
+    (Format.asprintf "%a q=%d" Ext_seg.pp_mode (Ext_seg.mode t) q)
+    want (Oracle.ival_ids got);
+  check_int "no duplicate reports" (List.length got)
+    stats.Query_stats.reported_raw
+
+let test_vs_oracle () =
+  let rng = Rng.create 13 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun dist ->
+              let ivs = Workload.intervals rng dist ~n ~universe:2000 in
+              let ts = List.map (fun m -> Ext_seg.create ~mode:m ~b ivs) both_modes in
+              List.iter
+                (fun q -> List.iter (fun t -> assert_stab_matches ivs t q) ts)
+                (Workload.stab_queries rng ~k:30 ~universe:2100))
+            [ Workload.Short_ivals; Workload.Long_ivals; Workload.Nested_ivals ])
+        [ 0; 1; 13; 400 ])
+    [ 4; 8; 64 ]
+
+let test_point_intervals () =
+  (* degenerate [x, x] intervals *)
+  let ivs = List.init 100 (fun i -> Ival.make ~lo:i ~hi:i ~id:i) in
+  List.iter
+    (fun m ->
+      let t = Ext_seg.create ~mode:m ~b:8 ivs in
+      check_int "hit one" 1 (Ext_seg.stab_count t 50);
+      check_int "miss" 0 (Ext_seg.stab_count t 1000))
+    both_modes
+
+let test_full_overlap () =
+  let ivs = List.init 50 (fun i -> Ival.make ~lo:0 ~hi:1000 ~id:i) in
+  List.iter
+    (fun m ->
+      let t = Ext_seg.create ~mode:m ~b:8 ivs in
+      check_int "all stab" 50 (Ext_seg.stab_count t 500))
+    both_modes
+
+let test_shared_endpoints () =
+  (* the paper assumes distinct endpoints; we must stay correct without *)
+  let ivs =
+    List.init 200 (fun i -> Ival.make ~lo:(i mod 5 * 10) ~hi:((i mod 5 * 10) + 30) ~id:i)
+  in
+  let rng = Rng.create 15 in
+  List.iter
+    (fun m ->
+      let t = Ext_seg.create ~mode:m ~b:8 ivs in
+      List.iter (fun q -> assert_stab_matches ivs t q)
+        (Workload.stab_queries rng ~k:20 ~universe:100))
+    both_modes
+
+let test_allocation_bound () =
+  let rng = Rng.create 17 in
+  let n = 2000 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe:100000 in
+  let t = Ext_seg.create ~mode:Ext_seg.Cached ~b:16 ivs in
+  check_bool "O(n log n) allocations" true
+    (Ext_seg.total_allocations t <= 2 * n * (Ext_seg.height t + 1))
+
+let test_storage_vs_naive () =
+  (* the cached tree may cost a constant factor more than naive, never
+     asymptotically more *)
+  let rng = Rng.create 19 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n:8000 ~universe:1_000_000 in
+  let naive = Ext_seg.create ~mode:Ext_seg.Naive ~b:64 ivs in
+  let cached = Ext_seg.create ~mode:Ext_seg.Cached ~b:64 ivs in
+  check_bool "within 4x of naive storage" true
+    (Ext_seg.storage_pages cached <= 4 * Ext_seg.storage_pages naive)
+
+(* Dyadic-sparse workload: a few intervals per scale, producing underfull
+   cover-lists at every level — the regime of Figure 3. *)
+let dyadic rng n u =
+  List.init n (fun i ->
+      let k = 2 + Rng.int rng (Num_util.ilog2 u - 4) in
+      let len = max 1 (u lsr k) in
+      let lo = Rng.int rng (u - len) in
+      Ival.make ~lo ~hi:(lo + len) ~id:i)
+
+let test_cached_beats_naive () =
+  let rng = Rng.create 21 in
+  let u = 1 lsl 22 in
+  let ivs = dyadic rng 8000 u in
+  let naive = Ext_seg.create ~mode:Ext_seg.Naive ~b:64 ivs in
+  let cached = Ext_seg.create ~mode:Ext_seg.Cached ~b:64 ivs in
+  let qs = Workload.stab_queries rng ~k:60 ~universe:u in
+  let totals t =
+    List.fold_left
+      (fun (io, waste) q ->
+        let _, st = Ext_seg.stab t q in
+        (io + Query_stats.total st, waste + st.Query_stats.wasteful_reads))
+      (0, 0) qs
+  in
+  let io_n, waste_n = totals naive in
+  let io_c, waste_c = totals cached in
+  check_bool (Printf.sprintf "cached io %d < naive io %d" io_c io_n) true (io_c < io_n);
+  check_bool
+    (Printf.sprintf "cached waste %d < naive waste %d" waste_c waste_n)
+    true (waste_c < waste_n)
+
+let test_query_io_bound () =
+  let rng = Rng.create 23 in
+  let u = 1 lsl 22 in
+  let n = 8000 in
+  let b = 64 in
+  let ivs = dyadic rng n u in
+  let t = Ext_seg.create ~mode:Ext_seg.Cached ~b ivs in
+  List.iter
+    (fun q ->
+      let res, st = Ext_seg.stab t q in
+      let tt = List.length res in
+      let bound =
+        (10 * Num_util.ceil_log ~base:b (max 2 n)) + (4 * Num_util.ceil_div tt b) + 10
+      in
+      check_bool
+        (Printf.sprintf "%d I/Os <= %d (t=%d)" (Query_stats.total st) bound tt)
+        true
+        (Query_stats.total st <= bound))
+    (Workload.stab_queries rng ~k:30 ~universe:u)
+
+let prop_extseg_random =
+  QCheck.Test.make ~name:"random small instances match oracle (both modes)"
+    ~count:50
+    QCheck.(
+      triple (int_range 2 10)
+        (small_list (pair (int_range 0 30) (int_range 0 15)))
+        (int_range 0 50))
+    (fun (b, raw, q) ->
+      let ivs = List.mapi (fun i (lo, len) -> Ival.make ~lo ~hi:(lo + len) ~id:i) raw in
+      let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+      List.for_all
+        (fun m ->
+          let t = Ext_seg.create ~mode:m ~b ivs in
+          Oracle.ival_ids (fst (Ext_seg.stab t q)) = want)
+        both_modes)
+
+let suite =
+  [
+    ("vs oracle", `Slow, test_vs_oracle);
+    ("point intervals", `Quick, test_point_intervals);
+    ("full overlap", `Quick, test_full_overlap);
+    ("shared endpoints", `Quick, test_shared_endpoints);
+    ("allocation bound", `Quick, test_allocation_bound);
+    ("storage vs naive", `Quick, test_storage_vs_naive);
+    ("cached beats naive (Fig. 3)", `Quick, test_cached_beats_naive);
+    ("query I/O bound (Thm 3.4)", `Quick, test_query_io_bound);
+    QCheck_alcotest.to_alcotest prop_extseg_random;
+  ]

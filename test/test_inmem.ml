@@ -1,0 +1,217 @@
+(* Tests for the in-core classics: AVL, priority search trees (static and
+   treap-based dynamic), segment tree and interval tree. Each structure is
+   checked against the brute-force oracle and its own invariants. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module Int_avl = Avl.Make (Int)
+
+(* ----- AVL ----- *)
+
+let test_avl_basics () =
+  let t = Int_avl.of_list [ 5; 1; 9; 3; 7 ] in
+  Int_avl.check_invariants t;
+  check_int "cardinal" 5 (Int_avl.cardinal t);
+  check_bool "mem" true (Int_avl.mem 7 t);
+  check_bool "not mem" false (Int_avl.mem 6 t);
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] (Int_avl.to_list t);
+  let t = Int_avl.remove 5 t in
+  Int_avl.check_invariants t;
+  Alcotest.(check (list int)) "after remove" [ 1; 3; 7; 9 ] (Int_avl.to_list t)
+
+let test_avl_order_statistics () =
+  let t = Int_avl.of_list (List.init 100 (fun i -> i * 2)) in
+  Alcotest.(check (option int)) "nth 0" (Some 0) (Int_avl.nth t 0);
+  Alcotest.(check (option int)) "nth 50" (Some 100) (Int_avl.nth t 50);
+  Alcotest.(check (option int)) "nth oob" None (Int_avl.nth t 100);
+  check_int "rank of 100" 50 (Int_avl.rank 100 t);
+  check_int "rank of 101" 51 (Int_avl.rank 101 t);
+  Alcotest.(check (option int)) "floor 11" (Some 10) (Int_avl.floor t 11);
+  Alcotest.(check (option int)) "ceiling 11" (Some 12) (Int_avl.ceiling t 11);
+  Alcotest.(check (option int)) "floor -1" None (Int_avl.floor t (-1));
+  Alcotest.(check (list int)) "range" [ 10; 12; 14 ] (Int_avl.range t ~lo:10 ~hi:14)
+
+let test_avl_height_balanced () =
+  let t = Int_avl.of_list (List.init 1024 Fun.id) in
+  Int_avl.check_invariants t;
+  check_bool "logarithmic height" true (Int_avl.height t <= 15)
+
+let prop_avl_model =
+  QCheck.Test.make ~name:"avl add/remove matches set model" ~count:100
+    QCheck.(small_list (pair bool (int_range 0 50)))
+    (fun ops ->
+      let t = ref Int_avl.empty in
+      let m = ref [] in
+      List.iter
+        (fun (ins, x) ->
+          if ins then begin
+            t := Int_avl.add x !t;
+            m := List.sort_uniq compare (x :: !m)
+          end
+          else begin
+            t := Int_avl.remove x !t;
+            m := List.filter (( <> ) x) !m
+          end)
+        ops;
+      Int_avl.check_invariants !t;
+      Int_avl.to_list !t = !m)
+
+(* ----- static PST ----- *)
+
+let random_points rng n u = Workload.points rng Workload.Uniform ~n ~universe:u
+
+let test_pst_oracle () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n 500 in
+      let t = Pst.build pts in
+      Pst.check_invariants t;
+      check_int "size" n (Pst.size t);
+      for _ = 0 to 30 do
+        let xl = Rng.int rng 520 and xr = Rng.int rng 520 and yb = Rng.int rng 520 in
+        let xl, xr = (min xl xr, max xl xr) in
+        let got = Pst.query_3sided t ~xl ~xr ~yb |> Oracle.ids in
+        let want = Oracle.three_sided pts ~xl ~xr ~yb |> Oracle.ids in
+        Alcotest.(check (list int)) "3sided matches" want got;
+        let got2 = Pst.query_2sided t ~xl ~yb |> Oracle.ids in
+        let want2 = Oracle.two_sided pts ~xl ~yb |> Oracle.ids in
+        Alcotest.(check (list int)) "2sided matches" want2 got2
+      done)
+    [ 0; 1; 2; 100; 1000 ]
+
+let test_pst_height () =
+  let rng = Rng.create 4 in
+  let t = Pst.build (random_points rng 1024 100000) in
+  check_bool "height O(log n)" true (Pst.height t <= 24)
+
+(* ----- treap PST ----- *)
+
+let test_treap_dynamic_oracle () =
+  let rng = Rng.create 5 in
+  let t = ref Treap_pst.empty in
+  let model = Hashtbl.create 64 in
+  let next = ref 0 in
+  for step = 0 to 800 do
+    let c = Rng.int rng 10 in
+    if c < 6 then begin
+      let p = Point.make ~x:(Rng.int rng 200) ~y:(Rng.int rng 200) ~id:!next in
+      incr next;
+      t := Treap_pst.insert !t p;
+      Hashtbl.replace model p.Point.id p
+    end
+    else if c < 8 && Hashtbl.length model > 0 then begin
+      let ids = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+      let id = List.nth ids (Rng.int rng (List.length ids)) in
+      let p = Hashtbl.find model id in
+      t := Treap_pst.delete !t p;
+      Hashtbl.remove model id
+    end
+    else begin
+      let xl = Rng.int rng 200 and xr = Rng.int rng 200 and yb = Rng.int rng 200 in
+      let xl, xr = (min xl xr, max xl xr) in
+      let got = Treap_pst.query_3sided !t ~xl ~xr ~yb |> Oracle.ids in
+      let pts = Hashtbl.fold (fun _ p acc -> p :: acc) model [] in
+      let want = Oracle.three_sided pts ~xl ~xr ~yb |> Oracle.ids in
+      Alcotest.(check (list int)) "treap matches model" want got
+    end;
+    if step mod 100 = 0 then Treap_pst.check_invariants !t
+  done;
+  check_int "final size" (Hashtbl.length model) (Treap_pst.size !t)
+
+let prop_treap_of_list =
+  QCheck.Test.make ~name:"treap of_list/to_list is a permutation" ~count:100
+    QCheck.(small_list (pair small_int small_int))
+    (fun raw ->
+      let pts = List.mapi (fun i (x, y) -> Point.make ~x ~y ~id:i) raw in
+      let t = Treap_pst.of_list pts in
+      Treap_pst.check_invariants t;
+      Oracle.ids (Treap_pst.to_list t) = Oracle.ids pts)
+
+(* ----- segment tree ----- *)
+
+let random_ivals rng n u = Workload.intervals rng Workload.Mixed_ivals ~n ~universe:u
+
+let test_segment_tree_oracle () =
+  let rng = Rng.create 7 in
+  List.iter
+    (fun n ->
+      let ivs = random_ivals rng n 1000 in
+      let t = Segment_tree.build ivs in
+      Segment_tree.check_invariants t;
+      for _ = 0 to 40 do
+        let q = Rng.int rng 1100 in
+        let got = Segment_tree.stab t q |> Oracle.ival_ids in
+        let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+        Alcotest.(check (list int)) "stab matches" want got
+      done)
+    [ 0; 1; 50; 500 ]
+
+let test_segment_tree_allocations () =
+  let rng = Rng.create 8 in
+  let n = 500 in
+  let ivs = random_ivals rng n 100000 in
+  let t = Segment_tree.build ivs in
+  let h = Segment_tree.height t in
+  (* every interval allocated to at most 2 nodes per level *)
+  check_bool "O(n log n) allocations" true
+    (Segment_tree.total_allocations t <= n * 2 * h)
+
+let test_segment_tree_path () =
+  let ivs = [ Ival.make ~lo:0 ~hi:10 ~id:0; Ival.make ~lo:5 ~hi:20 ~id:1 ] in
+  let t = Segment_tree.build ivs in
+  let path = Segment_tree.path_to t 7 in
+  check_bool "path nonempty" true (List.length path > 0);
+  check_bool "path is root-down" true
+    ((List.hd path).Segment_tree.level = 0)
+
+(* ----- interval tree ----- *)
+
+let test_interval_tree_oracle () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun dist ->
+          let ivs = Workload.intervals rng dist ~n ~universe:1000 in
+          let t = Interval_tree.build ivs in
+          Interval_tree.check_invariants t;
+          check_int "size" n (Interval_tree.size t);
+          for _ = 0 to 40 do
+            let q = Rng.int rng 1100 in
+            let got = Interval_tree.stab t q |> Oracle.ival_ids in
+            let want = Oracle.stabbing ivs ~q |> Oracle.ival_ids in
+            Alcotest.(check (list int)) "stab matches" want got
+          done)
+        [ Workload.Short_ivals; Workload.Nested_ivals ])
+    [ 0; 1; 50; 400 ]
+
+let test_interval_tree_linear_storage () =
+  let rng = Rng.create 10 in
+  let n = 500 in
+  let ivs = random_ivals rng n 100000 in
+  let t = Interval_tree.build ivs in
+  (* each interval stored exactly once (vs O(n log n) in segment tree) *)
+  let stored = ref 0 in
+  Interval_tree.iter_nodes (fun nd -> stored := !stored + List.length nd.Interval_tree.by_lo) t;
+  check_int "each interval once" n !stored
+
+let suite =
+  [
+    ("avl basics", `Quick, test_avl_basics);
+    ("avl order statistics", `Quick, test_avl_order_statistics);
+    ("avl balance", `Quick, test_avl_height_balanced);
+    QCheck_alcotest.to_alcotest prop_avl_model;
+    ("pst vs oracle", `Quick, test_pst_oracle);
+    ("pst height", `Quick, test_pst_height);
+    ("treap pst dynamic vs model", `Quick, test_treap_dynamic_oracle);
+    QCheck_alcotest.to_alcotest prop_treap_of_list;
+    ("segment tree vs oracle", `Quick, test_segment_tree_oracle);
+    ("segment tree allocation bound", `Quick, test_segment_tree_allocations);
+    ("segment tree path", `Quick, test_segment_tree_path);
+    ("interval tree vs oracle", `Quick, test_interval_tree_oracle);
+    ("interval tree linear storage", `Quick, test_interval_tree_linear_storage);
+  ]

@@ -1,0 +1,19 @@
+(* Test entry point: one alcotest section per subsystem. Run with
+   [dune runtest]. *)
+let () =
+  Alcotest.run "pathcaching"
+    [
+      ("util", Test_util.suite);
+      ("pagestore", Test_pagestore.suite);
+      ("inmem", Test_inmem.suite);
+      ("btree", Test_btree.suite);
+      ("extpst", Test_extpst.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("extseg", Test_extseg.suite);
+      ("extint", Test_extint.suite);
+      ("threesided", Test_3sided.suite);
+      ("apps", Test_apps.suite);
+      ("extensions", Test_extensions.suite);
+      ("persist", Test_persist.suite);
+      ("robustness", Test_robustness.suite);
+    ]

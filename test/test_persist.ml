@@ -1,0 +1,124 @@
+(* Tests for structure persistence: save/load roundtrips must preserve
+   query answers and I/O behaviour for every structure kind, and the
+   header checks must reject mismatched files. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_roundtrip_ext_pst () =
+  let rng = Rng.create 71 in
+  let pts = Workload.points rng Workload.Uniform ~n:3000 ~universe:10000 in
+  let t = Ext_pst.create ~variant:Ext_pst.Two_level ~b:16 pts in
+  let path = tmp "pc_test_pst.bin" in
+  Persist.save ~magic:"ext_pst" path t;
+  let t' : Ext_pst.t = Persist.load ~magic:"ext_pst" path in
+  Sys.remove path;
+  check_int "storage preserved" (Ext_pst.storage_pages t) (Ext_pst.storage_pages t');
+  List.iter
+    (fun (xl, yb) ->
+      let a, sa = Ext_pst.query t ~xl ~yb in
+      let b, sb = Ext_pst.query t' ~xl ~yb in
+      Alcotest.(check (list int)) "answers preserved" (Oracle.ids a) (Oracle.ids b);
+      check_int "I/O preserved" (Query_stats.total sa) (Query_stats.total sb))
+    (Workload.two_sided_corners rng ~k:10 ~universe:10000)
+
+let test_roundtrip_ext_seg () =
+  let rng = Rng.create 73 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n:2000 ~universe:10000 in
+  let t = Ext_seg.create ~mode:Ext_seg.Cached ~b:16 ivs in
+  let path = tmp "pc_test_seg.bin" in
+  Persist.save ~magic:"ext_seg" path t;
+  let t' : Ext_seg.t = Persist.load ~magic:"ext_seg" path in
+  Sys.remove path;
+  List.iter
+    (fun q ->
+      Alcotest.(check (list int)) "stabs preserved"
+        (Oracle.ival_ids (fst (Ext_seg.stab t q)))
+        (Oracle.ival_ids (fst (Ext_seg.stab t' q))))
+    (Workload.stab_queries rng ~k:10 ~universe:10000)
+
+let test_roundtrip_btree () =
+  let t = Btree.bulk_load (Pager.create ~page_capacity:8 ())
+      (List.init 2000 (fun i -> (i, i * 3)))
+  in
+  let path = tmp "pc_test_btree.bin" in
+  Persist.save ~magic:"btree" path t;
+  let t' : Btree.t = Persist.load ~magic:"btree" path in
+  Sys.remove path;
+  Btree.check_invariants t';
+  Alcotest.(check (option int)) "find" (Some 300) (Btree.find t' 100);
+  (* the reloaded tree accepts further updates *)
+  Btree.insert t' ~key:(-5) ~value:7;
+  Btree.check_invariants t';
+  check_int "size after insert" 2001 (Btree.size t')
+
+let test_roundtrip_dynamic () =
+  let rng = Rng.create 75 in
+  let pts = Workload.points rng Workload.Uniform ~n:2000 ~universe:10000 in
+  let t = Dynamic_pst.create ~b:16 pts in
+  ignore (Dynamic_pst.insert t (Point.make ~x:1 ~y:9999 ~id:99_999));
+  let path = tmp "pc_test_dyn.bin" in
+  Persist.save ~magic:"dynamic_pst" path t;
+  let t' : Dynamic_pst.t = Persist.load ~magic:"dynamic_pst" path in
+  Sys.remove path;
+  Dynamic_pst.check_invariants t';
+  check_int "size preserved" (Dynamic_pst.size t) (Dynamic_pst.size t');
+  (* pending buffers survive and reconcile *)
+  Alcotest.(check bool) "buffered insert visible" true
+    (List.exists
+       (fun (p : Point.t) -> p.id = 99_999)
+       (fst (Dynamic_pst.query t' ~xl:0 ~yb:9000)));
+  ignore (Dynamic_pst.insert t' (Point.make ~x:2 ~y:2 ~id:99_998));
+  Dynamic_pst.check_invariants t'
+
+let test_magic_mismatch () =
+  let path = tmp "pc_test_magic.bin" in
+  Persist.save ~magic:"alpha" path [ 1; 2; 3 ];
+  (try
+     let (_ : int list) = Persist.load ~magic:"beta" path in
+     Alcotest.fail "expected magic mismatch"
+   with Failure msg ->
+     Alcotest.(check bool) "mentions magic" true
+       (String.length msg > 0 && String.sub msg 0 12 = "Persist.load"));
+  Sys.remove path
+
+let test_not_a_pcache_file () =
+  let path = tmp "pc_test_junk.bin" in
+  let oc = open_out_bin path in
+  output_string oc "garbage that is definitely not a header";
+  close_out oc;
+  (try
+     let (_ : int) = Persist.load ~magic:"x" path in
+     Alcotest.fail "expected header failure"
+   with Failure _ -> ());
+  Sys.remove path
+
+let test_fault_hook_rejected () =
+  let pager : int Pager.t = Pager.create ~page_capacity:4 () in
+  ignore (Pager.alloc pager [| 1 |]);
+  Pager.set_fault pager (fun ~op:_ ~page:_ -> false);
+  let path = tmp "pc_test_fault.bin" in
+  (try
+     Persist.save ~magic:"pager" path pager;
+     Sys.remove path;
+     Alcotest.fail "expected Invalid_argument for closure"
+   with Invalid_argument _ -> ());
+  Pager.clear_fault pager;
+  Persist.save ~magic:"pager" path pager;
+  let pager' : int Pager.t = Persist.load ~magic:"pager" path in
+  Sys.remove path;
+  Alcotest.(check (array int)) "page contents survive" [| 1 |] (Pager.read pager' 0)
+
+let suite =
+  [
+    ("ext_pst roundtrip", `Quick, test_roundtrip_ext_pst);
+    ("ext_seg roundtrip", `Quick, test_roundtrip_ext_seg);
+    ("btree roundtrip + further updates", `Quick, test_roundtrip_btree);
+    ("dynamic roundtrip + pending buffers", `Quick, test_roundtrip_dynamic);
+    ("magic mismatch rejected", `Quick, test_magic_mismatch);
+    ("junk file rejected", `Quick, test_not_a_pcache_file);
+    ("fault hook rejected, clean pager ok", `Quick, test_fault_hook_rejected);
+  ]

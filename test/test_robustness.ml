@@ -1,0 +1,131 @@
+(* Robustness tests: fault injection through whole structures, page
+   reclamation by Build.free, and buffer-pool transparency (same answers,
+   fewer disk reads). *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- fault injection through a full structure ----- *)
+
+let test_query_fault_propagates () =
+  let rng = Rng.create 81 in
+  let pts = Workload.points rng Workload.Uniform ~n:2000 ~universe:10000 in
+  let pager = Pager.create ~page_capacity:16 () in
+  let caps, modes = Ext_pst.capacity_schedule ~variant:Ext_pst.Two_level ~b:16 in
+  let s = Pc_extpst.Build.build pager ~modes ~caps pts in
+  (* Healthy query first. *)
+  let baseline = fst (Pc_extpst.Query.two_sided pager s ~xl:5000 ~yb:5000) in
+  (* Fail every 37th page read: the query must surface Io_fault rather
+     than return wrong results. *)
+  Pager.set_fault pager (fun ~op ~page -> op = "read" && page mod 37 = 0);
+  (try
+     ignore (Pc_extpst.Query.two_sided pager s ~xl:5000 ~yb:5000);
+     (* a fault-free path is possible but unlikely; accept either raising
+        or completing with the right answer *)
+     ()
+   with Pager.Io_fault _ -> ());
+  (* After clearing the fault, answers are intact (read-only queries
+     cannot corrupt state). *)
+  Pager.clear_fault pager;
+  let after = fst (Pc_extpst.Query.two_sided pager s ~xl:5000 ~yb:5000) in
+  Alcotest.(check (list int)) "identical after fault cleared"
+    (Oracle.ids baseline) (Oracle.ids after)
+
+let test_btree_write_fault_during_insert () =
+  let pager = Pager.create ~page_capacity:8 () in
+  let t = Btree.create pager in
+  for i = 0 to 100 do
+    Btree.insert t ~key:i ~value:i
+  done;
+  (* Point the fault at allocations only: a split will trip it. *)
+  Pager.set_fault pager (fun ~op ~page:_ -> op = "alloc");
+  let tripped = ref false in
+  (try
+     for i = 101 to 300 do
+       Btree.insert t ~key:i ~value:i
+     done
+   with Pager.Io_fault _ -> tripped := true);
+  check_bool "allocation fault tripped" true !tripped;
+  Pager.clear_fault pager
+
+(* ----- Build.free reclaims every page ----- *)
+
+let test_build_free_reclaims () =
+  let rng = Rng.create 83 in
+  let pager = Pager.create ~page_capacity:16 () in
+  List.iter
+    (fun variant ->
+      let pts = Workload.points rng Workload.Uniform ~n:1500 ~universe:10000 in
+      let before = Pager.pages_in_use pager in
+      let caps, modes = Ext_pst.capacity_schedule ~variant ~b:16 in
+      let s = Pc_extpst.Build.build pager ~modes ~caps pts in
+      check_bool "pages allocated" true (Pager.pages_in_use pager > before);
+      Pc_extpst.Build.free pager s;
+      check_int
+        (Format.asprintf "all pages reclaimed (%a)" Ext_pst.pp_variant variant)
+        before (Pager.pages_in_use pager))
+    Ext_pst.all_variants
+
+(* ----- buffer pool transparency ----- *)
+
+let test_buffer_pool_transparent () =
+  let rng = Rng.create 85 in
+  let pts = Workload.points rng Workload.Uniform ~n:4000 ~universe:10000 in
+  let cold = Ext_pst.create ~variant:Ext_pst.Segmented ~b:16 pts in
+  let warm = Ext_pst.create ~cache_capacity:256 ~variant:Ext_pst.Segmented ~b:16 pts in
+  let corners = Workload.two_sided_corners rng ~k:15 ~universe:10000 in
+  (* run twice so the pool is warm on the second pass *)
+  List.iter (fun (xl, yb) -> ignore (Ext_pst.query warm ~xl ~yb)) corners;
+  Ext_pst.reset_io_stats cold;
+  Ext_pst.reset_io_stats warm;
+  List.iter
+    (fun (xl, yb) ->
+      Alcotest.(check (list int)) "same answers with and without pool"
+        (Oracle.ids (fst (Ext_pst.query cold ~xl ~yb)))
+        (Oracle.ids (fst (Ext_pst.query warm ~xl ~yb))))
+    corners;
+  let cold_reads = (Ext_pst.io_stats cold).Io_stats.reads in
+  let warm_reads = (Ext_pst.io_stats warm).Io_stats.reads in
+  check_bool
+    (Printf.sprintf "pool reduces disk reads (%d < %d)" warm_reads cold_reads)
+    true (warm_reads < cold_reads);
+  check_bool "hits recorded" true ((Ext_pst.io_stats warm).Io_stats.cache_hits > 0)
+
+(* ----- query-stats totals match the pager's counters ----- *)
+
+let test_stats_reconcile_with_pager () =
+  let rng = Rng.create 87 in
+  let pts = Workload.points rng Workload.Uniform ~n:4000 ~universe:10000 in
+  let t = Ext_pst.create ~variant:Ext_pst.Basic ~b:16 pts in
+  List.iter
+    (fun (xl, yb) ->
+      Ext_pst.reset_io_stats t;
+      let _, st = Ext_pst.query t ~xl ~yb in
+      let pager_reads = (Ext_pst.io_stats t).Io_stats.reads in
+      check_int "breakdown sums to pager reads" pager_reads
+        (Query_stats.total st))
+    (Workload.two_sided_corners rng ~k:15 ~universe:10000)
+
+let test_stab_stats_reconcile () =
+  let rng = Rng.create 89 in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n:3000 ~universe:10000 in
+  let t = Ext_seg.create ~mode:Ext_seg.Cached ~b:16 ivs in
+  List.iter
+    (fun q ->
+      Ext_seg.reset_io_stats t;
+      let _, st = Ext_seg.stab t q in
+      check_int "segtree breakdown sums to pager reads"
+        (Ext_seg.io_stats t).Io_stats.reads (Query_stats.total st))
+    (Workload.stab_queries rng ~k:15 ~universe:10000)
+
+let suite =
+  [
+    ("query fault propagates cleanly", `Quick, test_query_fault_propagates);
+    ("btree allocation fault", `Quick, test_btree_write_fault_during_insert);
+    ("Build.free reclaims all pages", `Quick, test_build_free_reclaims);
+    ("buffer pool transparent", `Quick, test_buffer_pool_transparent);
+    ("extpst stats reconcile with pager", `Quick, test_stats_reconcile_with_pager);
+    ("extseg stats reconcile with pager", `Quick, test_stab_stats_reconcile);
+  ]
