@@ -1,0 +1,136 @@
+(* Buffer-pool replacement-policy sweep.
+
+   Measures hit rate and total page I/Os for each replacement policy
+   (LRU, FIFO, CLOCK, 2Q) across pool sizes and access workloads against
+   a bulk-loaded B+-tree on the simulated disk:
+
+   - [uniform]:  point lookups i.i.d. over the whole key space;
+   - [clustered]: 90% of lookups land in a hot 2% key range;
+   - [seqflood]: hot-range lookups interleaved with full-range scans —
+     the adversary for LRU (each scan floods the pool and evicts the hot
+     set) and the case 2Q's probationary queue is built for.
+
+   Prints a table and writes BENCH_bufferpool.json.
+
+   Run with: dune exec bench/bufferpool.exe
+             dune exec bench/bufferpool.exe -- --fast *)
+
+open Pathcaching
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+let n_keys = if fast then 20_000 else 50_000
+let n_ops = if fast then 400 else 2_000
+let b = 64
+let pool_sizes = [ 16; 64; 256 ]
+let policies = Replacement.all
+
+type workload = Uniform | Clustered | Seqflood
+
+let workloads = [ Uniform; Clustered; Seqflood ]
+
+let workload_name = function
+  | Uniform -> "uniform"
+  | Clustered -> "clustered"
+  | Seqflood -> "seqflood"
+
+(* One policy × pool-size × workload cell: build the tree into a fresh
+   pool-backed pager, cold-start, run the op sequence, read the counters. *)
+let run_cell ~policy ~pool_size ~workload =
+  let pool = Buffer_pool.create ~policy ~capacity:pool_size () in
+  let entries = List.init n_keys (fun k -> (k, k)) in
+  let tree = Btree.bulk_load_in ~pool ~b entries in
+  let pager = Btree.pager tree in
+  Pager.drop_cache pager;
+  Pager.reset_stats pager;
+  Buffer_pool.reset_stats pool;
+  let rng = Rng.create 42 in
+  let hot_lo = n_keys / 2 in
+  (* ~16 leaf pages: small enough that mid-size pools could hold it *)
+  let hot_hi = hot_lo + (n_keys / 50) in
+  let lookup k = ignore (Btree.find tree k) in
+  for op = 1 to n_ops do
+    match workload with
+    | Uniform -> lookup (Rng.int rng n_keys)
+    | Clustered ->
+        if Rng.int rng 10 < 9 then lookup (Rng.int_in rng ~lo:hot_lo ~hi:hot_hi)
+        else lookup (Rng.int rng n_keys)
+    | Seqflood ->
+        (* mostly hot-range lookups; every 100th op is a scan over ~4x
+           the largest pool (1024 leaves), flooding any recency-based
+           pool *)
+        if op mod 100 = 0 then (
+          Pager.advise_normal pager;
+          ignore (Btree.range tree ~lo:0 ~hi:(1024 * (b - 1))))
+        else lookup (Rng.int_in rng ~lo:hot_lo ~hi:hot_hi)
+  done;
+  let st = Pager.stats pager in
+  let accesses = st.Io_stats.reads + st.Io_stats.cache_hits in
+  let hit_rate =
+    if accesses = 0 then 0.
+    else float_of_int st.Io_stats.cache_hits /. float_of_int accesses
+  in
+  (hit_rate, Io_stats.total st)
+
+let () =
+  Printf.printf
+    "Buffer-pool policy sweep: B+-tree n=%d B=%d, %d ops per cell\n" n_keys b
+    n_ops;
+  let cells = ref [] in
+  List.iter
+    (fun workload ->
+      Printf.printf "\n==== %s ====\n" (workload_name workload);
+      Printf.printf "%8s |" "pool";
+      List.iter (fun p -> Printf.printf " %16s" (Replacement.name p)) policies;
+      Printf.printf "\n%8s |" "";
+      List.iter (fun _ -> Printf.printf " %9s %6s" "hit%" "io") policies;
+      print_newline ();
+      List.iter
+        (fun pool_size ->
+          Printf.printf "%8d |" pool_size;
+          List.iter
+            (fun policy ->
+              let hit_rate, total = run_cell ~policy ~pool_size ~workload in
+              cells :=
+                (workload, policy, pool_size, hit_rate, total) :: !cells;
+              Printf.printf " %8.1f%% %6d" (100. *. hit_rate) total)
+            policies;
+          print_newline ())
+        pool_sizes)
+    workloads;
+  (* scan-resistance headline: 2Q vs LRU on the flood workload *)
+  let find w p s =
+    List.find_map
+      (fun (w', p', s', h, t) ->
+        if w' = w && p' = p && s' = s then Some (h, t) else None)
+      !cells
+  in
+  (match (find Seqflood Replacement.Two_q 64, find Seqflood Replacement.Lru 64)
+   with
+  | Some (h2q, io2q), Some (hlru, iolru) ->
+      Printf.printf
+        "\nseqflood @ pool 64: 2q %.1f%% hits / %d IOs vs lru %.1f%% / %d IOs\n"
+        (100. *. h2q) io2q (100. *. hlru) iolru
+  | _ -> ());
+  (* JSON ledger, hand-rendered (no JSON dependency in the tree) *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"bufferpool-policy-sweep\",\n\
+       \  \"tree\": {\"n\": %d, \"b\": %d},\n\
+       \  \"ops_per_cell\": %d,\n  \"seed\": 42,\n  \"cells\": [\n" n_keys b
+       n_ops);
+  let cells = List.rev !cells in
+  List.iteri
+    (fun i (w, p, s, h, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": %S, \"policy\": %S, \"pool_size\": %d, \
+            \"hit_rate\": %.4f, \"total_ios\": %d}%s\n"
+           (workload_name w) (Replacement.name p) s h t
+           (if i = List.length cells - 1 then "" else ",")))
+    cells;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_bufferpool.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_bufferpool.json (%d cells)\n" (List.length cells)

@@ -25,6 +25,31 @@ let queries_arg =
 
 let universe = 1_000_000
 
+let cache_arg =
+  Arg.(value & opt int 0 & info [ "cache" ] ~docv:"FRAMES"
+         ~doc:"Buffer-pool capacity in page frames (0 = uncached, exact \
+               I/O counts).")
+
+let policy_conv =
+  Arg.enum (List.map (fun p -> (Replacement.name p, p)) Replacement.all)
+
+let policy_arg =
+  Arg.(value & opt policy_conv Replacement.Lru & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Buffer-pool replacement policy: lru, fifo, clock, 2q.")
+
+(* A shared pool when caching is requested, [None] for exact counting. *)
+let make_pool cache policy =
+  if cache > 0 then Some (Buffer_pool.create ~policy ~capacity:cache ())
+  else None
+
+let report_pool = function
+  | None -> ()
+  | Some pool ->
+      Printf.printf "pool [%s, %d frames]: %s\n"
+        (Buffer_pool.policy_name pool)
+        (Buffer_pool.capacity pool)
+        (Format.asprintf "%a" Buffer_pool.pp_stats (Buffer_pool.stats pool))
+
 let dist_arg =
   let dist_conv =
     Arg.enum
@@ -58,10 +83,12 @@ let variant_arg =
   Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
          ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
 
-let run_pst n b seed k dist variant =
+let run_pst n b seed k dist variant cache policy =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
-  let t = Ext_pst.create ~variant ~b pts in
+  let pool = make_pool cache policy in
+  let t = Ext_pst.create ?pool ~variant ~b pts in
+  Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "built %s over %d points: %d pages (%.2f x n/B)\n%!"
     (Format.asprintf "%a" Ext_pst.pp_variant variant)
     n (Ext_pst.storage_pages t)
@@ -72,12 +99,14 @@ let run_pst n b seed k dist variant =
       pp_stats_line
         (Printf.sprintf "(%d,%d)" xl yb)
         (List.length res) (Query_stats.total st) st)
-    (Workload.two_sided_corners rng ~k ~universe)
+    (Workload.two_sided_corners rng ~k ~universe);
+  report_pool pool
 
 let pst_cmd =
   let doc = "Build a 2-sided external PST and run random corner queries." in
   Cmd.v (Cmd.info "pst" ~doc)
-    Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg $ variant_arg)
+    Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
+          $ variant_arg $ cache_arg $ policy_arg)
 
 (* ----- pst3 (3-sided) ----- *)
 
@@ -167,10 +196,12 @@ let span_arg =
   Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
          ~doc:"Width of 1-D range queries.")
 
-let run_btree n b seed k span =
+let run_btree n b seed k span cache policy =
   let rng = Rng.create seed in
   let entries = List.init n (fun i -> (i, i)) in
-  let t = Btree.bulk_load (Pager.create ~page_capacity:b ()) entries in
+  let pool = make_pool cache policy in
+  let t = Btree.bulk_load_in ?pool ~b entries in
+  Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "B+-tree over %d keys: height=%d pages=%d\n%!" n
     (Btree.height t) (Btree.pages_used t);
   for _ = 1 to k do
@@ -180,12 +211,14 @@ let run_btree n b seed k span =
     Printf.printf "range [%d, %d): t=%-6d io=%d\n" lo (lo + span)
       (List.length res)
       (Io_stats.total (Pager.stats (Btree.pager t)))
-  done
+  done;
+  report_pool pool
 
 let btree_cmd =
   let doc = "Bulk-load an external B+-tree and run range queries." in
   Cmd.v (Cmd.info "btree" ~doc)
-    Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg)
+    Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg
+          $ cache_arg $ policy_arg)
 
 let () =
   let doc = "Path caching (PODS'94): optimal external searching structures." in

@@ -84,6 +84,9 @@ let create pager =
   t.root <- alloc_node t (LeafN { next = -1; kvs = [||] });
   t
 
+let create_in ?cache_capacity ?pool ~b () =
+  create (Pager.create ?cache_capacity ?pool ~page_capacity:b ())
+
 let pager t = t.pager
 let size t = t.size
 let height t = t.height
@@ -643,3 +646,6 @@ let check_invariants t =
     | _ -> true
   in
   if not (sorted chained) then fail "leaf chain unsorted"
+
+let bulk_load_in ?cache_capacity ?pool ~b entries =
+  bulk_load (Pager.create ?cache_capacity ?pool ~page_capacity:b ()) entries

@@ -37,6 +37,23 @@ val create : cell Pager.t -> t
     [Invalid_argument] if the input is not sorted. *)
 val bulk_load : cell Pager.t -> (int * int) list -> t
 
+(** [create_in ~b ()] and [bulk_load_in ~b entries] allocate the pager
+    internally, with an optional private cache ([cache_capacity]) or a
+    shared buffer pool ([pool]) — see {!Pc_pagestore.Pager.create}. *)
+val create_in :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  b:int ->
+  unit ->
+  t
+
+val bulk_load_in :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  b:int ->
+  (int * int) list ->
+  t
+
 val pager : t -> cell Pager.t
 val size : t -> int
 val height : t -> int

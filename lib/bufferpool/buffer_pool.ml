@@ -1,0 +1,260 @@
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable write_backs : int;
+  mutable overcommits : int;
+}
+
+type frame = {
+  f_owner : int;
+  f_page : int;
+  mutable pinned : int;
+  mutable dirty : bool;
+}
+
+(* Per-owner events not yet observed by the owning client. The pool holds
+   no callbacks into its clients (closures would make pools — and the
+   pagers embedding them — non-persistable); instead clients {!drain}
+   pending events at the start of each of their own operations. *)
+type pending = {
+  mutable p_evictions : int;
+  mutable p_write_backs : int;
+  mutable p_drops : int list; (* evicted pages the owner must forget *)
+}
+
+type t = {
+  pool_capacity : int;
+  validate : bool;
+  write_back : bool;
+  policy_state : Replacement.state;
+  frames : (int, frame) Hashtbl.t; (* packed key -> frame *)
+  owners : (int, pending) Hashtbl.t;
+  mutable next_owner : int;
+  st : stats;
+}
+
+type client = { pool : t; owner : int; mutable seq : bool }
+
+type drained = {
+  d_evictions : int;
+  d_write_backs : int;
+  d_drops : int list;
+}
+
+(* Pages are dense non-negative ints per pager; pack (owner, page) into
+   one key for the policy structures. 2^31 pages per pager is far beyond
+   anything the simulator allocates. *)
+let page_bits = 31
+
+let pack ~owner ~page =
+  if page < 0 || page lsr page_bits <> 0 then
+    invalid_arg "Buffer_pool: page id out of range";
+  (owner lsl page_bits) lor page
+
+let mk_stats () =
+  { hits = 0; misses = 0; evictions = 0; write_backs = 0; overcommits = 0 }
+
+let make ?(validate = false) ?(write_back = false) policy_state ~capacity =
+  if capacity < 0 then invalid_arg "Buffer_pool.create: negative capacity";
+  {
+    pool_capacity = capacity;
+    validate;
+    write_back;
+    policy_state;
+    frames = Hashtbl.create (max 16 capacity);
+    owners = Hashtbl.create 8;
+    next_owner = 0;
+    st = mk_stats ();
+  }
+
+let create ?(policy = Replacement.Lru) ?validate ?write_back ~capacity () =
+  make ?validate ?write_back (Replacement.make policy ~capacity) ~capacity
+
+let create_custom ?validate ?write_back policy_mod ~capacity () =
+  make ?validate ?write_back
+    (Replacement.make_custom policy_mod ~capacity)
+    ~capacity
+
+let capacity t = t.pool_capacity
+let occupancy t = Hashtbl.length t.frames
+
+let pinned_frames t =
+  Hashtbl.fold (fun _ f acc -> if f.pinned > 0 then acc + 1 else acc) t.frames 0
+
+let policy_name t = Replacement.s_name t.policy_state
+let write_back_mode t = t.write_back
+let validate_mode t = t.validate
+let stats t = t.st
+
+let reset_stats t =
+  t.st.hits <- 0;
+  t.st.misses <- 0;
+  t.st.evictions <- 0;
+  t.st.write_backs <- 0;
+  t.st.overcommits <- 0
+
+let register t =
+  let owner = t.next_owner in
+  t.next_owner <- owner + 1;
+  Hashtbl.replace t.owners owner
+    { p_evictions = 0; p_write_backs = 0; p_drops = [] };
+  { pool = t; owner; seq = false }
+
+let pool_of c = c.pool
+let pending_of c = Hashtbl.find c.pool.owners c.owner
+
+let drain c =
+  let p = pending_of c in
+  if p.p_evictions = 0 && p.p_write_backs = 0 && p.p_drops = [] then None
+  else begin
+    let d =
+      {
+        d_evictions = p.p_evictions;
+        d_write_backs = p.p_write_backs;
+        d_drops = List.rev p.p_drops;
+      }
+    in
+    p.p_evictions <- 0;
+    p.p_write_backs <- 0;
+    p.p_drops <- [];
+    Some d
+  end
+
+let evictable t k =
+  match Hashtbl.find_opt t.frames k with
+  | Some f -> f.pinned = 0
+  | None -> true
+
+(* Evict one frame chosen by the policy; false when every frame is
+   pinned. The owner learns about it at its next drain. *)
+let evict_one t =
+  match Replacement.s_victim t.policy_state ~evictable:(evictable t) with
+  | None -> false
+  | Some k ->
+      (match Hashtbl.find_opt t.frames k with
+      | Some f ->
+          Hashtbl.remove t.frames k;
+          t.st.evictions <- t.st.evictions + 1;
+          if f.dirty then t.st.write_backs <- t.st.write_backs + 1;
+          let p = Hashtbl.find t.owners f.f_owner in
+          p.p_evictions <- p.p_evictions + 1;
+          if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
+          p.p_drops <- f.f_page :: p.p_drops
+      | None -> ());
+      true
+
+let admit ?hint c page =
+  let t = c.pool in
+  if t.pool_capacity > 0 then begin
+    let k = pack ~owner:c.owner ~page in
+    if not (Hashtbl.mem t.frames k) then begin
+      let blocked = ref false in
+      while (not !blocked) && Hashtbl.length t.frames >= t.pool_capacity do
+        if not (evict_one t) then begin
+          blocked := true;
+          t.st.overcommits <- t.st.overcommits + 1
+        end
+      done;
+      Hashtbl.replace t.frames k
+        { f_owner = c.owner; f_page = page; pinned = 0; dirty = false };
+      let hint =
+        match hint with Some h -> h | None -> if c.seq then `Cold else `Hot
+      in
+      Replacement.s_insert t.policy_state ~hint k;
+      t.st.misses <- t.st.misses + 1
+    end
+  end
+
+let touch c page =
+  let t = c.pool in
+  if t.pool_capacity > 0 then begin
+    let k = pack ~owner:c.owner ~page in
+    if Hashtbl.mem t.frames k then begin
+      t.st.hits <- t.st.hits + 1;
+      Replacement.s_touch t.policy_state k
+    end
+  end
+
+let resident c page = Hashtbl.mem c.pool.frames (pack ~owner:c.owner ~page)
+
+let forget c page =
+  let t = c.pool in
+  let k = pack ~owner:c.owner ~page in
+  if Hashtbl.mem t.frames k then begin
+    Hashtbl.remove t.frames k;
+    Replacement.s_remove t.policy_state k
+  end
+
+let with_frame c page f =
+  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+  | Some fr -> f fr
+  | None -> ()
+
+let mark_dirty c page = with_frame c page (fun fr -> fr.dirty <- true)
+
+let is_dirty c page =
+  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+  | Some fr -> fr.dirty
+  | None -> false
+
+let pin c page = with_frame c page (fun fr -> fr.pinned <- fr.pinned + 1)
+
+let unpin c page =
+  with_frame c page (fun fr -> fr.pinned <- max 0 (fr.pinned - 1))
+
+let pinned c page =
+  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+  | Some fr -> fr.pinned > 0
+  | None -> false
+
+let advise_sequential c flag = c.seq <- flag
+let sequential c = c.seq
+
+(* Flush in (owner, page) order so write-back accounting is deterministic
+   regardless of hashtable iteration order. *)
+let dirty_frames t ~owner =
+  Hashtbl.fold
+    (fun _ f acc ->
+      if f.dirty && match owner with Some o -> f.f_owner = o | None -> true
+      then f :: acc
+      else acc)
+    t.frames []
+  |> List.sort (fun a b -> compare (a.f_owner, a.f_page) (b.f_owner, b.f_page))
+
+let flush_client c =
+  let t = c.pool in
+  let mine = dirty_frames t ~owner:(Some c.owner) in
+  List.iter
+    (fun f ->
+      f.dirty <- false;
+      t.st.write_backs <- t.st.write_backs + 1)
+    mine;
+  List.length mine
+
+let flush t =
+  List.iter
+    (fun f ->
+      f.dirty <- false;
+      t.st.write_backs <- t.st.write_backs + 1;
+      let p = Hashtbl.find t.owners f.f_owner in
+      p.p_write_backs <- p.p_write_backs + 1)
+    (dirty_frames t ~owner:None)
+
+let drop_client c =
+  let t = c.pool in
+  let mine =
+    Hashtbl.fold
+      (fun k f acc -> if f.f_owner = c.owner then k :: acc else acc)
+      t.frames []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.frames k;
+      Replacement.s_remove t.policy_state k)
+    mine
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "{hits=%d; misses=%d; evictions=%d; write_backs=%d; overcommits=%d}"
+    s.hits s.misses s.evictions s.write_backs s.overcommits

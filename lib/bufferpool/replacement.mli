@@ -1,0 +1,115 @@
+(** Pluggable page-replacement policies for the shared buffer pool.
+
+    A policy tracks a set of integer frame keys and decides which resident
+    frame to evict when the pool is full. Policies never hold page data —
+    the pool and its clients own the frames; a policy is pure replacement
+    bookkeeping, so implementations stay small and deterministic.
+
+    Keys are opaque ints ({!Buffer_pool} packs an owner id and a page id
+    into one). All operations are O(1) amortized except [victim], which may
+    scan past pinned frames. *)
+
+(** Insertion hint. [`Hot] marks a frame expected to be re-used (default);
+    [`Cold] marks a frame from a sequential scan, which a policy should
+    prefer to evict early (see {!Buffer_pool.advise_sequential}). *)
+type hint = [ `Hot | `Cold ]
+
+(** First-class policy interface. The pool instantiates one [t] per pool
+    and routes every residency change through it. Invariants the pool
+    maintains: [insert] is only called for absent keys, [touch] and
+    [remove] only for present keys; [victim] must remove the key it
+    returns. *)
+module type S = sig
+  type t
+
+  val name : string
+
+  (** [create ~capacity] makes an empty policy sized for [capacity]
+      frames (a hint — policies must tolerate temporary overcommit when
+      every frame is pinned). *)
+  val create : capacity:int -> t
+
+  val length : t -> int
+  val mem : t -> int -> bool
+
+  (** [insert t ~hint k] records [k] as resident. *)
+  val insert : t -> hint:hint -> int -> unit
+
+  (** [touch t k] records a hit on resident key [k]. *)
+  val touch : t -> int -> unit
+
+  (** [remove t k] forgets [k] (page freed or dropped), with no eviction
+      semantics. *)
+  val remove : t -> int -> unit
+
+  (** [victim t ~evictable] selects, removes and returns the next victim,
+      skipping keys for which [evictable] is [false] (pinned frames).
+      Returns [None] when no resident frame is evictable. *)
+  val victim : t -> evictable:(int -> bool) -> int option
+
+  val clear : t -> unit
+end
+
+(** The built-in policy implementations (see {!module_of} for their
+    semantics). *)
+module Lru_policy : S
+
+module Fifo_policy : S
+module Clock_policy : S
+module Two_q_policy : S
+
+(** The built-in policies. *)
+type policy = Lru | Fifo | Clock | Two_q
+
+val all : policy list
+val name : policy -> string
+val of_string : string -> policy option
+val pp : Format.formatter -> policy -> unit
+
+(** [module_of p] is the implementation behind [p]:
+    - [Lru]: classic least-recently-used; exactly reproduces the legacy
+      per-pager {!Pc_pagestore.Lru} eviction order, preserving the
+      repository's deterministic I/O counts.
+    - [Fifo]: first-in first-out; hits do not promote.
+    - [Clock]: one-bit second-chance approximation of LRU.
+    - [Two_q]: scan-resistant simplified 2Q (Johnson & Shasha, VLDB'94):
+      a short probationary FIFO [A1in], a ghost queue [A1out] of recently
+      evicted keys, and a protected LRU [Am]; only keys re-referenced
+      after probation reach [Am], so a sequential flood cannot displace
+      the hot set. *)
+val module_of : policy -> (module S)
+
+(** A policy instance paired with its state. *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+val instantiate : (module S) -> capacity:int -> instance
+val i_name : instance -> string
+val i_length : instance -> int
+val i_mem : instance -> int -> bool
+val i_insert : instance -> hint:hint -> int -> unit
+val i_touch : instance -> int -> unit
+val i_remove : instance -> int -> unit
+val i_victim : instance -> evictable:(int -> bool) -> int option
+val i_clear : instance -> unit
+
+(** Policy state as stored by the pool. Built-in policies live behind
+    concrete constructors whose state is pure data, so a pool embedded in
+    a pager survives {!Pc_pagestore.Persist}'s [Marshal]; a [Custom_st]
+    carries its first-class module and makes the pool non-persistable. *)
+type state =
+  | Lru_st of Lru_policy.t
+  | Fifo_st of Fifo_policy.t
+  | Clock_st of Clock_policy.t
+  | Two_q_st of Two_q_policy.t
+  | Custom_st of instance
+
+val make : policy -> capacity:int -> state
+val make_custom : (module S) -> capacity:int -> state
+val s_name : state -> string
+val s_length : state -> int
+val s_mem : state -> int -> bool
+val s_insert : state -> hint:hint -> int -> unit
+val s_touch : state -> int -> unit
+val s_remove : state -> int -> unit
+val s_victim : state -> evictable:(int -> bool) -> int option
+val s_clear : state -> unit

@@ -56,7 +56,7 @@ type t = {
   objs : (int, obj) Hashtbl.t; (* point id -> object *)
 }
 
-let build ?cache_capacity h ~b objs =
+let build ?cache_capacity ?pool h ~b objs =
   h.frozen <- true;
   let n = h.count in
   let ranges = Array.make n (0, 0) in
@@ -85,7 +85,7 @@ let build ?cache_capacity h ~b objs =
     h;
     ranges;
     pst =
-      Pc_threesided.Ext_pst3.create ?cache_capacity
+      Pc_threesided.Ext_pst3.create ?cache_capacity ?pool
         ~mode:Pc_threesided.Ext_pst3.Cached ~b points;
     objs = table;
   }

@@ -33,7 +33,13 @@ type obj = { cls : string; key : int; oid : int }
 
 (** [build h ~b objs] freezes the hierarchy and indexes the objects.
     Raises [Invalid_argument] on an unknown class name. *)
-val build : ?cache_capacity:int -> hierarchy -> b:int -> obj list -> t
+val build :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  hierarchy ->
+  b:int ->
+  obj list ->
+  t
 
 val size : t -> int
 

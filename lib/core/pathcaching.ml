@@ -12,6 +12,8 @@
     - {!Point}, {!Ival}: indexed values
     - {!Pager}, {!Blocked_list}, {!Io_stats}, {!Query_stats}: the
       simulated block device and its accounting
+    - {!Buffer_pool}, {!Replacement}: shared buffer-pool manager with
+      pluggable replacement policies (LRU, FIFO, CLOCK, 2Q)
     - {!Btree}: external B+-tree (1-D optimal baseline, §1)
     - {!Pst}, {!Treap_pst}, {!Segment_tree}, {!Interval_tree}, {!Avl}:
       in-core classics (oracles and building blocks)
@@ -35,6 +37,8 @@ module Workload = Pc_util.Workload
 module Num_util = Pc_util.Num_util
 module Blocked = Pc_util.Blocked
 module Skeletal_layout = Pc_util.Skeletal_layout
+module Buffer_pool = Pc_bufferpool.Buffer_pool
+module Replacement = Pc_bufferpool.Replacement
 module Pager = Pc_pagestore.Pager
 module Blocked_list = Pc_pagestore.Blocked_list
 module Io_stats = Pc_pagestore.Io_stats

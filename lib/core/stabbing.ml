@@ -8,11 +8,13 @@ type t = { pst : Pc_extpst.Dynamic.t; ivals : (int, Ival.t) Hashtbl.t }
 
 let to_point iv = Point.make ~x:(-Ival.lo iv) ~y:(Ival.hi iv) ~id:(Ival.id iv)
 
-let create ?cache_capacity ~b ivs =
+let create ?cache_capacity ?pool ~b ivs =
   let ivals = Hashtbl.create (max 64 (List.length ivs)) in
   List.iter (fun iv -> Hashtbl.replace ivals (Ival.id iv) iv) ivs;
   {
-    pst = Pc_extpst.Dynamic.create ?cache_capacity ~b (List.map to_point ivs);
+    pst =
+      Pc_extpst.Dynamic.create ?cache_capacity ?pool ~b
+        (List.map to_point ivs);
     ivals;
   }
 

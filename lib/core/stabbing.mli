@@ -17,7 +17,12 @@ open Pc_util
 type t
 
 (** [create ~b ivs] builds an interval store with page size [b]. *)
-val create : ?cache_capacity:int -> b:int -> Ival.t list -> t
+val create :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  b:int ->
+  Ival.t list ->
+  t
 
 val size : t -> int
 

@@ -30,7 +30,13 @@ val pp_mode : Format.formatter -> mode -> unit
 
 type t
 
-val create : ?cache_capacity:int -> mode:mode -> b:int -> Ival.t list -> t
+val create :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  mode:mode ->
+  b:int ->
+  Ival.t list ->
+  t
 val mode : t -> mode
 val size : t -> int
 val page_size : t -> int

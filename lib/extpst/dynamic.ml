@@ -346,17 +346,26 @@ let rebuild_all t pts =
       t.blocks
   end
 
-let create ?(cache_capacity = 0) ~b pts =
+let create ?(cache_capacity = 0) ?pool ~b pts =
   if b < 2 then invalid_arg "Dynamic.create: b < 2";
   let descs_max = (1 lsl block_height b) - 1 in
   let u_cap = max 1 (b - descs_max) in
+  (* one frame budget covers the main and substructure pagers; before the
+     shared pool, passing [cache_capacity] to both silently doubled the
+     cache memory *)
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+        Pc_bufferpool.Buffer_pool.create ~capacity:cache_capacity ()
+  in
   let t =
     {
       b;
       cap = region_capacity b;
       u_cap;
-      pager = Pager.create ~cache_capacity ~page_capacity:b ();
-      sub_pager = Pager.create ~cache_capacity ~page_capacity:b ();
+      pager = Pager.create ~pool ~page_capacity:b ();
+      sub_pager = Pager.create ~pool ~page_capacity:b ();
       regions = [||];
       blocks = [||];
       layout = None;

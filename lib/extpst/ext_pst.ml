@@ -26,9 +26,9 @@ let capacity_schedule ~variant ~b =
   | Two_level -> Build.schedule_two_level ~b
   | Multilevel -> Build.schedule_multilevel ~b
 
-let create ?(cache_capacity = 0) ~variant ~b pts =
+let create ?(cache_capacity = 0) ?pool ~variant ~b pts =
   if b < 2 then invalid_arg "Ext_pst.create: b < 2";
-  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
   let structure =
     match pts with
     | [] -> None

@@ -30,9 +30,17 @@ val all_variants : variant list
 type t
 
 (** [create ~variant ~b pts] builds the structure over page size [b]
-    (requires [b >= 2]). [cache_capacity] (default 0) sizes an LRU buffer
-    pool in pages — leave it 0 for exact I/O counting. *)
-val create : ?cache_capacity:int -> variant:variant -> b:int -> Point.t list -> t
+    (requires [b >= 2]). [cache_capacity] (default 0) sizes a private LRU
+    buffer pool in pages — leave it 0 for exact I/O counting — while
+    [pool] plugs the pager into a shared {!Pc_bufferpool.Buffer_pool}
+    (overriding [cache_capacity]). *)
+val create :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  variant:variant ->
+  b:int ->
+  Point.t list ->
+  t
 
 val variant : t -> variant
 val size : t -> int

@@ -36,10 +36,19 @@ type bnode = {
   b_pts : Point.t array; (* subtree points, sorted by y then id *)
 }
 
-let create ?(cache_capacity = 0) ~b pts =
+let create ?(cache_capacity = 0) ?pool ~b pts =
   if b < 4 then invalid_arg "Ext_range.create: b < 4 (B+-tree fanout)";
-  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
-  let index_pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  (* one frame budget covers the skeletal and y-index pagers; before the
+     shared pool, passing [cache_capacity] to both silently doubled the
+     cache memory *)
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+        Pc_bufferpool.Buffer_pool.create ~capacity:cache_capacity ()
+  in
+  let pager = Pager.create ~pool ~page_capacity:b () in
+  let index_pager = Pager.create ~pool ~page_capacity:b () in
   match pts with
   | [] ->
       {
@@ -270,6 +279,8 @@ let io_stats t =
   a.cache_hits <- a.cache_hits + b.cache_hits;
   a.allocs <- a.allocs + b.allocs;
   a.frees <- a.frees + b.frees;
+  a.evictions <- a.evictions + b.evictions;
+  a.write_backs <- a.write_backs + b.write_backs;
   a
 
 let reset_io_stats t =

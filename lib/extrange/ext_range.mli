@@ -22,7 +22,17 @@ open Pc_util
 
 type t
 
-val create : ?cache_capacity:int -> b:int -> Point.t list -> t
+(** [create ~b pts] builds the structure. The skeletal-tree and y-index
+    pagers share one buffer pool of [cache_capacity] frames (historically
+    each pager got its own [cache_capacity]-frame cache, silently
+    doubling the memory budget); pass [pool] to share an external pool
+    instead. *)
+val create :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  b:int ->
+  Point.t list ->
+  t
 val size : t -> int
 val page_size : t -> int
 val height : t -> int

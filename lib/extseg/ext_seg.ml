@@ -129,9 +129,9 @@ let allocate root iv =
   in
   if overlaps root then go root
 
-let create ?(cache_capacity = 0) ~mode ~b ivs =
+let create ?(cache_capacity = 0) ?pool ~mode ~b ivs =
   if b < 2 then invalid_arg "Ext_seg.create: b < 2";
-  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
   match ivs with
   | [] ->
       {

@@ -33,7 +33,13 @@ type t
 
 (** [create ~mode ~b ivs] builds the structure on its own simulated disk
     with page capacity [b] (requires [b >= 2]). *)
-val create : ?cache_capacity:int -> mode:mode -> b:int -> Ival.t list -> t
+val create :
+  ?cache_capacity:int ->
+  ?pool:Pc_bufferpool.Buffer_pool.t ->
+  mode:mode ->
+  b:int ->
+  Ival.t list ->
+  t
 
 val mode : t -> mode
 val size : t -> int

@@ -4,16 +4,29 @@ type t = {
   mutable cache_hits : int;
   mutable allocs : int;
   mutable frees : int;
+  mutable evictions : int;
+  mutable write_backs : int;
 }
 
-let create () = { reads = 0; writes = 0; cache_hits = 0; allocs = 0; frees = 0 }
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    cache_hits = 0;
+    allocs = 0;
+    frees = 0;
+    evictions = 0;
+    write_backs = 0;
+  }
 
 let reset t =
   t.reads <- 0;
   t.writes <- 0;
   t.cache_hits <- 0;
   t.allocs <- 0;
-  t.frees <- 0
+  t.frees <- 0;
+  t.evictions <- 0;
+  t.write_backs <- 0
 
 let total t = t.reads + t.writes
 
@@ -24,6 +37,8 @@ let snapshot t =
     cache_hits = t.cache_hits;
     allocs = t.allocs;
     frees = t.frees;
+    evictions = t.evictions;
+    write_backs = t.write_backs;
   }
 
 let diff ~after ~before =
@@ -33,8 +48,12 @@ let diff ~after ~before =
     cache_hits = after.cache_hits - before.cache_hits;
     allocs = after.allocs - before.allocs;
     frees = after.frees - before.frees;
+    evictions = after.evictions - before.evictions;
+    write_backs = after.write_backs - before.write_backs;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "{reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d}"
-    t.reads t.writes t.cache_hits t.allocs t.frees
+  Format.fprintf ppf
+    "{reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; evictions=%d; \
+     write_backs=%d}"
+    t.reads t.writes t.cache_hits t.allocs t.frees t.evictions t.write_backs

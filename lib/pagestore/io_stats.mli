@@ -3,7 +3,14 @@
     The paper's cost model charges one unit per page transferred between
     disk and memory. [reads] and [writes] count transfers that actually hit
     the (simulated) disk; [cache_hits] counts accesses absorbed by the
-    buffer pool and therefore free under the model. *)
+    buffer pool and therefore free under the model.
+
+    [evictions] counts this pager's frames pushed out of its buffer pool
+    (by any pool client — with a shared {!Pc_bufferpool.Buffer_pool} the
+    evictor may be another pager drawing on the same budget), and
+    [write_backs] counts deferred writes charged at eviction or flush time
+    when the pool runs in write-back mode. Write-backs are also included
+    in [writes], so {!total} remains the paper's I/O cost. *)
 
 type t = {
   mutable reads : int;
@@ -11,6 +18,8 @@ type t = {
   mutable cache_hits : int;
   mutable allocs : int;
   mutable frees : int;
+  mutable evictions : int;
+  mutable write_backs : int;
 }
 
 val create : unit -> t

@@ -1,32 +1,54 @@
+open Pc_bufferpool
+
 exception Io_fault of { page : int; op : string }
 exception Page_overflow of { page : int; len : int; capacity : int }
+exception Frame_mutated of { page : int }
 
 type 'a slot = Live of 'a array | Freed
+
+(* A cached page frame. [shadow] is a pristine copy kept only when the
+   pool runs in validation mode; it lets the pager detect callers that
+   mutate an array returned by {!read} instead of going through
+   {!write}. *)
+type 'a frame = { mutable data : 'a array; mutable shadow : 'a array option }
 
 type 'a t = {
   page_capacity : int;
   mutable slots : 'a slot option array;
   mutable next_id : int;
   mutable live : int;
-  cache : 'a array Lru.t;
+  frames : (int, 'a frame) Hashtbl.t;
+  pool : Buffer_pool.t;
+  client : Buffer_pool.client;
   stats : Io_stats.t;
   mutable fault : (op:string -> page:int -> bool) option;
 }
 
-let create ?(cache_capacity = 0) ~page_capacity () =
+let create ?(cache_capacity = 0) ?pool ~page_capacity () =
   if page_capacity <= 0 then invalid_arg "Pager.create: page_capacity <= 0";
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+        (* private per-pager pool: the legacy configuration, byte-identical
+           I/O counts to the old built-in LRU *)
+        Buffer_pool.create ~policy:Replacement.Lru ~capacity:cache_capacity ()
+  in
   {
     page_capacity;
     slots = Array.make 64 None;
     next_id = 0;
     live = 0;
-    cache = Lru.create cache_capacity;
+    frames = Hashtbl.create 64;
+    pool;
+    client = Buffer_pool.register pool;
     stats = Io_stats.create ();
     fault = None;
   }
 
 let page_capacity t = t.page_capacity
-let cache_capacity t = Lru.capacity t.cache
+let cache_capacity t = Buffer_pool.capacity t.pool
+let pool t = t.pool
 
 let check_fault t ~op ~page =
   match t.fault with
@@ -46,7 +68,57 @@ let check_len t ~page records =
   if len > t.page_capacity then
     raise (Page_overflow { page; len; capacity = t.page_capacity })
 
+let validate_frame t id (fr : 'a frame) =
+  if Buffer_pool.validate_mode t.pool then
+    match fr.shadow with
+    | Some s when fr.data <> s -> raise (Frame_mutated { page = id })
+    | _ -> ()
+
+let refresh_shadow t (fr : 'a frame) =
+  if Buffer_pool.validate_mode t.pool then
+    fr.shadow <- Some (Array.copy fr.data)
+
+(* Reconcile pool events since our last operation: drop frames the pool
+   evicted (validating them on the way out) and charge eviction /
+   deferred-write accounting. Runs at the start of every operation, so
+   lookups in [t.frames] never see a stale frame. *)
+let sync t =
+  match Buffer_pool.drain t.client with
+  | None -> ()
+  | Some d ->
+      List.iter
+        (fun page ->
+          match Hashtbl.find_opt t.frames page with
+          | Some fr ->
+              validate_frame t page fr;
+              Hashtbl.remove t.frames page
+          | None -> ())
+        d.Buffer_pool.d_drops;
+      t.stats.evictions <- t.stats.evictions + d.Buffer_pool.d_evictions;
+      t.stats.write_backs <- t.stats.write_backs + d.Buffer_pool.d_write_backs;
+      t.stats.writes <- t.stats.writes + d.Buffer_pool.d_write_backs
+
+(* Make [id] resident (caller guarantees it is not). May evict frames of
+   this or any other pager sharing the pool. *)
+let cache_insert ?hint t id data =
+  if Buffer_pool.capacity t.pool > 0 then begin
+    let fr = { data; shadow = None } in
+    refresh_shadow t fr;
+    Hashtbl.replace t.frames id fr;
+    Buffer_pool.admit ?hint t.client id
+  end
+
+(* A write is charged immediately in write-through mode; in write-back
+   mode it only dirties the resident frame and is charged at eviction or
+   flush. A write that cannot be buffered (capacity-0 pool) is always
+   charged immediately. *)
+let charge_write t id ~buffered =
+  if buffered && Buffer_pool.write_back_mode t.pool then
+    Buffer_pool.mark_dirty t.client id
+  else t.stats.writes <- t.stats.writes + 1
+
 let alloc t records =
+  sync t;
   let id = t.next_id in
   check_len t ~page:id records;
   check_fault t ~op:"alloc" ~page:id;
@@ -55,8 +127,8 @@ let alloc t records =
   t.next_id <- id + 1;
   t.live <- t.live + 1;
   t.stats.allocs <- t.stats.allocs + 1;
-  t.stats.writes <- t.stats.writes + 1;
-  ignore (Lru.put t.cache id records);
+  cache_insert t id records;
+  charge_write t id ~buffered:(Hashtbl.mem t.frames id);
   id
 
 let alloc_empty t = alloc t [||]
@@ -70,42 +142,97 @@ let get_slot t id op =
   | None -> invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id)
 
 let read t id =
+  sync t;
   check_fault t ~op:"read" ~page:id;
-  match Lru.find t.cache id with
-  | Some records ->
+  match Hashtbl.find_opt t.frames id with
+  | Some fr ->
+      validate_frame t id fr;
       t.stats.cache_hits <- t.stats.cache_hits + 1;
-      records
+      Buffer_pool.touch t.client id;
+      fr.data
   | None ->
       let records = get_slot t id "read" in
       t.stats.reads <- t.stats.reads + 1;
-      ignore (Lru.put t.cache id records);
+      cache_insert t id records;
       records
 
 let write t id records =
+  sync t;
   check_len t ~page:id records;
   check_fault t ~op:"write" ~page:id;
   ignore (get_slot t id "write");
   t.slots.(id) <- Some (Live records);
-  t.stats.writes <- t.stats.writes + 1;
-  ignore (Lru.put t.cache id records)
+  (match Hashtbl.find_opt t.frames id with
+  | Some fr ->
+      validate_frame t id fr;
+      fr.data <- records;
+      refresh_shadow t fr;
+      Buffer_pool.touch t.client id
+  | None -> cache_insert t id records);
+  charge_write t id ~buffered:(Hashtbl.mem t.frames id)
 
 let free t id =
+  sync t;
   ignore (get_slot t id "free");
   t.slots.(id) <- Some Freed;
   t.live <- t.live - 1;
   t.stats.frees <- t.stats.frees + 1;
-  Lru.remove t.cache id
+  (* a freed page's dirty data is discarded, never written back *)
+  Hashtbl.remove t.frames id;
+  Buffer_pool.forget t.client id
 
 let pages_in_use t = t.live
-let stats t = t.stats
-let reset_stats t = Io_stats.reset t.stats
+
+let stats t =
+  sync t;
+  t.stats
+
+let reset_stats t =
+  sync t;
+  Io_stats.reset t.stats
 
 let with_counted t f =
-  let before = Io_stats.snapshot t.stats in
+  let before = Io_stats.snapshot (stats t) in
   let result = f () in
-  let after = Io_stats.snapshot t.stats in
+  let after = Io_stats.snapshot (stats t) in
   (result, Io_stats.diff ~after ~before)
 
 let set_fault t f = t.fault <- Some f
 let clear_fault t = t.fault <- None
-let drop_cache t = Lru.clear t.cache
+
+let drop_cache t =
+  sync t;
+  Hashtbl.reset t.frames;
+  Buffer_pool.drop_client t.client
+
+let flush t =
+  sync t;
+  let n = Buffer_pool.flush_client t.client in
+  t.stats.writes <- t.stats.writes + n;
+  t.stats.write_backs <- t.stats.write_backs + n
+
+let pin t id =
+  if Buffer_pool.capacity t.pool > 0 then begin
+    sync t;
+    if not (Hashtbl.mem t.frames id) then ignore (read t id);
+    Buffer_pool.pin t.client id
+  end
+
+let unpin t id =
+  sync t;
+  Buffer_pool.unpin t.client id
+
+let advise_sequential t = Buffer_pool.advise_sequential t.client true
+let advise_normal t = Buffer_pool.advise_sequential t.client false
+
+let advise_willneed t ids =
+  sync t;
+  if Buffer_pool.capacity t.pool > 0 then
+    List.iter
+      (fun id ->
+        if not (Hashtbl.mem t.frames id) then begin
+          let records = get_slot t id "advise_willneed" in
+          t.stats.reads <- t.stats.reads + 1;
+          cache_insert ~hint:`Hot t id records
+        end)
+      ids

@@ -4,12 +4,22 @@
     data access through a pager: this is the substrate that stands in for
     the disk of the paper's I/O model (see DESIGN.md §2). A page holds at
     most [page_capacity] records of type ['a]; reading or writing a page
-    costs one I/O unless the access is absorbed by the optional LRU buffer
-    pool. Counters live in {!Io_stats}.
+    costs one I/O unless the access is absorbed by the buffer pool.
+    Counters live in {!Io_stats}.
+
+    Caching is delegated to a {!Pc_bufferpool.Buffer_pool}: by default
+    each pager gets a private LRU pool sized by [cache_capacity]
+    (capacity 0 = cache nothing, the deterministic-count configuration),
+    reproducing the historical built-in LRU byte-for-byte; passing
+    [?pool] instead makes the pager draw frames from a budget shared with
+    other pagers, with the pool's replacement policy deciding evictions
+    across all of them.
 
     The store is typed per instance: a structure that needs pages of
     points and pages of node metadata either uses two pagers or a variant
     payload type. Page ids are dense non-negative ints. *)
+
+open Pc_bufferpool
 
 type 'a t
 
@@ -19,30 +29,48 @@ exception Io_fault of { page : int; op : string }
 exception Page_overflow of { page : int; len : int; capacity : int }
 (** Raised when a page is written with more records than it can hold. *)
 
+exception Frame_mutated of { page : int }
+(** Raised (only when the pool was created with [~validate:true]) when a
+    cached page array was mutated in place instead of going through
+    {!write} — the aliasing hazard of {!read}'s zero-copy return. *)
+
 (** [create ~page_capacity ()] makes an empty device. [cache_capacity]
-    (default [0]) sizes the LRU buffer pool in pages; [0] disables caching
-    so every access costs exactly one I/O. *)
-val create : ?cache_capacity:int -> page_capacity:int -> unit -> 'a t
+    (default [0]) sizes a private LRU buffer pool in pages; [0] disables
+    caching so every access costs exactly one I/O. [pool] overrides the
+    private pool with a shared {!Buffer_pool.t} (then [cache_capacity] is
+    ignored). *)
+val create :
+  ?cache_capacity:int -> ?pool:Buffer_pool.t -> page_capacity:int -> unit -> 'a t
 
 val page_capacity : 'a t -> int
+
+(** [cache_capacity t] is the frame budget of the pager's pool — shared
+    with other pagers when the pool is. *)
 val cache_capacity : 'a t -> int
 
+(** [pool t] is the buffer pool this pager draws frames from. *)
+val pool : 'a t -> Buffer_pool.t
+
 (** [alloc t records] allocates a fresh page holding [records] and returns
-    its id. Counts one write I/O. *)
+    its id. Counts one write I/O (deferred under a write-back pool). *)
 val alloc : 'a t -> 'a array -> int
 
 (** [alloc_empty t] allocates a fresh empty page (one write I/O). *)
 val alloc_empty : 'a t -> int
 
 (** [read t id] returns the page contents. Counts one read I/O on a buffer
-    pool miss, zero on a hit. The returned array must not be mutated. *)
+    pool miss, zero on a hit. The returned array must not be mutated; a
+    pool in validation mode turns such mutations into {!Frame_mutated}. *)
 val read : 'a t -> int -> 'a array
 
-(** [write t id records] replaces the page contents (one write I/O). *)
+(** [write t id records] replaces the page contents. One write I/O,
+    charged immediately under a write-through pool (the default) or at
+    eviction/{!flush} time under a write-back pool. *)
 val write : 'a t -> int -> 'a array -> unit
 
 (** [free t id] releases the page. Freed pages no longer count toward
-    {!pages_in_use} and may not be accessed again. *)
+    {!pages_in_use} and may not be accessed again; a dirty cached copy is
+    discarded, never written back. *)
 val free : 'a t -> int -> unit
 
 (** [pages_in_use t] is the current number of live pages — the storage
@@ -63,6 +91,33 @@ val set_fault : 'a t -> (op:string -> page:int -> bool) -> unit
 
 val clear_fault : 'a t -> unit
 
-(** [drop_cache t] empties the buffer pool (e.g. between benchmark
-    repetitions) without touching the stats. *)
+(** [drop_cache t] drops this pager's frames from the buffer pool (e.g.
+    between benchmark repetitions) without touching the stats. Dirty
+    frames are discarded; call {!flush} first if their write-back I/O
+    should be charged. *)
 val drop_cache : 'a t -> unit
+
+(** {1 Buffer-pool controls} *)
+
+(** [flush t] writes back this pager's dirty frames (write-back pools;
+    no-op otherwise), charging the deferred write I/Os now. Frames stay
+    resident. *)
+val flush : 'a t -> unit
+
+(** [pin t id] makes page [id] resident (charging a read on miss) and pins
+    its frame so the pool cannot evict it; pins nest. No-op on a
+    capacity-0 pool. *)
+val pin : 'a t -> int -> unit
+
+val unpin : 'a t -> int -> unit
+
+(** [advise_sequential t] marks upcoming accesses as a sequential scan:
+    frames are admitted cold so the pool evicts them in preference to the
+    resident hot set. [advise_normal] reverts. *)
+val advise_sequential : 'a t -> unit
+
+val advise_normal : 'a t -> unit
+
+(** [advise_willneed t ids] prefetches the given pages into the pool (one
+    read I/O per non-resident page), admitting them hot. *)
+val advise_willneed : 'a t -> int list -> unit

@@ -56,9 +56,9 @@ let store_srcs pager entries =
   Blocked_list.store pager
     (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
 
-let create ?(cache_capacity = 0) ~mode ~b pts =
+let create ?(cache_capacity = 0) ?pool ~mode ~b pts =
   if b < 2 then invalid_arg "Ext_pst3.create: b < 2";
-  let pager = Pager.create ~cache_capacity ~page_capacity:b () in
+  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
   match pts with
   | [] ->
       {

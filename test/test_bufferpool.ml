@@ -1,0 +1,347 @@
+(* Tests for the shared buffer-pool manager: replacement policies,
+   pool sharing across pagers, pinning, write-back accounting, prefetch
+   hints, the frame-mutation validator, and the legacy [Lru] map's edge
+   cases. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Cold-start a pager: drop whatever the setup allocs cached, then zero
+   the counters (reset syncs first, so pending pool events are absorbed
+   rather than leaking into the test). *)
+let cold p =
+  Pager.drop_cache p;
+  Pager.reset_stats p
+
+(* A pager with [n] consecutive pre-allocated single-record pages,
+   cache dropped and stats reset after setup. *)
+let make_pager ?pool ?cache_capacity ~pages () =
+  let p : int Pager.t = Pager.create ?pool ?cache_capacity ~page_capacity:4 () in
+  for i = 0 to pages - 1 do
+    ignore (Pager.alloc p [| i |])
+  done;
+  cold p;
+  p
+
+let reads p = (Pager.stats p).Io_stats.reads
+
+(* {1 Determinism: private pool vs legacy counts} *)
+
+(* The default private LRU pool must reproduce the legacy built-in LRU
+   cache exactly: same access pattern, same miss sequence. *)
+let test_private_lru_determinism () =
+  let p = make_pager ~cache_capacity:2 ~pages:4 () in
+  let touch i = ignore (Pager.read p i) in
+  (* misses: 0 1; hit: 0; miss evicting 1: 2; hit: 0; miss evicting 2: 1 *)
+  List.iter touch [ 0; 1; 0; 2; 0; 1 ];
+  let st = Pager.stats p in
+  check_int "reads" 4 st.Io_stats.reads;
+  check_int "hits" 2 st.Io_stats.cache_hits;
+  check_int "evictions" 2 st.Io_stats.evictions;
+  (* same pattern, explicit pool handle: identical counts *)
+  let pool = Buffer_pool.create ~policy:Replacement.Lru ~capacity:2 () in
+  let q = make_pager ~pool ~pages:4 () in
+  List.iter (fun i -> ignore (Pager.read q i)) [ 0; 1; 0; 2; 0; 1 ];
+  let st' = Pager.stats q in
+  check_int "pool reads" st.Io_stats.reads st'.Io_stats.reads;
+  check_int "pool hits" st.Io_stats.cache_hits st'.Io_stats.cache_hits
+
+let test_capacity_zero_pool () =
+  let p = make_pager ~cache_capacity:0 ~pages:2 () in
+  for _ = 1 to 3 do
+    ignore (Pager.read p 0)
+  done;
+  check_int "every read costs" 3 (reads p);
+  check_int "no hits" 0 (Pager.stats p).Io_stats.cache_hits
+
+(* {1 Shared pool: one budget, many pagers} *)
+
+let test_shared_pool_contention () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let a = make_pager ~pool ~pages:2 () in
+  let b = make_pager ~pool ~pages:2 () in
+  (* b's setup allocs contended with a; cold-start both again *)
+  cold a;
+  cold b;
+  ignore (Pager.read a 0);
+  ignore (Pager.read a 1);
+  (* pool full with a's frames; b's reads evict them *)
+  ignore (Pager.read b 0);
+  ignore (Pager.read b 1);
+  check_int "pool occupancy" 2 (Buffer_pool.occupancy pool);
+  ignore (Pager.read a 0);
+  check_int "a must re-read after b evicted it" 3 (reads a);
+  let st = Pager.stats a in
+  check_int "a observed its evictions" 2 st.Io_stats.evictions
+
+let test_shared_pool_no_key_clash () =
+  (* both pagers use page ids 0..1; the pool must keep them distinct *)
+  let pool = Buffer_pool.create ~capacity:4 () in
+  let a = make_pager ~pool ~pages:2 () in
+  let b = make_pager ~pool ~pages:2 () in
+  cold a;
+  cold b;
+  ignore (Pager.read a 0);
+  ignore (Pager.read b 0);
+  ignore (Pager.read a 0);
+  ignore (Pager.read b 0);
+  check_int "a: one miss" 1 (reads a);
+  check_int "b: one miss" 1 (reads b);
+  check_int "two distinct frames" 2 (Buffer_pool.occupancy pool)
+
+(* {1 Replacement policies} *)
+
+let policy_reads policy pattern =
+  let pool = Buffer_pool.create ~policy ~capacity:2 () in
+  let p = make_pager ~pool ~pages:8 () in
+  List.iter (fun i -> ignore (Pager.read p i)) pattern;
+  reads p
+
+let test_fifo_no_promotion () =
+  (* 0 1 0 2: LRU keeps 0 (promoted), FIFO evicts 0 (oldest arrival) *)
+  let pattern = [ 0; 1; 0; 2; 0 ] in
+  check_int "lru: 0 survives" 3 (policy_reads Replacement.Lru pattern);
+  check_int "fifo: 0 evicted" 4 (policy_reads Replacement.Fifo pattern)
+
+let test_clock_second_chance () =
+  (* 0 1 0 2: clock's hand grants 0 a second chance (ref bit set by the
+     hit), so 1 is evicted and the final read of 0 hits *)
+  check_int "clock: 0 survives" 3
+    (policy_reads Replacement.Clock [ 0; 1; 0; 2; 0 ])
+
+let test_two_q_scan_resistance () =
+  (* hot page re-referenced enough to reach Am, then a one-pass scan of
+     [cap] cold pages; the hot page must survive under 2Q *)
+  let run policy =
+    let cap = 8 in
+    let pool = Buffer_pool.create ~policy ~capacity:cap () in
+    let p = make_pager ~pool ~pages:40 () in
+    (* establish the hot page in Am: miss, evict, ghost-hit promotion *)
+    ignore (Pager.read p 0);
+    for i = 1 to cap + 1 do
+      ignore (Pager.read p i)
+    done;
+    ignore (Pager.read p 0);
+    Pager.reset_stats p;
+    ignore (Pager.read p 0);
+    (* flood with 2*cap never-reused pages *)
+    for i = 10 to 10 + (2 * cap) - 1 do
+      ignore (Pager.read p i)
+    done;
+    ignore (Pager.read p 0);
+    (Pager.stats p).Io_stats.cache_hits
+  in
+  check_bool "2q keeps the hot page through the flood" true (run Replacement.Two_q >= 2);
+  check_int "lru loses the hot page to the flood" 1 (run Replacement.Lru)
+
+let test_policy_of_string () =
+  let open Replacement in
+  Alcotest.(check (list string))
+    "round trip"
+    (List.map name all)
+    (List.filter_map
+       (fun p -> Option.map name (of_string (name p)))
+       all);
+  check_bool "2q alias" true (of_string "2q" = Some Two_q);
+  check_bool "unknown" true (of_string "mru" = None)
+
+(* {1 Pinning} *)
+
+let test_pin_blocks_eviction () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let p = make_pager ~pool ~pages:6 () in
+  Pager.pin p 0;
+  ignore (Pager.read p 1);
+  ignore (Pager.read p 2);
+  ignore (Pager.read p 3);
+  ignore (Pager.read p 0);
+  let st = Pager.stats p in
+  (* pin loaded 0 (1 read), then 1 2 3 missed but 0 was never evicted *)
+  check_int "pinned page stays resident" 4 st.Io_stats.reads;
+  check_int "final read of 0 hits" 1 st.Io_stats.cache_hits;
+  Pager.unpin p 0;
+  ignore (Pager.read p 4);
+  ignore (Pager.read p 5);
+  ignore (Pager.read p 0);
+  check_int "after unpin, 0 can be evicted" 7 (Pager.stats p).Io_stats.reads
+
+let test_pin_overcommit () =
+  let pool = Buffer_pool.create ~capacity:1 () in
+  let p = make_pager ~pool ~pages:3 () in
+  Pager.pin p 0;
+  ignore (Pager.read p 1);
+  (* every frame pinned: pool admits past budget and counts overcommit *)
+  check_int "overcommitted" 2 (Buffer_pool.occupancy pool);
+  check_bool "overcommit counted" true ((Buffer_pool.stats pool).overcommits >= 1);
+  Pager.unpin p 0
+
+(* {1 Write-back mode} *)
+
+let test_write_back_deferred () =
+  let pool = Buffer_pool.create ~write_back:true ~capacity:2 () in
+  let p = make_pager ~pool ~pages:2 () in
+  Pager.write p 0 [| 42 |];
+  Pager.write p 0 [| 43 |];
+  check_int "writes deferred" 0 (Pager.stats p).Io_stats.writes;
+  Pager.flush p;
+  let st = Pager.stats p in
+  check_int "two updates, one flush write" 1 st.Io_stats.writes;
+  check_int "accounted as write-back" 1 st.Io_stats.write_backs;
+  Pager.flush p;
+  check_int "flush of clean pool is free" 1 (Pager.stats p).Io_stats.writes
+
+let test_write_back_on_eviction () =
+  let pool = Buffer_pool.create ~write_back:true ~capacity:1 () in
+  let p = make_pager ~pool ~pages:3 () in
+  Pager.write p 0 [| 9 |];
+  ignore (Pager.read p 1);
+  (* evicting dirty page 0 charges the deferred write *)
+  let st = Pager.stats p in
+  check_int "eviction wrote back" 1 st.Io_stats.write_backs;
+  check_int "charged as a write" 1 st.Io_stats.writes;
+  check_int "data survived" 9 (Pager.read p 0).(0)
+
+let test_write_through_immediate () =
+  let p = make_pager ~cache_capacity:2 ~pages:2 () in
+  Pager.write p 0 [| 1 |];
+  Pager.write p 0 [| 2 |];
+  check_int "write-through charges each write" 2
+    (Pager.stats p).Io_stats.writes
+
+let test_free_discards_dirty () =
+  let pool = Buffer_pool.create ~write_back:true ~capacity:2 () in
+  let p = make_pager ~pool ~pages:2 () in
+  Pager.write p 0 [| 7 |];
+  Pager.free p 0;
+  Pager.flush p;
+  check_int "freed page never written back" 0
+    (Pager.stats p).Io_stats.write_backs
+
+(* {1 Prefetch hints} *)
+
+let test_advise_willneed () =
+  let p = make_pager ~cache_capacity:4 ~pages:4 () in
+  Pager.advise_willneed p [ 0; 1; 2 ];
+  check_int "prefetch charged" 3 (reads p);
+  ignore (Pager.read p 0);
+  ignore (Pager.read p 1);
+  ignore (Pager.read p 2);
+  check_int "no further reads" 3 (reads p);
+  check_int "all hits" 3 (Pager.stats p).Io_stats.cache_hits
+
+let test_advise_sequential () =
+  (* with a sequential-scan hint, LRU admits scan pages cold so the
+     resident hot page survives a flood *)
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let p = make_pager ~pool ~pages:8 () in
+  ignore (Pager.read p 0);
+  Pager.advise_sequential p;
+  for i = 1 to 5 do
+    ignore (Pager.read p i)
+  done;
+  Pager.advise_normal p;
+  ignore (Pager.read p 0);
+  check_int "hot page survived the advised scan" 1
+    (Pager.stats p).Io_stats.cache_hits
+
+(* {1 Frame-mutation validation (satellite: Pager.read aliasing)} *)
+
+let test_frame_mutated_detected () =
+  let pool = Buffer_pool.create ~validate:true ~capacity:2 () in
+  let p = make_pager ~pool ~pages:2 () in
+  let data = Pager.read p 0 in
+  data.(0) <- 999 (* illegal: mutating a cached frame behind the pager *);
+  (try
+     ignore (Pager.read p 0);
+     Alcotest.fail "expected Frame_mutated"
+   with Pager.Frame_mutated { page } -> check_int "page" 0 page)
+
+let test_frame_mutation_legal_path () =
+  let pool = Buffer_pool.create ~validate:true ~capacity:2 () in
+  let p = make_pager ~pool ~pages:2 () in
+  ignore (Pager.read p 0);
+  Pager.write p 0 [| 5 |] (* the legal mutation path *);
+  check_int "validated read" 5 (Pager.read p 0).(0)
+
+(* {1 Legacy Lru map edge cases (satellite)} *)
+
+module Lru = Pc_pagestore.Lru
+
+let test_lru_capacity_zero () =
+  let c : int Lru.t = Lru.create 0 in
+  check_bool "put returns no eviction" true (Lru.put c 1 10 = None);
+  check_int "stays empty" 0 (Lru.length c);
+  check_bool "find misses" true (Lru.find c 1 = None)
+
+let test_lru_capacity_one () =
+  let c : int Lru.t = Lru.create 1 in
+  check_bool "first put" true (Lru.put c 1 10 = None);
+  check_bool "second put evicts first" true (Lru.put c 2 20 = Some (1, 10));
+  check_int "length stays 1" 1 (Lru.length c);
+  check_bool "survivor" true (Lru.find c 2 = Some 20)
+
+let test_lru_put_update_no_eviction () =
+  let c : int Lru.t = Lru.create 1 in
+  ignore (Lru.put c 1 10);
+  check_bool "update in place" true (Lru.put c 1 11 = None);
+  check_bool "new value" true (Lru.find c 1 = Some 11)
+
+let test_lru_find_promotes_mem_does_not () =
+  let c : int Lru.t = Lru.create 2 in
+  ignore (Lru.put c 1 10);
+  ignore (Lru.put c 2 20);
+  ignore (Lru.find c 1) (* 1 promoted; 2 now LRU *);
+  check_bool "evicts 2" true (Lru.put c 3 30 = Some (2, 20));
+  ignore (Lru.put c 1 10);
+  ignore (Lru.put c 3 30);
+  (* refill state: 1 older than 3 *)
+  check_bool "mem does not promote" true (Lru.mem c 1);
+  check_bool "evicts 1 despite mem" true (Lru.put c 4 40 = Some (1, 10))
+
+let test_lru_fold_after_evictions () =
+  let c : int Lru.t = Lru.create 3 in
+  for k = 1 to 6 do
+    ignore (Lru.put c k (10 * k))
+  done;
+  let sum = Lru.fold (fun k v acc -> acc + k + v) c 0 in
+  (* survivors are 4,5,6 with values 40,50,60 *)
+  check_int "fold sees only survivors" (4 + 5 + 6 + 40 + 50 + 60) sum;
+  check_int "length" 3 (Lru.length c)
+
+let suite =
+  [
+    Alcotest.test_case "private lru determinism" `Quick
+      test_private_lru_determinism;
+    Alcotest.test_case "capacity-0 pool" `Quick test_capacity_zero_pool;
+    Alcotest.test_case "shared pool contention" `Quick
+      test_shared_pool_contention;
+    Alcotest.test_case "shared pool key isolation" `Quick
+      test_shared_pool_no_key_clash;
+    Alcotest.test_case "fifo: no promotion" `Quick test_fifo_no_promotion;
+    Alcotest.test_case "clock: second chance" `Quick test_clock_second_chance;
+    Alcotest.test_case "2q: scan resistance" `Quick test_two_q_scan_resistance;
+    Alcotest.test_case "policy of_string" `Quick test_policy_of_string;
+    Alcotest.test_case "pin blocks eviction" `Quick test_pin_blocks_eviction;
+    Alcotest.test_case "pin overcommit" `Quick test_pin_overcommit;
+    Alcotest.test_case "write-back deferred" `Quick test_write_back_deferred;
+    Alcotest.test_case "write-back on eviction" `Quick
+      test_write_back_on_eviction;
+    Alcotest.test_case "write-through immediate" `Quick
+      test_write_through_immediate;
+    Alcotest.test_case "free discards dirty" `Quick test_free_discards_dirty;
+    Alcotest.test_case "advise_willneed prefetch" `Quick test_advise_willneed;
+    Alcotest.test_case "advise_sequential scan" `Quick test_advise_sequential;
+    Alcotest.test_case "frame mutation detected" `Quick
+      test_frame_mutated_detected;
+    Alcotest.test_case "frame mutation legal path" `Quick
+      test_frame_mutation_legal_path;
+    Alcotest.test_case "lru capacity 0" `Quick test_lru_capacity_zero;
+    Alcotest.test_case "lru capacity 1" `Quick test_lru_capacity_one;
+    Alcotest.test_case "lru put update" `Quick test_lru_put_update_no_eviction;
+    Alcotest.test_case "lru find promotes, mem does not" `Quick
+      test_lru_find_promotes_mem_does_not;
+    Alcotest.test_case "lru fold after evictions" `Quick
+      test_lru_fold_after_evictions;
+  ]

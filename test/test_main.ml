@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("pagestore", Test_pagestore.suite);
+      ("bufferpool", Test_bufferpool.suite);
       ("inmem", Test_inmem.suite);
       ("btree", Test_btree.suite);
       ("extpst", Test_extpst.suite);
