@@ -20,6 +20,13 @@ let row fmt = Printf.printf fmt
 let avg_f xs = List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
 let avg xs = avg_f (List.map float_of_int xs)
 
+(* Per-query I/O distribution summary: the paper's bounds are worst-case,
+   so each query experiment reports tails (p50/p99/max), not only the
+   mean that the table rows show. *)
+let histo_row tag h =
+  if Histogram.count h > 0 then
+    row "  %-12s per-query io: %s\n" tag (Format.asprintf "%a" Histogram.pp h)
+
 (* ------------------------------------------------------------------ *)
 (* E1: 2-sided query I/O vs n (Lemma 3.1 vs [IKO])                    *)
 (* ------------------------------------------------------------------ *)
@@ -32,6 +39,9 @@ let e1 () =
   header "E1 QUERY-2SIDED-VS-N: deep-corner query I/O (B=64)";
   row "%8s %6s | %8s %8s %8s %8s %8s\n" "n" "t~" "iko" "basic" "segmntd"
     "2level" "multi";
+  let histos =
+    List.map (fun v -> (v, Histogram.create ())) Ext_pst.all_variants
+  in
   List.iter
     (fun n ->
       let n = scale n in
@@ -43,19 +53,25 @@ let e1 () =
         List.map
           (fun v ->
             let t = Ext_pst.create ~variant:v ~b:64 pts in
+            let h = List.assoc v histos in
             avg
               (List.map
                  (fun (xl, yb) ->
                    let res, st = Ext_pst.query t ~xl ~yb in
                    avg_t := List.length res;
-                   Query_stats.total st)
+                   let io = Query_stats.total st in
+                   Histogram.add h io;
+                   io)
                  corners))
           Ext_pst.all_variants
       in
       row "%8d %6d |" n !avg_t;
       List.iter (fun v -> row " %8.1f" v) ios;
       print_newline ())
-    [ 4000; 16000; 64000; 256000 ]
+    [ 4000; 16000; 64000; 256000 ];
+  List.iter
+    (fun (v, h) -> histo_row (Format.asprintf "%a" Ext_pst.pp_variant v) h)
+    histos
 
 (* ------------------------------------------------------------------ *)
 (* E2: storage ladder (Lemma 3.1, Thms 3.2 / 4.3 / 4.4)               *)
@@ -63,6 +79,7 @@ let e1 () =
 
 let e2 () =
   header "E2 STORAGE-LADDER: pages / (n/B) per variant (B=64)";
+  let histo = Histogram.create () in
   row "%8s | %8s %8s %8s %8s %8s\n" "n" "iko" "basic" "segmntd" "2level"
     "multi";
   List.iter
@@ -74,12 +91,20 @@ let e2 () =
       List.iter
         (fun v ->
           let t = Ext_pst.create ~variant:v ~b:64 pts in
+          (* the ladder trades storage for query I/O: record the same
+             deep-corner distribution so the two sides line up *)
+          List.iter
+            (fun (xl, yb) ->
+              let _, st = Ext_pst.query t ~xl ~yb in
+              Histogram.add histo (Query_stats.total st))
+            (deep_corners universe 15);
           row " %8.2f"
             (float_of_int (Ext_pst.storage_pages t)
             /. float_of_int (max 1 (n / 64))))
         Ext_pst.all_variants;
       print_newline ())
-    [ 4000; 16000; 64000; 256000 ]
+    [ 4000; 16000; 64000; 256000 ];
+  histo_row "all-variants" histo
 
 (* ------------------------------------------------------------------ *)
 (* E3: output sensitivity at fixed n (the t/B term, Thm 4.3)          *)
@@ -93,16 +118,21 @@ let e3 () =
   let two = Ext_pst.create ~variant:Ext_pst.Two_level ~b:64 pts in
   let iko = Ext_pst.create ~variant:Ext_pst.Iko ~b:64 pts in
   row "%10s %8s | %10s %8s %8s\n" "frac" "t" "ceil(t/B)" "2level" "iko";
+  let h_two = Histogram.create () and h_iko = Histogram.create () in
   List.iter
     (fun frac ->
       let xl, yb = Workload.corner_for_target_t pts ~frac in
       let res, st = Ext_pst.query two ~xl ~yb in
       let _, st_iko = Ext_pst.query iko ~xl ~yb in
       let t = List.length res in
+      Histogram.add h_two (Query_stats.total st);
+      Histogram.add h_iko (Query_stats.total st_iko);
       row "%10.3f %8d | %10d %8d %8d\n" frac t
         (Num_util.ceil_div t 64)
         (Query_stats.total st) (Query_stats.total st_iko))
-    [ 0.001; 0.01; 0.05; 0.2; 0.5 ]
+    [ 0.001; 0.01; 0.05; 0.2; 0.5 ];
+  histo_row "2level" h_two;
+  histo_row "iko" h_iko
 
 (* ------------------------------------------------------------------ *)
 (* E4: dynamic updates (Thm 5.1)                                      *)
@@ -110,6 +140,7 @@ let e3 () =
 
 let e4 () =
   header "E4 DYNAMIC-UPDATES: amortized update I/O and query I/O vs n (B=64)";
+  let histo = Histogram.create () in
   row "%8s | %10s %10s %10s %12s %8s\n" "n" "upd I/O" "qry I/O" "t~"
     "rebuilds g/s" "pages";
   List.iter
@@ -142,12 +173,14 @@ let e4 () =
                (Query_stats.total st, List.length res))
              (deep_corners universe 10))
       in
+      List.iter (Histogram.add histo) q_ios;
       let g, s = Dynamic_pst.rebuilds t in
       row "%8d | %10.1f %10.1f %10.0f %8d/%-5d %8d\n" n
         (float_of_int !total /. float_of_int nops)
         (avg q_ios) (avg ts) g s
         (Dynamic_pst.storage_pages t))
-    [ 4000; 16000; 64000; 256000 ]
+    [ 4000; 16000; 64000; 256000 ];
+  histo_row "dynamic" histo
 
 (* ------------------------------------------------------------------ *)
 (* E5: external segment tree (§2, Thm 3.4)                            *)

@@ -42,6 +42,31 @@ let make_pool cache policy =
   if cache > 0 then Some (Buffer_pool.create ~policy ~capacity:cache ())
   else None
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write an event trace: $(i,FILE).json gets the Chrome \
+               trace_event format (chrome://tracing, Perfetto), any other \
+               extension JSONL (one event per line; replay with the \
+               $(b,replay) subcommand).")
+
+(* The handle is [None] unless [--trace] was given, so the default run
+   keeps the zero-overhead null path and byte-identical I/O counts. *)
+let make_obs trace = Option.map Obs.to_file trace
+
+let finish_obs trace obs =
+  Option.iter Obs.close obs;
+  Option.iter (Printf.printf "trace written to %s\n") trace
+
+(* Per-query total-I/O distribution, printed after the query loop. *)
+let make_histo () = Histogram.create ()
+
+let record_histo h ios = Histogram.add h ios
+
+let report_histo h =
+  if Histogram.count h > 0 then
+    Printf.printf "per-query io: %s\n"
+      (Format.asprintf "%a" Histogram.pp h)
+
 let report_pool = function
   | None -> ()
   | Some pool ->
@@ -83,30 +108,35 @@ let variant_arg =
   Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
          ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
 
-let run_pst n b seed k dist variant cache policy =
+let run_pst n b seed k dist variant cache policy trace =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
   let pool = make_pool cache policy in
-  let t = Ext_pst.create ?pool ~variant ~b pts in
+  let obs = make_obs trace in
+  let t = Ext_pst.create ?pool ?obs ~variant ~b pts in
   Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "built %s over %d points: %d pages (%.2f x n/B)\n%!"
     (Format.asprintf "%a" Ext_pst.pp_variant variant)
     n (Ext_pst.storage_pages t)
     (float_of_int (Ext_pst.storage_pages t) /. float_of_int (max 1 (n / b)));
+  let histo = make_histo () in
   List.iter
     (fun (xl, yb) ->
       let res, st = Ext_pst.query t ~xl ~yb in
+      record_histo histo (Query_stats.total st);
       pp_stats_line
         (Printf.sprintf "(%d,%d)" xl yb)
         (List.length res) (Query_stats.total st) st)
     (Workload.two_sided_corners rng ~k ~universe);
-  report_pool pool
+  report_histo histo;
+  report_pool pool;
+  finish_obs trace obs
 
 let pst_cmd =
   let doc = "Build a 2-sided external PST and run random corner queries." in
   Cmd.v (Cmd.info "pst" ~doc)
     Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-          $ variant_arg $ cache_arg $ policy_arg)
+          $ variant_arg $ cache_arg $ policy_arg $ trace_arg)
 
 (* ----- pst3 (3-sided) ----- *)
 
@@ -114,25 +144,33 @@ let width_arg =
   Arg.(value & opt int 100_000 & info [ "width" ] ~docv:"W"
          ~doc:"Approximate x-width of 3-sided queries.")
 
-let run_pst3 n b seed k dist width =
+let run_pst3 n b seed k dist width trace =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
-  let cached = Ext_pst3.create ~mode:Ext_pst3.Cached ~b pts in
+  let obs = make_obs trace in
+  (* only the cached structure is traced: one handle per run keeps the
+     span stream a single coherent tree *)
+  let cached = Ext_pst3.create ?obs ~mode:Ext_pst3.Cached ~b pts in
   let base = Ext_pst3.create ~mode:Ext_pst3.Baseline ~b pts in
   Printf.printf "3-sided PST over %d points: cached=%d pages, baseline=%d pages\n%!"
     n (Ext_pst3.storage_pages cached) (Ext_pst3.storage_pages base);
+  let histo = make_histo () in
   List.iter
     (fun (xl, xr, yb) ->
       let res, st = Ext_pst3.query cached ~xl ~xr ~yb in
       let _, st_b = Ext_pst3.query base ~xl ~xr ~yb in
+      record_histo histo (Query_stats.total st);
       Printf.printf "(%d..%d, y>=%d) t=%-6d cached-io=%-4d baseline-io=%-4d\n"
         xl xr yb (List.length res) (Query_stats.total st) (Query_stats.total st_b))
-    (Workload.three_sided rng ~k ~universe ~width)
+    (Workload.three_sided rng ~k ~universe ~width);
+  report_histo histo;
+  finish_obs trace obs
 
 let pst3_cmd =
   let doc = "Build 3-sided external PSTs (cached and baseline) and compare." in
   Cmd.v (Cmd.info "pst3" ~doc)
-    Term.(const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg $ width_arg)
+    Term.(const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
+          $ width_arg $ trace_arg)
 
 (* ----- stab (interval structures) ----- *)
 
@@ -145,50 +183,49 @@ let cached_arg =
   Arg.(value & opt bool true & info [ "cached" ] ~docv:"BOOL"
          ~doc:"Use path caches (false = naive baseline).")
 
-let run_stab n b seed k structure cached =
+let run_stab n b seed k structure cached trace =
   let rng = Rng.create seed in
   let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
   let qs = Workload.stab_queries rng ~k ~universe in
-  match structure with
+  let obs = make_obs trace in
+  let histo = make_histo () in
+  let run_queries stab =
+    List.iter
+      (fun q ->
+        let res, st = stab q in
+        record_histo histo (Query_stats.total st);
+        pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
+          (Query_stats.total st) st)
+      qs
+  in
+  (match structure with
   | `Seg ->
       let mode = if cached then Ext_seg.Cached else Ext_seg.Naive in
-      let t = Ext_seg.create ~mode ~b ivs in
+      let t = Ext_seg.create ?obs ~mode ~b ivs in
       Printf.printf "segment tree (%s): %d pages\n%!"
         (Format.asprintf "%a" Ext_seg.pp_mode mode)
         (Ext_seg.storage_pages t);
-      List.iter
-        (fun q ->
-          let res, st = Ext_seg.stab t q in
-          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
-            (Query_stats.total st) st)
-        qs
+      run_queries (Ext_seg.stab t)
   | `Int ->
       let mode = if cached then Ext_int.Cached else Ext_int.Naive in
-      let t = Ext_int.create ~mode ~b ivs in
+      let t = Ext_int.create ?obs ~mode ~b ivs in
       Printf.printf "interval tree (%s): %d pages\n%!"
         (Format.asprintf "%a" Ext_int.pp_mode mode)
         (Ext_int.storage_pages t);
-      List.iter
-        (fun q ->
-          let res, st = Ext_int.stab t q in
-          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
-            (Query_stats.total st) st)
-        qs
+      run_queries (Ext_int.stab t)
   | `Pst ->
-      let t = Stabbing.create ~b ivs in
+      let t = Stabbing.create ?obs ~b ivs in
       Printf.printf "dynamic stabbing store (KRV reduction): %d pages\n%!"
         (Stabbing.storage_pages t);
-      List.iter
-        (fun q ->
-          let res, st = Stabbing.stab t q in
-          pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
-            (Query_stats.total st) st)
-        qs
+      run_queries (Stabbing.stab t));
+  report_histo histo;
+  finish_obs trace obs
 
 let stab_cmd =
   let doc = "Build an interval structure and run stabbing queries." in
   Cmd.v (Cmd.info "stab" ~doc)
-    Term.(const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg $ structure_arg $ cached_arg)
+    Term.(const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg $ structure_arg
+          $ cached_arg $ trace_arg)
 
 (* ----- btree ----- *)
 
@@ -196,31 +233,60 @@ let span_arg =
   Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
          ~doc:"Width of 1-D range queries.")
 
-let run_btree n b seed k span cache policy =
+let run_btree n b seed k span cache policy trace =
   let rng = Rng.create seed in
   let entries = List.init n (fun i -> (i, i)) in
   let pool = make_pool cache policy in
-  let t = Btree.bulk_load_in ?pool ~b entries in
+  let obs = make_obs trace in
+  let t = Btree.bulk_load_in ?pool ?obs ~b entries in
   Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "B+-tree over %d keys: height=%d pages=%d\n%!" n
     (Btree.height t) (Btree.pages_used t);
+  let histo = make_histo () in
   for _ = 1 to k do
     let lo = Rng.int rng (max 1 (n - span)) in
     Pager.reset_stats (Btree.pager t);
     let res = Btree.range t ~lo ~hi:(lo + span - 1) in
+    let ios = Io_stats.total (Pager.stats (Btree.pager t)) in
+    record_histo histo ios;
     Printf.printf "range [%d, %d): t=%-6d io=%d\n" lo (lo + span)
-      (List.length res)
-      (Io_stats.total (Pager.stats (Btree.pager t)))
+      (List.length res) ios
   done;
-  report_pool pool
+  report_histo histo;
+  report_pool pool;
+  finish_obs trace obs
 
 let btree_cmd =
   let doc = "Bulk-load an external B+-tree and run range queries." in
   Cmd.v (Cmd.info "btree" ~doc)
     Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg
-          $ cache_arg $ policy_arg)
+          $ cache_arg $ policy_arg $ trace_arg)
+
+(* ----- replay ----- *)
+
+let run_replay file =
+  match Obs.replay_file file with
+  | totals ->
+      Format.printf "%a@." Obs.pp_totals totals;
+      `Ok ()
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let replay_cmd =
+  let doc =
+    "Parse a JSONL trace (written with --trace FILE, non-.json extension) \
+     and print the I/O totals it replays to. Exits non-zero on input that \
+     is not a well-formed trace."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run_replay $ file_arg))
 
 let () =
   let doc = "Path caching (PODS'94): optimal external searching structures." in
   let info = Cmd.info "pathcache_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd; replay_cmd ]))

@@ -84,8 +84,11 @@ let create pager =
   t.root <- alloc_node t (LeafN { next = -1; kvs = [||] });
   t
 
-let create_in ?cache_capacity ?pool ~b () =
-  create (Pager.create ?cache_capacity ?pool ~page_capacity:b ())
+let create_in ?cache_capacity ?pool ?obs ~b () =
+  create (Pager.create ?cache_capacity ?pool ?obs ~obs_name:"btree" ~page_capacity:b ())
+
+let obs t = Pager.obs t.pager
+let with_span t ~kind f = Pc_obs.Obs.with_span (obs t) ~kind f
 
 let pager t = t.pager
 let size t = t.size
@@ -114,6 +117,7 @@ let rec find_leaf t id target =
       find_leaf t (snd branches.(i)) target
 
 let find t key =
+  with_span t ~kind:"btree.find" @@ fun () ->
   let target = (key, min_int) in
   let rec scan_leaf id =
     match read_node t id with
@@ -137,6 +141,7 @@ let find t key =
   scan_leaf id
 
 let range t ~lo ~hi =
+  with_span t ~kind:"btree.range" @@ fun () ->
   if lo > hi then []
   else begin
     let id, _ = find_leaf t t.root (lo, min_int) in
@@ -347,6 +352,7 @@ let rec insert_rec t id entry =
           end)
 
 let insert t ~key ~value =
+  with_span t ~kind:"btree.insert" @@ fun () ->
   (match insert_rec t t.root (key, value) with
   | No_split -> ()
   | Split { left_sep; right } ->
@@ -496,6 +502,7 @@ let rec delete_rec t id target =
           Deleted (Array.length branches < min_internal t))
 
 let delete t ~key ~value =
+  with_span t ~kind:"btree.delete" @@ fun () ->
   match delete_rec t t.root (key, value) with
   | Not_found_entry -> false
   | Deleted _ ->
@@ -535,6 +542,7 @@ let balanced_chunks ~cap ~minimum xs =
 let bulk_load pager entries =
   if Pager.page_capacity pager < 4 then
     invalid_arg "Btree.bulk_load: page capacity must be >= 4";
+  Pc_obs.Obs.with_span (Pager.obs pager) ~kind:"btree.bulk_load" @@ fun () ->
   let rec check_sorted = function
     | a :: (b :: _ as rest) ->
         if sep_compare a b > 0 then invalid_arg "Btree.bulk_load: input not sorted";
@@ -647,5 +655,7 @@ let check_invariants t =
   in
   if not (sorted chained) then fail "leaf chain unsorted"
 
-let bulk_load_in ?cache_capacity ?pool ~b entries =
-  bulk_load (Pager.create ?cache_capacity ?pool ~page_capacity:b ()) entries
+let bulk_load_in ?cache_capacity ?pool ?obs ~b entries =
+  bulk_load
+    (Pager.create ?cache_capacity ?pool ?obs ~obs_name:"btree" ~page_capacity:b ())
+    entries

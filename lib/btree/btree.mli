@@ -38,11 +38,13 @@ val create : cell Pager.t -> t
 val bulk_load : cell Pager.t -> (int * int) list -> t
 
 (** [create_in ~b ()] and [bulk_load_in ~b entries] allocate the pager
-    internally, with an optional private cache ([cache_capacity]) or a
-    shared buffer pool ([pool]) — see {!Pc_pagestore.Pager.create}. *)
+    internally, with an optional private cache ([cache_capacity]), a
+    shared buffer pool ([pool]), and an optional trace handle ([obs]) —
+    see {!Pc_pagestore.Pager.create}. *)
 val create_in :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   b:int ->
   unit ->
   t
@@ -50,9 +52,15 @@ val create_in :
 val bulk_load_in :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   b:int ->
   (int * int) list ->
   t
+
+(** [obs t] is the trace handle of the backing pager, if any. Entry
+    points ([find], [range], [insert], [delete], [bulk_load]) open
+    spans ([btree.find], ...) on it automatically. *)
+val obs : t -> Pc_obs.Obs.t option
 
 val pager : t -> cell Pager.t
 val size : t -> int

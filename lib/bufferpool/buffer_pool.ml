@@ -21,6 +21,10 @@ type pending = {
   mutable p_evictions : int;
   mutable p_write_backs : int;
   mutable p_drops : int list; (* evicted pages the owner must forget *)
+  p_obs : Pc_obs.Obs.source option;
+      (* trace source of the owning pager: eviction and write-back events
+         are emitted here, at decision time, correctly attributed even
+         when the evictor is another client sharing the pool *)
 }
 
 type t = {
@@ -94,12 +98,17 @@ let reset_stats t =
   t.st.write_backs <- 0;
   t.st.overcommits <- 0
 
-let register t =
+let register ?obs t =
   let owner = t.next_owner in
   t.next_owner <- owner + 1;
   Hashtbl.replace t.owners owner
-    { p_evictions = 0; p_write_backs = 0; p_drops = [] };
+    { p_evictions = 0; p_write_backs = 0; p_drops = []; p_obs = obs };
   { pool = t; owner; seq = false }
+
+let obs_emit p kind ~page =
+  match p.p_obs with
+  | None -> ()
+  | Some src -> Pc_obs.Obs.emit src kind ~page
 
 let pool_of c = c.pool
 let pending_of c = Hashtbl.find c.pool.owners c.owner
@@ -140,7 +149,9 @@ let evict_one t =
           let p = Hashtbl.find t.owners f.f_owner in
           p.p_evictions <- p.p_evictions + 1;
           if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
-          p.p_drops <- f.f_page :: p.p_drops
+          p.p_drops <- f.f_page :: p.p_drops;
+          obs_emit p Pc_obs.Obs.Evict ~page:f.f_page;
+          if f.dirty then obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page
       | None -> ());
       true
 
@@ -224,11 +235,13 @@ let dirty_frames t ~owner =
 
 let flush_client c =
   let t = c.pool in
+  let p = pending_of c in
   let mine = dirty_frames t ~owner:(Some c.owner) in
   List.iter
     (fun f ->
       f.dirty <- false;
-      t.st.write_backs <- t.st.write_backs + 1)
+      t.st.write_backs <- t.st.write_backs + 1;
+      obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
     mine;
   List.length mine
 
@@ -238,7 +251,8 @@ let flush t =
       f.dirty <- false;
       t.st.write_backs <- t.st.write_backs + 1;
       let p = Hashtbl.find t.owners f.f_owner in
-      p.p_write_backs <- p.p_write_backs + 1)
+      p.p_write_backs <- p.p_write_backs + 1;
+      obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
     (dirty_frames t ~owner:None)
 
 let drop_client c =

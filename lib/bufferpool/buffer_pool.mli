@@ -77,8 +77,12 @@ val validate_mode : t -> bool
 val stats : t -> stats
 val reset_stats : t -> unit
 
-(** [register t] adds a client (a pager, typically). *)
-val register : t -> client
+(** [register t] adds a client (a pager, typically). [obs] attributes the
+    client's eviction and write-back trace events to that source; with a
+    shared pool, eviction events fire at decision time under whichever
+    client's operation triggered them, but always tagged with the
+    {e owning} client's source. *)
+val register : ?obs:Pc_obs.Obs.source -> t -> client
 
 val pool_of : client -> t
 

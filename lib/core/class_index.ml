@@ -56,7 +56,7 @@ type t = {
   objs : (int, obj) Hashtbl.t; (* point id -> object *)
 }
 
-let build ?cache_capacity ?pool h ~b objs =
+let build ?cache_capacity ?pool ?obs h ~b objs =
   h.frozen <- true;
   let n = h.count in
   let ranges = Array.make n (0, 0) in
@@ -85,7 +85,7 @@ let build ?cache_capacity ?pool h ~b objs =
     h;
     ranges;
     pst =
-      Pc_threesided.Ext_pst3.create ?cache_capacity ?pool
+      Pc_threesided.Ext_pst3.create ?cache_capacity ?pool ?obs
         ~mode:Pc_threesided.Ext_pst3.Cached ~b points;
     objs = table;
   }
@@ -93,6 +93,11 @@ let build ?cache_capacity ?pool h ~b objs =
 let size t = Pc_threesided.Ext_pst3.size t.pst
 
 let query t ~cls ~key_at_least =
+  Pc_obs.Obs.with_span
+    (Pc_threesided.Ext_pst3.obs t.pst)
+    ~kind:"query.class_index"
+    ~result_args:(fun (_, st) -> Pc_pagestore.Query_stats.to_args st)
+  @@ fun () ->
   let cidx =
     match Hashtbl.find_opt t.h.by_name cls with
     | Some c -> c

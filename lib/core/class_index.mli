@@ -36,6 +36,7 @@ type obj = { cls : string; key : int; oid : int }
 val build :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   hierarchy ->
   b:int ->
   obj list ->

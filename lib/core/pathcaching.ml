@@ -14,6 +14,8 @@
       simulated block device and its accounting
     - {!Buffer_pool}, {!Replacement}: shared buffer-pool manager with
       pluggable replacement policies (LRU, FIFO, CLOCK, 2Q)
+    - {!Obs}, {!Histogram}: observability — typed I/O event traces,
+      query spans, and log-bucketed latency/I-O histograms
     - {!Btree}: external B+-tree (1-D optimal baseline, §1)
     - {!Pst}, {!Treap_pst}, {!Segment_tree}, {!Interval_tree}, {!Avl}:
       in-core classics (oracles and building blocks)
@@ -39,6 +41,8 @@ module Blocked = Pc_util.Blocked
 module Skeletal_layout = Pc_util.Skeletal_layout
 module Buffer_pool = Pc_bufferpool.Buffer_pool
 module Replacement = Pc_bufferpool.Replacement
+module Obs = Pc_obs.Obs
+module Histogram = Pc_obs.Histogram
 module Pager = Pc_pagestore.Pager
 module Blocked_list = Pc_pagestore.Blocked_list
 module Io_stats = Pc_pagestore.Io_stats

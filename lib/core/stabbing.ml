@@ -8,12 +8,12 @@ type t = { pst : Pc_extpst.Dynamic.t; ivals : (int, Ival.t) Hashtbl.t }
 
 let to_point iv = Point.make ~x:(-Ival.lo iv) ~y:(Ival.hi iv) ~id:(Ival.id iv)
 
-let create ?cache_capacity ?pool ~b ivs =
+let create ?cache_capacity ?pool ?obs ~b ivs =
   let ivals = Hashtbl.create (max 64 (List.length ivs)) in
   List.iter (fun iv -> Hashtbl.replace ivals (Ival.id iv) iv) ivs;
   {
     pst =
-      Pc_extpst.Dynamic.create ?cache_capacity ?pool ~b
+      Pc_extpst.Dynamic.create ?cache_capacity ?pool ?obs ~b
         (List.map to_point ivs);
     ivals;
   }
@@ -32,6 +32,11 @@ let delete t ~id =
   | None -> None
 
 let stab t q =
+  Pc_obs.Obs.with_span
+    (Pc_extpst.Dynamic.obs t.pst)
+    ~kind:"stab.krv"
+    ~result_args:(fun (_, st) -> Pc_pagestore.Query_stats.to_args st)
+  @@ fun () ->
   let pts, stats = Pc_extpst.Dynamic.query t.pst ~xl:(-q) ~yb:q in
   let ivs =
     List.map

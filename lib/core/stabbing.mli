@@ -20,6 +20,7 @@ type t
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   b:int ->
   Ival.t list ->
   t

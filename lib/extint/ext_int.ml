@@ -117,9 +117,12 @@ let allocate root iv =
   in
   go root
 
-let create ?(cache_capacity = 0) ?pool ~mode ~b ivs =
+let create ?(cache_capacity = 0) ?pool ?obs ~mode ~b ivs =
   if b < 2 then invalid_arg "Ext_int.create: b < 2";
-  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
+  let pager =
+    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_int" ~page_capacity:b ()
+  in
+  Pc_obs.Obs.with_span obs ~kind:"build.inttree" @@ fun () ->
   match ivs with
   | [] ->
       { mode; pager; layout = None; block_pages = [||]; size = 0; height = 0 }
@@ -258,6 +261,9 @@ let cell_ival = function
   | Desc _ -> invalid_arg "Ext_int: descriptor cell in an interval list"
 
 let stab t q =
+  Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"stab.inttree"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   let stats = Query_stats.create () in
   match t.layout with
   | None -> ([], stats)

@@ -33,6 +33,7 @@ type t
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   mode:mode ->
   b:int ->
   Ival.t list ->

@@ -346,7 +346,7 @@ let rebuild_all t pts =
       t.blocks
   end
 
-let create ?(cache_capacity = 0) ?pool ~b pts =
+let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
   if b < 2 then invalid_arg "Dynamic.create: b < 2";
   let descs_max = (1 lsl block_height b) - 1 in
   let u_cap = max 1 (b - descs_max) in
@@ -364,8 +364,9 @@ let create ?(cache_capacity = 0) ?pool ~b pts =
       b;
       cap = region_capacity b;
       u_cap;
-      pager = Pager.create ~pool ~page_capacity:b ();
-      sub_pager = Pager.create ~pool ~page_capacity:b ();
+      pager = Pager.create ~pool ?obs ~obs_name:"dynamic" ~page_capacity:b ();
+      sub_pager =
+        Pager.create ~pool ?obs ~obs_name:"dynamic.sub" ~page_capacity:b ();
       regions = [||];
       blocks = [||];
       layout = None;
@@ -378,8 +379,10 @@ let create ?(cache_capacity = 0) ?pool ~b pts =
       pending = Hashtbl.create 64;
     }
   in
-  rebuild_all t pts;
+  Pc_obs.Obs.with_span obs ~kind:"build.dynamic" (fun () -> rebuild_all t pts);
   t
+
+let obs t = Pager.obs t.pager
 
 (* ------------------------------------------------------------------ *)
 (* Updates                                                            *)
@@ -541,6 +544,9 @@ let with_ios t f =
   (result, after - before)
 
 let insert t (p : Point.t) =
+  Pc_obs.Obs.with_span (obs t) ~kind:"insert.dynamic"
+    ~result_args:(fun ios -> [ ("ios", ios) ])
+  @@ fun () ->
   let (), ios =
     with_ios t (fun () ->
         if Array.length t.regions = 0 then begin
@@ -568,6 +574,9 @@ let insert t (p : Point.t) =
   ios
 
 let delete t ~id =
+  Pc_obs.Obs.with_span (obs t) ~kind:"delete.dynamic"
+    ~result_args:(fun r -> [ ("ios", Option.value r ~default:0) ])
+  @@ fun () ->
   match (Hashtbl.find_opt t.pending id, Hashtbl.find_opt t.applied id) with
   | None, None -> None
   | Some bidx, _ ->
@@ -615,6 +624,9 @@ let cell_point = function
   | Desc _ | Op _ -> invalid_arg "Dynamic: non-point cell in point list"
 
 let query t ~xl ~yb =
+  Pc_obs.Obs.with_span (obs t) ~kind:"query.2sided"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   let stats = Query_stats.create () in
   match t.layout with
   | None -> ([], stats)

@@ -39,9 +39,15 @@ type t
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   b:int ->
   Point.t list ->
   t
+
+(** [obs t] is the trace handle both pagers emit into, if any. Entry
+    points open spans ([build.dynamic], [insert.dynamic],
+    [delete.dynamic], [query.2sided]) on it automatically. *)
+val obs : t -> Pc_obs.Obs.t option
 
 val size : t -> int
 val page_size : t -> int

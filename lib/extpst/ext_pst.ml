@@ -26,13 +26,16 @@ let capacity_schedule ~variant ~b =
   | Two_level -> Build.schedule_two_level ~b
   | Multilevel -> Build.schedule_multilevel ~b
 
-let create ?(cache_capacity = 0) ?pool ~variant ~b pts =
+let create ?(cache_capacity = 0) ?pool ?obs ~variant ~b pts =
   if b < 2 then invalid_arg "Ext_pst.create: b < 2";
-  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
+  let pager =
+    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_pst" ~page_capacity:b ()
+  in
   let structure =
     match pts with
     | [] -> None
     | _ ->
+        Pc_obs.Obs.with_span obs ~kind:"build.2sided" @@ fun () ->
         let caps, modes = capacity_schedule ~variant ~b in
         Some (Build.build pager ~modes ~caps pts)
   in
@@ -43,6 +46,9 @@ let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
 let query t ~xl ~yb =
+  Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"query.2sided"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   match t.structure with
   | None -> ([], Types.new_stats ())
   | Some s -> Query.two_sided t.pager s ~xl ~yb

@@ -33,10 +33,14 @@ type t
     (requires [b >= 2]). [cache_capacity] (default 0) sizes a private LRU
     buffer pool in pages — leave it 0 for exact I/O counting — while
     [pool] plugs the pager into a shared {!Pc_bufferpool.Buffer_pool}
-    (overriding [cache_capacity]). *)
+    (overriding [cache_capacity]). [obs] attaches a trace handle: the
+    build and every {!query} run inside spans ([build.2sided],
+    [query.2sided]) with the per-query breakdown attached to the closing
+    span — see {!Pc_obs.Obs}. *)
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   variant:variant ->
   b:int ->
   Point.t list ->

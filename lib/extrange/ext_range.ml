@@ -36,7 +36,7 @@ type bnode = {
   b_pts : Point.t array; (* subtree points, sorted by y then id *)
 }
 
-let create ?(cache_capacity = 0) ?pool ~b pts =
+let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
   if b < 4 then invalid_arg "Ext_range.create: b < 4 (B+-tree fanout)";
   (* one frame budget covers the skeletal and y-index pagers; before the
      shared pool, passing [cache_capacity] to both silently doubled the
@@ -47,8 +47,13 @@ let create ?(cache_capacity = 0) ?pool ~b pts =
     | None ->
         Pc_bufferpool.Buffer_pool.create ~capacity:cache_capacity ()
   in
-  let pager = Pager.create ~pool ~page_capacity:b () in
-  let index_pager = Pager.create ~pool ~page_capacity:b () in
+  let pager =
+    Pager.create ~pool ?obs ~obs_name:"ext_range" ~page_capacity:b ()
+  in
+  let index_pager =
+    Pager.create ~pool ?obs ~obs_name:"ext_range.yindex" ~page_capacity:b ()
+  in
+  Pc_obs.Obs.with_span obs ~kind:"build.rangetree" @@ fun () ->
   match pts with
   | [] ->
       {
@@ -180,6 +185,9 @@ let create ?(cache_capacity = 0) ?pool ~b pts =
       }
 
 let query t ~x1 ~x2 ~y1 ~y2 =
+  Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"query.4sided"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   let stats = Query_stats.create () in
   match t.layout with
   | _ when x1 > x2 || y1 > y2 -> ([], stats)

@@ -129,9 +129,12 @@ let allocate root iv =
   in
   if overlaps root then go root
 
-let create ?(cache_capacity = 0) ?pool ~mode ~b ivs =
+let create ?(cache_capacity = 0) ?pool ?obs ~mode ~b ivs =
   if b < 2 then invalid_arg "Ext_seg.create: b < 2";
-  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
+  let pager =
+    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_seg" ~page_capacity:b ()
+  in
+  Pc_obs.Obs.with_span obs ~kind:"build.segtree" @@ fun () ->
   match ivs with
   | [] ->
       {
@@ -296,6 +299,9 @@ let scan t ~stats ~kind ?(from = 0) list ~keep =
   (cells, reads)
 
 let stab t q =
+  Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"stab.segtree"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   let stats = Query_stats.create () in
   match t.layout with
   | None -> ([], stats)

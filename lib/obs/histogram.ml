@@ -1,0 +1,139 @@
+(* Fixed log-bucketed histogram of non-negative integers.
+
+   Values 0..exact_max-1 each get their own bucket (per-query page I/O
+   counts are small, so the common range is exact). Larger values share
+   octave buckets with [subdiv] sub-buckets per power of two, bounding
+   relative error by 1/subdiv while keeping the bucket array small and
+   allocation-free after creation. *)
+
+let exact_max = 64 (* values below this are counted exactly *)
+let sub_bits = 3 (* 8 sub-buckets per octave above that *)
+let subdiv = 1 lsl sub_bits
+let exact_bits = 6 (* log2 exact_max *)
+
+(* Octaves 6..61 cover every OCaml int on 64-bit. *)
+let num_buckets = exact_max + ((62 - exact_bits) * subdiv)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    buckets = Array.make num_buckets 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+let reset t =
+  Array.fill t.buckets 0 num_buckets 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- min_int
+
+let ilog2 v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < exact_max then v
+  else
+    let e = ilog2 v in
+    let sub = (v lsr (e - sub_bits)) land (subdiv - 1) in
+    exact_max + ((e - exact_bits) * subdiv) + sub
+
+(* Inclusive value range covered by bucket [i]. *)
+let bucket_bounds i =
+  if i < exact_max then (i, i)
+  else
+    let oct = (i - exact_max) / subdiv in
+    let sub = (i - exact_max) mod subdiv in
+    let e = oct + exact_bits in
+    let width = 1 lsl (e - sub_bits) in
+    let lo = (1 lsl e) + (sub * width) in
+    (lo, lo + width - 1)
+
+let add t v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let total t = t.sum
+let max_value t = if t.count = 0 then 0 else t.max_v
+let min_value t = if t.count = 0 then 0 else t.min_v
+
+let mean t =
+  if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let merge ~into b =
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) b.buckets;
+  into.count <- into.count + b.count;
+  into.sum <- into.sum + b.sum;
+  if b.count > 0 then begin
+    if b.min_v < into.min_v then into.min_v <- b.min_v;
+    if b.max_v > into.max_v then into.max_v <- b.max_v
+  end
+
+(* Smallest recorded value v such that at least [p]% of the recorded
+   values are <= v. Reported as the upper bound of the bucket holding
+   that rank, clamped to the exact observed max (so [percentile t 100.]
+   is always [max_value t]). *)
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.count)))
+    in
+    let acc = ref 0 and result = ref t.max_v in
+    (try
+       for i = 0 to num_buckets - 1 do
+         acc := !acc + t.buckets.(i);
+         if !acc >= rank then begin
+           result := snd (bucket_bounds i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min !result t.max_v
+  end
+
+let p50 t = percentile t 50.
+let p90 t = percentile t 90.
+let p99 t = percentile t 99.
+
+let nonzero_buckets t =
+  let out = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then out := (fst (bucket_bounds i), t.buckets.(i)) :: !out
+  done;
+  !out
+
+let to_json t =
+  let buckets =
+    nonzero_buckets t
+    |> List.map (fun (v, n) -> Printf.sprintf "[%d,%d]" v n)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"count\":%d,\"sum\":%d,\"mean\":%.3f,\"min\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d,\"buckets\":[%s]}"
+    t.count t.sum (mean t) (min_value t) (p50 t) (p90 t) (p99 t) (max_value t)
+    buckets
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d" t.count (mean t)
+      (min_value t) (p50 t) (p90 t) (p99 t) (max_value t)

@@ -1,0 +1,51 @@
+(** Fixed log-bucketed histogram of non-negative integers.
+
+    Built for per-query I/O distributions: the paper's bounds are
+    worst-case per operation, so benchmarks must report tails (p99, max),
+    not just means. Values [0..63] are counted exactly — one bucket per
+    value — and larger values fall into octave buckets with 8 sub-buckets
+    per power of two (relative error at most 12.5%). All storage is one
+    fixed array; {!add} never allocates. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [add t v] records [v]. Raises [Invalid_argument] on [v < 0]. *)
+val add : t -> int -> unit
+
+val count : t -> int
+
+(** [total t] is the sum of all recorded values. *)
+val total : t -> int
+
+val mean : t -> float
+
+(** Exact extremes of the recorded values ([0] when empty). *)
+val min_value : t -> int
+
+val max_value : t -> int
+
+(** [percentile t p] for [0 <= p <= 100]: an upper bound on the smallest
+    value [v] with at least [p]% of recordings [<= v] — exact for values
+    below 64, within one sub-bucket above, and clamped to
+    [max_value t]. *)
+val percentile : t -> float -> int
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+
+(** [merge ~into b] adds [b]'s recordings into [into]. *)
+val merge : into:t -> t -> unit
+
+(** [nonzero_buckets t] lists [(bucket lower bound, count)] pairs in
+    increasing value order — the raw distribution for exporters. *)
+val nonzero_buckets : t -> (int * int) list
+
+(** [to_json t] is a single JSON object: count, sum, mean, min, p50, p90,
+    p99, max, and the nonzero buckets as [[value, count]] pairs. *)
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,388 @@
+(* Observability: a typed trace of I/O events with pluggable sinks.
+
+   Design constraints (DESIGN.md §7):
+   - zero dependencies — stdlib only, so every library can link it;
+   - zero overhead when disabled — a pager whose [obs] is [None] or
+     whose sink is the null sink must produce byte-identical I/O counts
+     and indistinguishable wall-clock time;
+   - deterministic — events are stamped with a logical tick, never a
+     wall clock, so a fixed seed yields a fixed trace. *)
+
+type kind =
+  | Read
+  | Write
+  | Alloc
+  | Free
+  | Cache_hit
+  | Evict
+  | Write_back
+  | Pin
+  | Span_begin
+  | Span_end
+
+type event = {
+  tick : int;
+  kind : kind;
+  src : int;
+  page : int;
+  label : string;
+  args : (string * int) list;
+}
+
+let kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Alloc -> "alloc"
+  | Free -> "free"
+  | Cache_hit -> "cache_hit"
+  | Evict -> "evict"
+  | Write_back -> "write_back"
+  | Pin -> "pin"
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"
+
+let kind_of_name = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "alloc" -> Some Alloc
+  | "free" -> Some Free
+  | "cache_hit" -> Some Cache_hit
+  | "evict" -> Some Evict
+  | "write_back" -> Some Write_back
+  | "pin" -> Some Pin
+  | "span_begin" -> Some Span_begin
+  | "span_end" -> Some Span_end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand-rolled: the formats are fixed and flat)        *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let args_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) args)
+  ^ "}"
+
+let jsonl_line e =
+  let base =
+    Printf.sprintf "{\"tick\":%d,\"kind\":\"%s\",\"src\":%d,\"page\":%d" e.tick
+      (kind_name e.kind) e.src e.page
+  in
+  let label =
+    if e.label = "" then "" else Printf.sprintf ",\"label\":\"%s\"" (escape e.label)
+  in
+  let args = if e.args = [] then "" else ",\"args\":" ^ args_json e.args in
+  base ^ label ^ args ^ "}"
+
+(* Chrome trace_event format (the JSON-array flavour): spans become
+   duration events (ph B/E) on tid 0, I/O events become instants on a
+   tid per source, so Perfetto renders one lane per pager. *)
+let chrome_line e =
+  match e.kind with
+  | Span_begin ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":%d,\"pid\":0,\"tid\":0}"
+        (escape e.label) e.tick
+  | Span_end ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":%d,\"pid\":0,\"tid\":0,\"args\":%s}"
+        (escape e.label) e.tick (args_json e.args)
+  | k ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"io\",\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"page\":%d}}"
+        (kind_name k) e.tick (e.src + 1) e.page
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type sink_ops = {
+  s_emit : event -> unit;
+  s_flush : unit -> unit;
+  s_close : unit -> unit;
+  s_events : unit -> event list;
+}
+
+type sink = Null | Active of sink_ops
+
+let null = Null
+
+let no_events () = []
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.ring: capacity <= 0";
+  let buf = Array.make capacity None in
+  let next = ref 0 in
+  let emit e =
+    buf.(!next mod capacity) <- Some e;
+    incr next
+  in
+  let events () =
+    let n = !next in
+    let first = max 0 (n - capacity) in
+    List.filter_map
+      (fun i -> buf.(i mod capacity))
+      (List.init (n - first) (fun k -> first + k))
+  in
+  Active { s_emit = emit; s_flush = ignore; s_close = ignore; s_events = events }
+
+let jsonl oc =
+  Active
+    {
+      s_emit = (fun e -> output_string oc (jsonl_line e ^ "\n"));
+      s_flush = (fun () -> flush oc);
+      s_close = (fun () -> flush oc);
+      s_events = no_events;
+    }
+
+let chrome oc =
+  let first = ref true in
+  output_string oc "[";
+  Active
+    {
+      s_emit =
+        (fun e ->
+          if !first then first := false else output_string oc ",\n";
+          output_string oc (chrome_line e));
+      s_flush = (fun () -> flush oc);
+      s_close =
+        (fun () ->
+          output_string oc "]\n";
+          flush oc);
+      s_events = no_events;
+    }
+
+let custom f =
+  Active { s_emit = f; s_flush = ignore; s_close = ignore; s_events = no_events }
+
+(* ------------------------------------------------------------------ *)
+(* The handle                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable tick : int;
+  mutable sink : sink;
+  mutable next_src : int;
+  mutable sources : (int * string) list; (* src id -> name, newest first *)
+  mutable next_span : int;
+  mutable depth : int;
+  mutable on_close : unit -> unit;
+}
+
+type source = { o : t; sid : int }
+
+let create ?(sink = Null) () =
+  {
+    tick = 0;
+    sink;
+    next_src = 0;
+    sources = [];
+    next_span = 0;
+    depth = 0;
+    on_close = ignore;
+  }
+
+let set_sink t sink = t.sink <- sink
+let enabled t = t.sink <> Null
+let tick t = t.tick
+
+let register t ~name =
+  let sid = t.next_src in
+  t.next_src <- sid + 1;
+  t.sources <- (sid, name) :: t.sources;
+  { o = t; sid }
+
+let source_id s = s.sid
+let source_name t sid = List.assoc_opt sid t.sources
+
+let push t e =
+  match t.sink with
+  | Null -> ()
+  | Active ops ->
+      ops.s_emit e
+
+let emit s kind ~page =
+  let t = s.o in
+  match t.sink with
+  | Null -> ()
+  | Active ops ->
+      let tick = t.tick in
+      t.tick <- tick + 1;
+      ops.s_emit { tick; kind; src = s.sid; page; label = ""; args = [] }
+
+let span_depth t = t.depth
+
+let with_span obs ~kind ?result_args f =
+  match obs with
+  | None -> f ()
+  | Some t -> (
+      match t.sink with
+      | Null -> f ()
+      | Active _ ->
+          let id = t.next_span in
+          t.next_span <- id + 1;
+          let tk = t.tick in
+          t.tick <- tk + 1;
+          t.depth <- t.depth + 1;
+          push t
+            { tick = tk; kind = Span_begin; src = -1; page = id; label = kind;
+              args = [] };
+          let finish args =
+            t.depth <- t.depth - 1;
+            let tk = t.tick in
+            t.tick <- tk + 1;
+            push t
+              { tick = tk; kind = Span_end; src = -1; page = id; label = kind;
+                args }
+          in
+          (match f () with
+          | r ->
+              finish (match result_args with Some g -> g r | None -> []);
+              r
+          | exception e ->
+              finish [ ("error", 1) ];
+              raise e))
+
+let events t =
+  match t.sink with Null -> [] | Active ops -> ops.s_events ()
+
+let flush t = match t.sink with Null -> () | Active ops -> ops.s_flush ()
+
+let close t =
+  (match t.sink with Null -> () | Active ops -> ops.s_close ());
+  let f = t.on_close in
+  t.on_close <- ignore;
+  f ();
+  t.sink <- Null
+
+(* [to_file path] picks the format by extension: [.json] gets the Chrome
+   trace_event array (load in chrome://tracing or ui.perfetto.dev),
+   anything else newline-delimited JSON objects. *)
+let to_file path =
+  let oc = open_out path in
+  let sink =
+    if Filename.check_suffix path ".json" then chrome oc else jsonl oc
+  in
+  let t = create ~sink () in
+  t.on_close <- (fun () -> close_out oc);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* JSONL replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type totals = {
+  t_reads : int;
+  t_writes : int;
+  t_cache_hits : int;
+  t_allocs : int;
+  t_frees : int;
+  t_evictions : int;
+  t_write_backs : int;
+  t_spans : int;
+  t_events : int;
+}
+
+let zero_totals =
+  {
+    t_reads = 0;
+    t_writes = 0;
+    t_cache_hits = 0;
+    t_allocs = 0;
+    t_frees = 0;
+    t_evictions = 0;
+    t_write_backs = 0;
+    t_spans = 0;
+    t_events = 0;
+  }
+
+(* Extract the string value of ["key":"..."] from a JSONL line written by
+   {!jsonl_line}. Deliberately not a general JSON parser, but strict
+   enough that corrupt or truncated lines are rejected. *)
+let field_string line key =
+  let pat = "\"" ^ key ^ "\":\"" in
+  match
+    let plen = String.length pat and llen = String.length line in
+    let rec find i =
+      if i + plen > llen then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let parse_line lineno line =
+  let fail msg =
+    failwith (Printf.sprintf "Obs.replay: line %d: %s" lineno msg)
+  in
+  let n = String.length line in
+  if n = 0 then fail "empty line";
+  if line.[0] <> '{' || line.[n - 1] <> '}' then fail "not a JSON object";
+  match field_string line "kind" with
+  | None -> fail "missing \"kind\" field"
+  | Some k -> (
+      match kind_of_name k with
+      | None -> fail (Printf.sprintf "unknown kind %S" k)
+      | Some kind -> kind)
+
+(* Replay a JSONL trace back into I/O totals. A [Write_back] is a
+   deferred write being charged, so it counts into [t_writes] too —
+   mirroring how {!Pc_pagestore.Io_stats} accounts write-backs. *)
+let replay_channel ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | line when String.trim line = "" -> go (lineno + 1) acc
+    | line -> (
+        let acc = { acc with t_events = acc.t_events + 1 } in
+        match parse_line lineno (String.trim line) with
+        | Read -> go (lineno + 1) { acc with t_reads = acc.t_reads + 1 }
+        | Write -> go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
+        | Cache_hit ->
+            go (lineno + 1) { acc with t_cache_hits = acc.t_cache_hits + 1 }
+        | Alloc -> go (lineno + 1) { acc with t_allocs = acc.t_allocs + 1 }
+        | Free -> go (lineno + 1) { acc with t_frees = acc.t_frees + 1 }
+        | Evict -> go (lineno + 1) { acc with t_evictions = acc.t_evictions + 1 }
+        | Write_back ->
+            go (lineno + 1)
+              {
+                acc with
+                t_write_backs = acc.t_write_backs + 1;
+                t_writes = acc.t_writes + 1;
+              }
+        | Pin -> go (lineno + 1) acc
+        | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
+        | Span_end -> go (lineno + 1) acc)
+  in
+  go 1 zero_totals
+
+let replay_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> replay_channel ic)
+
+let pp_totals ppf t =
+  Format.fprintf ppf
+    "{events=%d; reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; \
+     evictions=%d; write_backs=%d; spans=%d}"
+    t.t_events t.t_reads t.t_writes t.t_cache_hits t.t_allocs t.t_frees
+    t.t_evictions t.t_write_backs t.t_spans

@@ -1,0 +1,159 @@
+(** I/O tracing: typed events, pluggable sinks, operation spans.
+
+    The paper's guarantees are worst-case {e per-query} I/O bounds, but
+    aggregate counters ({!Pc_pagestore.Io_stats}) only expose means. This
+    module records the full event sequence — which pages an operation
+    touched, in what order, attributed to the span (query, insert, build)
+    that caused them — so distributions and worst cases become observable
+    (see DESIGN.md §9).
+
+    Events are stamped with a {e logical tick}, a monotonically increasing
+    counter, never a wall clock: traces of a fixed seed are deterministic
+    and can be compared byte-for-byte in tests.
+
+    The overhead contract: with no handle ([?obs] absent) or with the
+    {!null} sink installed, instrumented code paths reduce to a single
+    match on an option/variant — I/O counts are byte-identical and timing
+    is unchanged. Tracing is strictly opt-in. *)
+
+(** Event taxonomy. [Read]..[Pin] fire at the {!Pc_pagestore.Pager} and
+    {!Pc_bufferpool.Buffer_pool} counter sites; [Span_begin]/[Span_end]
+    bracket structure entry points. *)
+type kind =
+  | Read  (** page miss serviced by the simulated disk *)
+  | Write  (** page write charged immediately (write-through) *)
+  | Alloc  (** fresh page allocated *)
+  | Free  (** page released *)
+  | Cache_hit  (** access absorbed by the buffer pool *)
+  | Evict  (** frame pushed out of the buffer pool *)
+  | Write_back  (** deferred write charged at eviction or flush *)
+  | Pin  (** frame pinned resident *)
+  | Span_begin
+  | Span_end
+
+type event = {
+  tick : int;  (** logical timestamp, unique and monotonic per handle *)
+  kind : kind;
+  src : int;  (** registered source (pager) id; [-1] for span events *)
+  page : int;  (** page id; span id for span events *)
+  label : string;  (** span kind, e.g. ["query2sided"]; [""] otherwise *)
+  args : (string * int) list;
+      (** [Span_end] payload: the query's {!Pc_pagestore.Query_stats}
+          breakdown; [[]] otherwise *)
+}
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+(** {1 Sinks} *)
+
+type sink
+
+(** [null] drops every event; the default. A handle whose sink is [null]
+    is disabled: no ticks advance, no allocation happens per event. *)
+val null : sink
+
+(** [ring ~capacity] keeps the most recent [capacity] events in memory;
+    read them back with {!events}. *)
+val ring : capacity:int -> sink
+
+(** [jsonl oc] writes one JSON object per event per line. *)
+val jsonl : out_channel -> sink
+
+(** [chrome oc] writes the Chrome [trace_event] JSON-array format: open
+    the file in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}. Spans render as nested duration slices, I/O events as
+    instants on one lane per pager. {!close} writes the closing bracket. *)
+val chrome : out_channel -> sink
+
+(** [custom f] calls [f] on every event. *)
+val custom : (event -> unit) -> sink
+
+(** {1 Handles} *)
+
+type t
+
+(** [create ()] makes a handle, disabled by default ([?sink] = {!null}). *)
+val create : ?sink:sink -> unit -> t
+
+val set_sink : t -> sink -> unit
+
+(** [enabled t] is [false] iff the sink is {!null}. *)
+val enabled : t -> bool
+
+(** [tick t] is the next logical timestamp. *)
+val tick : t -> int
+
+(** [to_file path] opens a file sink, choosing the format by extension:
+    [.json] gets the Chrome format, anything else JSONL. {!close} closes
+    the file. *)
+val to_file : string -> t
+
+(** [flush t] flushes a file-backed sink. *)
+val flush : t -> unit
+
+(** [close t] finalizes the sink (writes the Chrome closing bracket,
+    closes a {!to_file} channel) and installs {!null}. *)
+val close : t -> unit
+
+(** {1 Sources and events} *)
+
+(** An event source registered on a handle — one per pager. Cheap to
+    carry; {!emit} through it is the hot path. *)
+type source
+
+(** [register t ~name] allocates the next source id. *)
+val register : t -> name:string -> source
+
+val source_id : source -> int
+val source_name : t -> int -> string option
+
+(** [emit src kind ~page] appends one event, stamping the next tick.
+    No-op (no tick consumed) when the sink is {!null}. *)
+val emit : source -> kind -> page:int -> unit
+
+(** [events t] returns the buffered events of a {!ring} sink, oldest
+    first; [[]] for any other sink. *)
+val events : t -> event list
+
+(** {1 Spans} *)
+
+(** [with_span obs ~kind f] brackets [f ()] between [Span_begin] and
+    [Span_end] events so the I/O events [f] causes nest under it.
+    [result_args], evaluated on [f]'s result, attaches a stats breakdown
+    to the closing event. If [f] raises, the span is closed with
+    [[("error", 1)]] and the exception re-raised. [with_span None ~kind f]
+    is exactly [f ()]. *)
+val with_span :
+  t option ->
+  kind:string ->
+  ?result_args:('a -> (string * int) list) ->
+  (unit -> 'a) ->
+  'a
+
+(** [span_depth t] is the current nesting depth (0 outside any span). *)
+val span_depth : t -> int
+
+(** {1 Replay}
+
+    Reads a JSONL trace back into I/O totals, so a trace can be checked
+    against the counters it mirrors. Raises [Failure] with the offending
+    line number on input that is not a trace written by the {!jsonl}
+    sink. *)
+
+type totals = {
+  t_reads : int;
+  t_writes : int;  (** immediate writes plus write-backs, as {!Pc_pagestore.Io_stats.writes} *)
+  t_cache_hits : int;
+  t_allocs : int;
+  t_frees : int;
+  t_evictions : int;
+  t_write_backs : int;
+  t_spans : int;  (** number of [Span_begin] events *)
+  t_events : int;  (** total events parsed *)
+}
+
+val zero_totals : totals
+val replay_channel : in_channel -> totals
+val replay_file : string -> totals
+val pp_totals : Format.formatter -> totals -> unit

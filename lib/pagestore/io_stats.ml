@@ -57,3 +57,20 @@ let pp ppf t =
     "{reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; evictions=%d; \
      write_backs=%d}"
     t.reads t.writes t.cache_hits t.allocs t.frees t.evictions t.write_backs
+
+let to_args t =
+  [
+    ("reads", t.reads);
+    ("writes", t.writes);
+    ("cache_hits", t.cache_hits);
+    ("allocs", t.allocs);
+    ("frees", t.frees);
+    ("evictions", t.evictions);
+    ("write_backs", t.write_backs);
+  ]
+
+let to_json t =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (to_args t))
+  ^ "}"

@@ -36,3 +36,11 @@ val snapshot : t -> t
 val diff : after:t -> before:t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** [to_args t] lists every counter as a [(name, value)] pair — the
+    payload attached to closing trace spans (see {!Pc_obs.Obs.event}). *)
+val to_args : t -> (string * int) list
+
+(** [to_json t] is a flat JSON object of all counters, as consumed by the
+    trace and benchmark exporters. *)
+val to_json : t -> string

@@ -22,9 +22,12 @@ type 'a t = {
   client : Buffer_pool.client;
   stats : Io_stats.t;
   mutable fault : (op:string -> page:int -> bool) option;
+  obs : Pc_obs.Obs.t option;
+  obs_src : Pc_obs.Obs.source option;
 }
 
-let create ?(cache_capacity = 0) ?pool ~page_capacity () =
+let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
+    () =
   if page_capacity <= 0 then invalid_arg "Pager.create: page_capacity <= 0";
   let pool =
     match pool with
@@ -34,6 +37,7 @@ let create ?(cache_capacity = 0) ?pool ~page_capacity () =
            I/O counts to the old built-in LRU *)
         Buffer_pool.create ~policy:Replacement.Lru ~capacity:cache_capacity ()
   in
+  let obs_src = Option.map (fun o -> Pc_obs.Obs.register o ~name:obs_name) obs in
   {
     page_capacity;
     slots = Array.make 64 None;
@@ -41,14 +45,25 @@ let create ?(cache_capacity = 0) ?pool ~page_capacity () =
     live = 0;
     frames = Hashtbl.create 64;
     pool;
-    client = Buffer_pool.register pool;
+    client = Buffer_pool.register ?obs:obs_src pool;
     stats = Io_stats.create ();
     fault = None;
+    obs;
+    obs_src;
   }
 
 let page_capacity t = t.page_capacity
 let cache_capacity t = Buffer_pool.capacity t.pool
 let pool t = t.pool
+let obs t = t.obs
+
+(* Trace-event hook at every counter site; a single option match when
+   tracing is off, so counts and timing stay on the uninstrumented
+   path. *)
+let ev t kind ~page =
+  match t.obs_src with
+  | None -> ()
+  | Some src -> Pc_obs.Obs.emit src kind ~page
 
 let check_fault t ~op ~page =
   match t.fault with
@@ -115,7 +130,10 @@ let cache_insert ?hint t id data =
 let charge_write t id ~buffered =
   if buffered && Buffer_pool.write_back_mode t.pool then
     Buffer_pool.mark_dirty t.client id
-  else t.stats.writes <- t.stats.writes + 1
+  else begin
+    t.stats.writes <- t.stats.writes + 1;
+    ev t Pc_obs.Obs.Write ~page:id
+  end
 
 let alloc t records =
   sync t;
@@ -127,6 +145,7 @@ let alloc t records =
   t.next_id <- id + 1;
   t.live <- t.live + 1;
   t.stats.allocs <- t.stats.allocs + 1;
+  ev t Pc_obs.Obs.Alloc ~page:id;
   cache_insert t id records;
   charge_write t id ~buffered:(Hashtbl.mem t.frames id);
   id
@@ -148,11 +167,13 @@ let read t id =
   | Some fr ->
       validate_frame t id fr;
       t.stats.cache_hits <- t.stats.cache_hits + 1;
+      ev t Pc_obs.Obs.Cache_hit ~page:id;
       Buffer_pool.touch t.client id;
       fr.data
   | None ->
       let records = get_slot t id "read" in
       t.stats.reads <- t.stats.reads + 1;
+      ev t Pc_obs.Obs.Read ~page:id;
       cache_insert t id records;
       records
 
@@ -177,6 +198,7 @@ let free t id =
   t.slots.(id) <- Some Freed;
   t.live <- t.live - 1;
   t.stats.frees <- t.stats.frees + 1;
+  ev t Pc_obs.Obs.Free ~page:id;
   (* a freed page's dirty data is discarded, never written back *)
   Hashtbl.remove t.frames id;
   Buffer_pool.forget t.client id
@@ -215,7 +237,8 @@ let pin t id =
   if Buffer_pool.capacity t.pool > 0 then begin
     sync t;
     if not (Hashtbl.mem t.frames id) then ignore (read t id);
-    Buffer_pool.pin t.client id
+    Buffer_pool.pin t.client id;
+    ev t Pc_obs.Obs.Pin ~page:id
   end
 
 let unpin t id =
@@ -233,6 +256,7 @@ let advise_willneed t ids =
         if not (Hashtbl.mem t.frames id) then begin
           let records = get_slot t id "advise_willneed" in
           t.stats.reads <- t.stats.reads + 1;
+          ev t Pc_obs.Obs.Read ~page:id;
           cache_insert ~hint:`Hot t id records
         end)
       ids

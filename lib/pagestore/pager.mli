@@ -38,9 +38,23 @@ exception Frame_mutated of { page : int }
     (default [0]) sizes a private LRU buffer pool in pages; [0] disables
     caching so every access costs exactly one I/O. [pool] overrides the
     private pool with a shared {!Buffer_pool.t} (then [cache_capacity] is
-    ignored). *)
+    ignored).
+
+    [obs] attaches an observability handle: the pager registers itself as
+    an event source (named [obs_name], default ["pager"]) and emits a
+    trace event at every counter site — see {!Pc_obs.Obs}. Absent (the
+    default), tracing code is a no-op and I/O counts are byte-identical
+    to an uninstrumented pager. A pager carrying an [obs] handle cannot
+    be persisted with {!Persist} (the sink holds closures), mirroring the
+    fault-hook restriction. *)
 val create :
-  ?cache_capacity:int -> ?pool:Buffer_pool.t -> page_capacity:int -> unit -> 'a t
+  ?cache_capacity:int ->
+  ?pool:Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
+  ?obs_name:string ->
+  page_capacity:int ->
+  unit ->
+  'a t
 
 val page_capacity : 'a t -> int
 
@@ -50,6 +64,11 @@ val cache_capacity : 'a t -> int
 
 (** [pool t] is the buffer pool this pager draws frames from. *)
 val pool : 'a t -> Buffer_pool.t
+
+(** [obs t] is the observability handle the pager traces into, if any —
+    structures use it to open {!Pc_obs.Obs.with_span} spans around their
+    entry points without threading the handle separately. *)
+val obs : 'a t -> Pc_obs.Obs.t option
 
 (** [alloc t records] allocates a fresh page holding [records] and returns
     its id. Counts one write I/O (deferred under a write-back pool). *)
@@ -80,8 +99,16 @@ val pages_in_use : 'a t -> int
 val stats : 'a t -> Io_stats.t
 val reset_stats : 'a t -> unit
 
-(** [with_counted t f] runs [f ()] and returns its result together with the
-    I/Os it performed on [t]. *)
+(** [with_counted t f] runs [f ()] and returns its result together with
+    the I/Os it performed on [t], computed as a snapshot difference.
+
+    Nesting contract: calls nest safely — each level's count is exact for
+    the work inside {e its own} [f], and an inner [with_counted]'s I/Os
+    are {e included} in every enclosing count (attribution is inclusive,
+    like a profiler's "total time", not "self time"). Callers that sum
+    sibling counts must therefore not also add an enclosing count.
+    Counters are never reset by this function, so concurrent reads of
+    {!stats} stay monotonic. *)
 val with_counted : 'a t -> (unit -> 'b) -> 'b * Io_stats.t
 
 (** [set_fault t f] installs a fault predicate consulted before every read

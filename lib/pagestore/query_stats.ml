@@ -25,5 +25,21 @@ let add ~into b =
   into.reported_raw <- into.reported_raw + b.reported_raw
 
 let pp ppf t =
-  Format.fprintf ppf "{skel=%d data=%d cache=%d wasteful=%d}" t.skeletal_reads
-    t.data_reads t.cache_reads t.wasteful_reads
+  Format.fprintf ppf "{skel=%d data=%d cache=%d wasteful=%d raw=%d}"
+    t.skeletal_reads t.data_reads t.cache_reads t.wasteful_reads t.reported_raw
+
+let to_args t =
+  [
+    ("skeletal_reads", t.skeletal_reads);
+    ("data_reads", t.data_reads);
+    ("cache_reads", t.cache_reads);
+    ("wasteful_reads", t.wasteful_reads);
+    ("reported_raw", t.reported_raw);
+    ("total", total t);
+  ]
+
+let to_json t =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (to_args t))
+  ^ "}"

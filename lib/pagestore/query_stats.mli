@@ -22,3 +22,11 @@ val total : t -> int
 
 val add : into:t -> t -> unit
 val pp : Format.formatter -> t -> unit
+
+(** [to_args t] lists every field plus the derived [total] as
+    [(name, value)] pairs — the payload attached to closing trace spans
+    (see {!Pc_obs.Obs.with_span}). *)
+val to_args : t -> (string * int) list
+
+(** [to_json t] is a flat JSON object of {!to_args}. *)
+val to_json : t -> string

@@ -56,9 +56,12 @@ let store_srcs pager entries =
   Blocked_list.store pager
     (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
 
-let create ?(cache_capacity = 0) ?pool ~mode ~b pts =
+let create ?(cache_capacity = 0) ?pool ?obs ~mode ~b pts =
   if b < 2 then invalid_arg "Ext_pst3.create: b < 2";
-  let pager = Pager.create ~cache_capacity ?pool ~page_capacity:b () in
+  let pager =
+    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_pst3" ~page_capacity:b ()
+  in
+  Pc_obs.Obs.with_span obs ~kind:"build.3sided" @@ fun () ->
   match pts with
   | [] ->
       {
@@ -214,6 +217,9 @@ let cell_point = function
 type side = L | R
 
 let query t ~xl ~xr ~yb =
+  Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"query.3sided"
+    ~result_args:(fun (_, st) -> Query_stats.to_args st)
+  @@ fun () ->
   let stats = Query_stats.create () in
   match t.layout with
   | _ when xl > xr -> ([], stats)
@@ -508,6 +514,7 @@ let query t ~xl ~xr ~yb =
 (* ------------------------------------------------------------------ *)
 
 let mode t = t.mode
+let obs t = Pager.obs t.pager
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 

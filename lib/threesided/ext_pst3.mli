@@ -38,11 +38,16 @@ type t
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
   mode:mode ->
   b:int ->
   Point.t list ->
   t
 val mode : t -> mode
+
+(** [obs t] is the trace handle the pager emits into, if any. *)
+val obs : t -> Pc_obs.Obs.t option
+
 val size : t -> int
 val page_size : t -> int
 

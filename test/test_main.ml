@@ -17,4 +17,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("persist", Test_persist.suite);
       ("robustness", Test_robustness.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,345 @@
+(* Observability subsystem: golden event traces, histogram buckets,
+   the null-sink zero-overhead contract, JSONL replay equivalence, and
+   the [with_counted] nesting contract. *)
+
+open Pathcaching
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let contains_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let universe = 1_000_000
+
+let kinds_of evs = List.map (fun (e : Obs.event) -> e.Obs.kind) evs
+
+(* ----- golden traces ----- *)
+
+(* Exact event sequence for a hand-computed pager workload: every counter
+   site fires exactly one event, in program order, with contiguous
+   ticks. *)
+let test_golden_pager () =
+  let obs = Obs.create ~sink:(Obs.ring ~capacity:64) () in
+  let p : int Pager.t = Pager.create ~obs ~obs_name:"p" ~page_capacity:4 () in
+  let a = Pager.alloc p [| 1 |] in
+  ignore (Pager.read p a);
+  Pager.write p a [| 2 |];
+  Pager.free p a;
+  let evs = Obs.events obs in
+  Alcotest.(check (list string))
+    "event kinds"
+    [ "alloc"; "write"; "read"; "write"; "free" ]
+    (List.map Obs.kind_name (kinds_of evs));
+  List.iteri
+    (fun i (e : Obs.event) ->
+      check_int "tick contiguous" i e.Obs.tick;
+      check_int "page" a e.Obs.page;
+      check_int "src" 0 e.Obs.src)
+    evs
+
+(* Fixed small B-tree: a point lookup opens a [btree.find] span whose
+   enclosed reads are exactly the root-to-leaf page walk (the leaf level
+   stores entries on overflow pages, hence one extra read past the
+   height-2 descent). *)
+let test_golden_btree () =
+  let obs = Obs.create () in
+  let t = Btree.bulk_load_in ~obs ~b:4 (List.init 8 (fun i -> (i, i * 10))) in
+  check_int "height" 2 (Btree.height t);
+  Obs.set_sink obs (Obs.ring ~capacity:64);
+  Alcotest.(check (option int)) "find" (Some 30) (Btree.find t 3);
+  let evs = Obs.events obs in
+  Alcotest.(check (list string))
+    "event kinds"
+    [ "span_begin"; "read"; "read"; "read"; "span_end" ]
+    (List.map Obs.kind_name (kinds_of evs));
+  (match evs with
+  | b :: _ -> check_string "span label" "btree.find" b.Obs.label
+  | [] -> Alcotest.fail "no events");
+  let pages =
+    List.filter_map
+      (fun (e : Obs.event) ->
+        if e.Obs.kind = Obs.Read then Some e.Obs.page else None)
+      evs
+  in
+  check_bool "walk touches distinct pages" true
+    (List.length (List.sort_uniq compare pages) >= 2)
+
+let test_span_exception () =
+  let obs = Obs.create ~sink:(Obs.ring ~capacity:16) () in
+  (try
+     Obs.with_span (Some obs) ~kind:"boom" (fun () -> failwith "inner")
+   with Failure _ -> ());
+  check_int "depth restored" 0 (Obs.span_depth obs);
+  match Obs.events obs with
+  | [ b; e ] ->
+      check_string "begin" "span_begin" (Obs.kind_name b.Obs.kind);
+      check_string "end" "span_end" (Obs.kind_name e.Obs.kind);
+      check_int "same span id" b.Obs.page e.Obs.page;
+      Alcotest.(check (list (pair string int)))
+        "error arg" [ ("error", 1) ] e.Obs.args
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_ring_capacity () =
+  let obs = Obs.create ~sink:(Obs.ring ~capacity:3) () in
+  let p : int Pager.t = Pager.create ~obs ~page_capacity:2 () in
+  for _ = 1 to 5 do
+    ignore (Pager.alloc p [| 0 |])
+  done;
+  (* 5 allocs + 5 writes = 10 events; the ring keeps the newest 3 *)
+  let evs = Obs.events obs in
+  check_int "ring keeps capacity" 3 (List.length evs);
+  check_int "newest tick last" 9 (List.nth evs 2).Obs.tick
+
+(* ----- histogram ----- *)
+
+let test_histogram_exact () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0; 1; 5; 5; 63 ];
+  check_int "count" 5 (Histogram.count h);
+  check_int "total" 74 (Histogram.total h);
+  check_int "min" 0 (Histogram.min_value h);
+  check_int "max" 63 (Histogram.max_value h);
+  (* values below 64 are exact: every percentile is a recorded value *)
+  check_int "p50" 5 (Histogram.p50 h);
+  check_int "p99" 63 (Histogram.p99 h);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram.add: negative value") (fun () ->
+      Histogram.add h (-1))
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.add h v
+  done;
+  check_int "p50 of 1..100" 50 (Histogram.p50 h);
+  (* above 63 buckets are octaves with 8 sub-buckets: at most 12.5% high,
+     and clamped to the observed max *)
+  let p99 = Histogram.p99 h in
+  check_bool "p99 within bucket error" true (p99 >= 99 && p99 <= 100);
+  check_int "p100 clamps to max" 100 (Histogram.percentile h 100.);
+  check_int "max exact" 100 (Histogram.max_value h)
+
+let test_histogram_buckets () =
+  let h = Histogram.create () in
+  (* 64 and 71 share the first octave sub-bucket ([64, 72)); 72 starts
+     the next one *)
+  List.iter (Histogram.add h) [ 64; 71; 72 ];
+  (match Histogram.nonzero_buckets h with
+  | [ (64, 2); (72, 1) ] -> ()
+  | bs ->
+      Alcotest.failf "unexpected buckets: %s"
+        (String.concat ";"
+           (List.map (fun (v, c) -> Printf.sprintf "(%d,%d)" v c) bs)));
+  let big = 1_000_000 in
+  Histogram.reset h;
+  Histogram.add h big;
+  let p = Histogram.percentile h 50. in
+  check_bool "relative error <= 12.5%" true
+    (p >= big && float_of_int p <= 1.125 *. float_of_int big)
+
+let test_histogram_merge_json () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 1;
+  Histogram.add b 2;
+  Histogram.merge ~into:a b;
+  check_int "merged count" 2 (Histogram.count a);
+  check_int "merged total" 3 (Histogram.total a);
+  let j = Histogram.to_json a in
+  check_bool "json has fields" true
+    (List.for_all (contains_sub j) [ "\"count\":2"; "\"p99\":"; "\"buckets\":" ])
+
+(* ----- null-sink / no-handle overhead contract ----- *)
+
+let pst_workload obs =
+  let rng = Rng.create 7 in
+  let pts = Workload.points rng Workload.Uniform ~n:2000 ~universe in
+  let t = Ext_pst.create ?obs ~variant:Ext_pst.Two_level ~b:16 pts in
+  let sts =
+    List.map
+      (fun (xl, yb) -> snd (Ext_pst.query t ~xl ~yb))
+      (Workload.two_sided_corners rng ~k:8 ~universe)
+  in
+  (Ext_pst.io_stats t, List.map Query_stats.total sts)
+
+let test_null_sink_identical () =
+  let st_off, ios_off = pst_workload None in
+  let st_null, ios_null = pst_workload (Some (Obs.create ())) in
+  let st_ring, ios_ring =
+    pst_workload (Some (Obs.create ~sink:(Obs.ring ~capacity:16) ()))
+  in
+  let totals (st : Io_stats.t) =
+    ( st.Io_stats.reads,
+      st.Io_stats.writes,
+      st.Io_stats.cache_hits,
+      st.Io_stats.allocs )
+  in
+  Alcotest.(check (list int)) "per-query I/O, null sink" ios_off ios_null;
+  Alcotest.(check (list int)) "per-query I/O, live sink" ios_off ios_ring;
+  check_bool "io_stats, null sink" true (totals st_off = totals st_null);
+  check_bool "io_stats, live sink" true (totals st_off = totals st_ring)
+
+(* ----- JSONL replay ----- *)
+
+let test_replay_matches_counters () =
+  let path = Filename.temp_file "pc_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      let rng = Rng.create 7 in
+      let pts = Workload.points rng Workload.Uniform ~n:2000 ~universe in
+      let t = Ext_pst.create ~obs ~variant:Ext_pst.Two_level ~b:16 pts in
+      List.iter
+        (fun (xl, yb) -> ignore (Ext_pst.query t ~xl ~yb))
+        (Workload.two_sided_corners rng ~k:8 ~universe);
+      let st = Ext_pst.io_stats t in
+      Obs.close obs;
+      let r = Obs.replay_file path in
+      check_int "reads" st.Io_stats.reads r.Obs.t_reads;
+      check_int "writes" st.Io_stats.writes r.Obs.t_writes;
+      check_int "cache hits" st.Io_stats.cache_hits r.Obs.t_cache_hits;
+      check_int "allocs" st.Io_stats.allocs r.Obs.t_allocs;
+      check_int "frees" st.Io_stats.frees r.Obs.t_frees;
+      check_int "evictions" st.Io_stats.evictions r.Obs.t_evictions;
+      check_int "write backs" st.Io_stats.write_backs r.Obs.t_write_backs;
+      (* build + 8 queries *)
+      check_int "spans" 9 r.Obs.t_spans)
+
+let test_replay_pooled () =
+  let path = Filename.temp_file "pc_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      let pool = Buffer_pool.create ~capacity:8 () in
+      let t = Btree.bulk_load_in ~pool ~obs ~b:4 (List.init 200 (fun i -> (i, i))) in
+      for lo = 0 to 20 do
+        ignore (Btree.range t ~lo ~hi:(lo + 10))
+      done;
+      let st = Io_stats.snapshot (Pager.stats (Btree.pager t)) in
+      Obs.close obs;
+      let r = Obs.replay_file path in
+      check_int "reads" st.Io_stats.reads r.Obs.t_reads;
+      check_int "hits" st.Io_stats.cache_hits r.Obs.t_cache_hits;
+      check_int "evictions" st.Io_stats.evictions r.Obs.t_evictions;
+      check_int "write backs" st.Io_stats.write_backs r.Obs.t_write_backs)
+
+let test_replay_rejects_garbage () =
+  let path = Filename.temp_file "pc_bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "this is not a trace\n";
+      close_out oc;
+      match Obs.replay_file path with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg ->
+          check_bool "names the line" true (contains_sub msg "line 1"))
+
+let test_chrome_format () =
+  let path = Filename.temp_file "pc_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      let p : int Pager.t = Pager.create ~obs ~page_capacity:4 () in
+      Obs.with_span (Some obs) ~kind:"op" (fun () ->
+          ignore (Pager.alloc p [| 1 |]));
+      Obs.close obs;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      check_bool "JSON array" true
+        (String.length s > 2 && s.[0] = '[');
+      check_bool "closed bracket" true
+        (String.contains s ']'))
+
+(* ----- structure spans and stats payloads ----- *)
+
+let test_query_span_args () =
+  let obs = Obs.create ~sink:(Obs.ring ~capacity:4096) () in
+  let rng = Rng.create 3 in
+  let pts = Workload.points rng Workload.Uniform ~n:500 ~universe in
+  let t = Ext_pst.create ~obs ~variant:Ext_pst.Two_level ~b:16 pts in
+  let _, st = Ext_pst.query t ~xl:(universe - 1000) ~yb:0 in
+  let closing =
+    List.rev (Obs.events obs) |> List.find (fun (e : Obs.event) ->
+        e.Obs.kind = Obs.Span_end && e.Obs.label = "query.2sided")
+  in
+  check_int "total attached" (Query_stats.total st)
+    (List.assoc "total" closing.Obs.args);
+  check_int "skeletal attached" st.Query_stats.skeletal_reads
+    (List.assoc "skeletal_reads" closing.Obs.args)
+
+(* ----- satellite: pp / to_json fixes ----- *)
+
+let test_query_stats_pp_raw () =
+  let st = Query_stats.create () in
+  st.Query_stats.reported_raw <- 17;
+  let s = Format.asprintf "%a" Query_stats.pp st in
+  check_bool "pp shows raw" true (contains_sub s "raw=17")
+
+let test_stats_to_json () =
+  let io = Io_stats.create () in
+  io.Io_stats.reads <- 3;
+  check_bool "io_stats json" true (contains_sub (Io_stats.to_json io) "\"reads\":3");
+  let qs = Query_stats.create () in
+  qs.Query_stats.data_reads <- 2;
+  check_bool "query_stats json" true
+    (contains_sub (Query_stats.to_json qs) "\"data_reads\":2")
+
+(* ----- satellite: with_counted nesting ----- *)
+
+let test_with_counted_nesting () =
+  let p : int Pager.t = Pager.create ~page_capacity:4 () in
+  let a = Pager.alloc p [| 1 |] in
+  let b = Pager.alloc p [| 2 |] in
+  let (inner : Io_stats.t), (outer : Io_stats.t) =
+    let (inner, ()), outer =
+      Pager.with_counted p (fun () ->
+          ignore (Pager.read p a);
+          let inner, () =
+            let r, d = Pager.with_counted p (fun () -> ignore (Pager.read p b)) in
+            (d, r)
+          in
+          ignore (Pager.read p a);
+          (inner, ()))
+    in
+    (inner, outer)
+  in
+  (* inner is exact for its own body; the enclosing count includes it *)
+  check_int "inner reads" 1 inner.Io_stats.reads;
+  check_int "outer reads include inner" 3 outer.Io_stats.reads;
+  (* counters stay monotonic: with_counted never resets them *)
+  check_int "cumulative stats intact" 3 (Pager.stats p).Io_stats.reads
+
+let suite =
+  [
+    Alcotest.test_case "golden pager trace" `Quick test_golden_pager;
+    Alcotest.test_case "golden btree find trace" `Quick test_golden_btree;
+    Alcotest.test_case "span closes on exception" `Quick test_span_exception;
+    Alcotest.test_case "ring sink bounded" `Quick test_ring_capacity;
+    Alcotest.test_case "histogram exact below 64" `Quick test_histogram_exact;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram bucket bounds" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram merge and json" `Quick test_histogram_merge_json;
+    Alcotest.test_case "null sink leaves counts identical" `Quick
+      test_null_sink_identical;
+    Alcotest.test_case "replay matches counters" `Quick
+      test_replay_matches_counters;
+    Alcotest.test_case "replay matches counters (pooled)" `Quick
+      test_replay_pooled;
+    Alcotest.test_case "replay rejects garbage" `Quick
+      test_replay_rejects_garbage;
+    Alcotest.test_case "chrome export well-formed" `Quick test_chrome_format;
+    Alcotest.test_case "query span carries stats" `Quick test_query_span_args;
+    Alcotest.test_case "query_stats pp shows raw" `Quick test_query_stats_pp_raw;
+    Alcotest.test_case "io/query stats to_json" `Quick test_stats_to_json;
+    Alcotest.test_case "with_counted nesting inclusive" `Quick
+      test_with_counted_nesting;
+  ]
