@@ -27,6 +27,16 @@ let histo_row tag h =
   if Histogram.count h > 0 then
     row "  %-12s per-query io: %s\n" tag (Format.asprintf "%a" Histogram.pp h)
 
+(* Worst measured/predicted ratio over the experiment's queries — the
+   EXPERIMENTS.md conformance column (see lib/obs/cost_model.mli). *)
+let conf_line summ =
+  if Cost_model.Conformance.count summ > 0 then
+    row "  conformance: %d queries checked, worst ratio %.2f%s\n"
+      (Cost_model.Conformance.count summ)
+      (Cost_model.Conformance.worst_ratio summ)
+      (if Cost_model.Conformance.all_within summ then ""
+       else "  ** VIOLATION **")
+
 (* ------------------------------------------------------------------ *)
 (* E1: 2-sided query I/O vs n (Lemma 3.1 vs [IKO])                    *)
 (* ------------------------------------------------------------------ *)
@@ -42,6 +52,7 @@ let e1 () =
   let histos =
     List.map (fun v -> (v, Histogram.create ())) Ext_pst.all_variants
   in
+  let summ = Cost_model.Conformance.summary () in
   List.iter
     (fun n ->
       let n = scale n in
@@ -61,6 +72,9 @@ let e1 () =
                    avg_t := List.length res;
                    let io = Query_stats.total st in
                    Histogram.add h io;
+                   Cost_model.Conformance.record summ
+                     (Ext_pst.conformance t ~t_out:(List.length res)
+                        ~measured:io);
                    io)
                  corners))
           Ext_pst.all_variants
@@ -71,7 +85,8 @@ let e1 () =
     [ 4000; 16000; 64000; 256000 ];
   List.iter
     (fun (v, h) -> histo_row (Format.asprintf "%a" Ext_pst.pp_variant v) h)
-    histos
+    histos;
+  conf_line summ
 
 (* ------------------------------------------------------------------ *)
 (* E2: storage ladder (Lemma 3.1, Thms 3.2 / 4.3 / 4.4)               *)
@@ -80,6 +95,7 @@ let e1 () =
 let e2 () =
   header "E2 STORAGE-LADDER: pages / (n/B) per variant (B=64)";
   let histo = Histogram.create () in
+  let summ = Cost_model.Conformance.summary () in
   row "%8s | %8s %8s %8s %8s %8s\n" "n" "iko" "basic" "segmntd" "2level"
     "multi";
   List.iter
@@ -95,8 +111,11 @@ let e2 () =
              deep-corner distribution so the two sides line up *)
           List.iter
             (fun (xl, yb) ->
-              let _, st = Ext_pst.query t ~xl ~yb in
-              Histogram.add histo (Query_stats.total st))
+              let res, st = Ext_pst.query t ~xl ~yb in
+              Histogram.add histo (Query_stats.total st);
+              Cost_model.Conformance.record summ
+                (Ext_pst.conformance t ~t_out:(List.length res)
+                   ~measured:(Query_stats.total st)))
             (deep_corners universe 15);
           row " %8.2f"
             (float_of_int (Ext_pst.storage_pages t)
@@ -104,7 +123,8 @@ let e2 () =
         Ext_pst.all_variants;
       print_newline ())
     [ 4000; 16000; 64000; 256000 ];
-  histo_row "all-variants" histo
+  histo_row "all-variants" histo;
+  conf_line summ
 
 (* ------------------------------------------------------------------ *)
 (* E3: output sensitivity at fixed n (the t/B term, Thm 4.3)          *)
@@ -119,6 +139,7 @@ let e3 () =
   let iko = Ext_pst.create ~variant:Ext_pst.Iko ~b:64 pts in
   row "%10s %8s | %10s %8s %8s\n" "frac" "t" "ceil(t/B)" "2level" "iko";
   let h_two = Histogram.create () and h_iko = Histogram.create () in
+  let summ = Cost_model.Conformance.summary () in
   List.iter
     (fun frac ->
       let xl, yb = Workload.corner_for_target_t pts ~frac in
@@ -127,12 +148,18 @@ let e3 () =
       let t = List.length res in
       Histogram.add h_two (Query_stats.total st);
       Histogram.add h_iko (Query_stats.total st_iko);
+      Cost_model.Conformance.record summ
+        (Ext_pst.conformance two ~t_out:t ~measured:(Query_stats.total st));
+      Cost_model.Conformance.record summ
+        (Ext_pst.conformance iko ~t_out:t
+           ~measured:(Query_stats.total st_iko));
       row "%10.3f %8d | %10d %8d %8d\n" frac t
         (Num_util.ceil_div t 64)
         (Query_stats.total st) (Query_stats.total st_iko))
     [ 0.001; 0.01; 0.05; 0.2; 0.5 ];
   histo_row "2level" h_two;
-  histo_row "iko" h_iko
+  histo_row "iko" h_iko;
+  conf_line summ
 
 (* ------------------------------------------------------------------ *)
 (* E4: dynamic updates (Thm 5.1)                                      *)
@@ -141,6 +168,7 @@ let e3 () =
 let e4 () =
   header "E4 DYNAMIC-UPDATES: amortized update I/O and query I/O vs n (B=64)";
   let histo = Histogram.create () in
+  let summ = Cost_model.Conformance.summary () in
   row "%8s | %10s %10s %10s %12s %8s\n" "n" "upd I/O" "qry I/O" "t~"
     "rebuilds g/s" "pages";
   List.iter
@@ -170,6 +198,9 @@ let e4 () =
           (List.map
              (fun (xl, yb) ->
                let res, st = Dynamic_pst.query t ~xl ~yb in
+               Cost_model.Conformance.record summ
+                 (Dynamic_pst.conformance t ~t_out:(List.length res)
+                    ~measured:(Query_stats.total st));
                (Query_stats.total st, List.length res))
              (deep_corners universe 10))
       in
@@ -180,7 +211,8 @@ let e4 () =
         (avg q_ios) (avg ts) g s
         (Dynamic_pst.storage_pages t))
     [ 4000; 16000; 64000; 256000 ];
-  histo_row "dynamic" histo
+  histo_row "dynamic" histo;
+  conf_line summ
 
 (* ------------------------------------------------------------------ *)
 (* E5: external segment tree (§2, Thm 3.4)                            *)

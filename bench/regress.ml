@@ -1,0 +1,297 @@
+(* The benchmark regression gate (see lib/obs/bench_gate.mli).
+
+   Fixed-seed workloads over all nine external structures; every query is
+   conformance-checked against its theorem bound and folded into one
+   baseline entry per (experiment, structure, n, b) cell. No buffer pool
+   and no randomness outside the seeded [Rng], so a clean tree reproduces
+   the committed baseline exactly.
+
+   Run with:
+     dune exec bench/regress.exe                      run + print table
+     dune exec bench/regress.exe -- --write FILE      refresh the baseline
+     dune exec bench/regress.exe -- --diff FILE       gate: exit 1 on
+                                                      regression/violation
+     dune exec bench/regress.exe -- --report FILE     conformance report
+     dune exec bench/regress.exe -- --prom FILE       Prometheus dump
+     dune exec bench/regress.exe -- --tolerance 0.15  override the 10% *)
+
+open Pathcaching
+
+let universe = 1_000_000
+let seed = 42
+
+(* one registry + a metrics-only trace handle shared by every build; the
+   Prometheus dump (--prom) is CI's metrics artifact *)
+let metrics = Metrics.create ()
+let obs = Obs.create ()
+let () = Metrics.attach metrics obs
+
+let global = Cost_model.Conformance.summary ()
+
+(* fold one cell's verdicts into a baseline entry *)
+let cell ~experiment ~structure ~n ~b verdicts =
+  let histo = Histogram.create () in
+  let summary = Cost_model.Conformance.summary () in
+  List.iter
+    (fun (v : Cost_model.Conformance.verdict) ->
+      Histogram.add histo v.measured;
+      Cost_model.Conformance.record summary v;
+      Cost_model.Conformance.record global v)
+    verdicts;
+  Bench_gate.entry_of_verdicts ~experiment ~structure ~histo ~summary ~n ~b
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* deep corners with small output isolate the log_B n search term *)
+let deep_corners k = List.init k (fun i -> (universe - 3000 - (i * 100), i * 3))
+
+let r1_btree () =
+  let n = 20000 and b = 64 in
+  let entries = List.init n (fun i -> (i * 7, i)) in
+  let bt = Btree.bulk_load_in ~obs ~b entries in
+  let rng = Rng.create seed in
+  let verdicts =
+    List.init 20 (fun i ->
+        let width = [| 10; 100; 1000 |].(i mod 3) in
+        let lo = Rng.int rng (n * 7) in
+        Pager.reset_stats (Btree.pager bt);
+        let res = Btree.range bt ~lo ~hi:(lo + width) in
+        let measured = Io_stats.total (Pager.stats (Btree.pager bt)) in
+        Btree.conformance bt ~t_out:(List.length res) ~measured)
+  in
+  [ cell ~experiment:"R1" ~structure:(Btree.cost_model bt) ~n ~b verdicts ]
+
+let r2_pst2 () =
+  let n = 16000 and b = 64 in
+  let rng = Rng.create seed in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe in
+  List.map
+    (fun v ->
+      let t = Ext_pst.create ~obs ~variant:v ~b pts in
+      let verdicts =
+        List.map
+          (fun (xl, yb) ->
+            let res, st = Ext_pst.query t ~xl ~yb in
+            Ext_pst.conformance t ~t_out:(List.length res)
+              ~measured:(Query_stats.total st))
+          (deep_corners 15)
+      in
+      cell ~experiment:"R2" ~structure:(Ext_pst.cost_model t) ~n ~b verdicts)
+    Ext_pst.all_variants
+
+let r3_pst3 () =
+  let n = 16000 and b = 64 in
+  let rng = Rng.create seed in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe in
+  List.map
+    (fun mode ->
+      let t = Ext_pst3.create ~obs ~mode ~b pts in
+      let qrng = Rng.create (seed + 1) in
+      let verdicts =
+        List.init 15 (fun _ ->
+            let xl = Rng.int qrng universe in
+            let xr = min (universe - 1) (xl + (universe / 50)) in
+            let yb = universe - 4000 in
+            let res, st = Ext_pst3.query t ~xl ~xr ~yb in
+            Ext_pst3.conformance t ~t_out:(List.length res)
+              ~measured:(Query_stats.total st))
+      in
+      cell ~experiment:"R3" ~structure:(Ext_pst3.cost_model t) ~n ~b verdicts)
+    [ Ext_pst3.Baseline; Ext_pst3.Cached ]
+
+let stab_verdicts (type s) ~(stab : s -> int -> Ival.t list * Query_stats.t)
+    ~(conf :
+       s -> t_out:int -> measured:int -> Cost_model.Conformance.verdict) t =
+  let qrng = Rng.create (seed + 2) in
+  List.init 15 (fun _ ->
+      let q = Rng.int qrng universe in
+      let res, st = stab t q in
+      conf t ~t_out:(List.length res) ~measured:(Query_stats.total st))
+
+let r4_segtree () =
+  let n = 8000 and b = 64 in
+  let rng = Rng.create seed in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
+  List.map
+    (fun mode ->
+      let t = Ext_seg.create ~obs ~mode ~b ivs in
+      let verdicts =
+        stab_verdicts ~stab:Ext_seg.stab ~conf:Ext_seg.conformance t
+      in
+      cell ~experiment:"R4" ~structure:(Ext_seg.cost_model t) ~n ~b verdicts)
+    [ Ext_seg.Naive; Ext_seg.Cached ]
+
+let r5_inttree () =
+  let n = 8000 and b = 64 in
+  let rng = Rng.create seed in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
+  List.map
+    (fun mode ->
+      let t = Ext_int.create ~obs ~mode ~b ivs in
+      let verdicts =
+        stab_verdicts ~stab:Ext_int.stab ~conf:Ext_int.conformance t
+      in
+      cell ~experiment:"R5" ~structure:(Ext_int.cost_model t) ~n ~b verdicts)
+    [ Ext_int.Naive; Ext_int.Cached ]
+
+let r6_range2d () =
+  let n = 8000 and b = 64 in
+  let rng = Rng.create seed in
+  let pts = Workload.points rng Workload.Uniform ~n ~universe in
+  let t = Ext_range.create ~obs ~b pts in
+  let qrng = Rng.create (seed + 3) in
+  let verdicts =
+    List.init 12 (fun _ ->
+        let x1 = Rng.int qrng universe and y1 = Rng.int qrng universe in
+        let x2 = min (universe - 1) (x1 + (universe / 40)) in
+        let y2 = min (universe - 1) (y1 + (universe / 40)) in
+        let res, st = Ext_range.query t ~x1 ~x2 ~y1 ~y2 in
+        Ext_range.conformance t ~t_out:(List.length res)
+          ~measured:(Query_stats.total st))
+  in
+  [ cell ~experiment:"R6" ~structure:(Ext_range.cost_model t) ~n ~b verdicts ]
+
+let r7_stabbing () =
+  let n = 8000 and b = 64 in
+  let rng = Rng.create seed in
+  let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
+  let t = Stabbing.create ~obs ~b ivs in
+  let verdicts =
+    stab_verdicts ~stab:Stabbing.stab ~conf:Stabbing.conformance t
+  in
+  [ cell ~experiment:"R7" ~structure:(Stabbing.cost_model t) ~n ~b verdicts ]
+
+let r8_class_index () =
+  let classes = 30 and n = 6000 and b = 64 in
+  let h = Class_index.hierarchy () in
+  let rng = Rng.create seed in
+  for i = 1 to classes - 1 do
+    let parent = if i = 1 then 0 else Rng.int rng i in
+    Class_index.add_class h
+      ~name:(Printf.sprintf "c%d" i)
+      ~parent:(if parent = 0 then "object" else Printf.sprintf "c%d" parent)
+  done;
+  let objs =
+    List.init n (fun oid ->
+        {
+          Class_index.cls = Printf.sprintf "c%d" (1 + Rng.int rng (classes - 1));
+          key = Rng.int rng universe;
+          oid;
+        })
+  in
+  let t = Class_index.build ~obs h ~b objs in
+  let qrng = Rng.create (seed + 4) in
+  let verdicts =
+    List.init 12 (fun _ ->
+        let cls = Printf.sprintf "c%d" (1 + Rng.int qrng (classes - 1)) in
+        let key_at_least = universe - Rng.int qrng (universe / 4) in
+        let res, st = Class_index.query t ~cls ~key_at_least in
+        Class_index.conformance t ~t_out:(List.length res)
+          ~measured:(Query_stats.total st))
+  in
+  [ cell ~experiment:"R8" ~structure:(Class_index.cost_model t) ~n ~b verdicts ]
+
+let r9_dynamic () =
+  let n0 = 8000 and b = 64 in
+  let rng = Rng.create seed in
+  let pts = Workload.points rng Workload.Uniform ~n:n0 ~universe in
+  let t = Dynamic_pst.create ~obs ~b pts in
+  (* exercise the dynamic path before measuring: Thm 5.1's bound holds
+     across updates, not only on a fresh bulk build *)
+  List.iteri
+    (fun i (p : Point.t) ->
+      ignore
+        (Dynamic_pst.insert t
+           (Point.make ~x:p.x ~y:p.y ~id:(n0 + i))))
+    (Workload.points rng Workload.Uniform ~n:(n0 / 16) ~universe);
+  let n = Dynamic_pst.size t in
+  let verdicts =
+    List.map
+      (fun (xl, yb) ->
+        let res, st = Dynamic_pst.query t ~xl ~yb in
+        Dynamic_pst.conformance t ~t_out:(List.length res)
+          ~measured:(Query_stats.total st))
+      (deep_corners 15)
+  in
+  [ cell ~experiment:"R9" ~structure:(Dynamic_pst.cost_model t) ~n ~b verdicts ]
+
+let run_all () =
+  List.concat
+    [
+      r1_btree ();
+      r2_pst2 ();
+      r3_pst3 ();
+      r4_segtree ();
+      r5_inttree ();
+      r6_range2d ();
+      r7_stabbing ();
+      r8_class_index ();
+      r9_dynamic ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_table entries =
+  Printf.printf "%-4s %-14s %-12s %8s %4s %7s %7s %5s %5s %7s %s\n" "exp"
+    "structure" "theorem" "n" "b" "mean" "p99" "max" "q" "worst" "ok";
+  List.iter
+    (fun (e : Bench_gate.entry) ->
+      Printf.printf "%-4s %-14s %-12s %8d %4d %7.2f %7d %5d %5d %7.2f %s\n"
+        e.experiment e.structure e.theorem e.n e.b e.mean_ios e.p99_ios
+        e.max_ios e.queries e.worst_ratio
+        (if e.within then "yes" else "VIOLATION"))
+    entries
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let () =
+  let write = ref None
+  and diff = ref None
+  and prom = ref None
+  and report = ref None
+  and tolerance = ref 0.10 in
+  let rec parse = function
+    | [] -> ()
+    | "--write" :: p :: rest -> write := Some p; parse rest
+    | "--diff" :: p :: rest -> diff := Some p; parse rest
+    | "--prom" :: p :: rest -> prom := Some p; parse rest
+    | "--report" :: p :: rest -> report := Some p; parse rest
+    | "--tolerance" :: v :: rest -> tolerance := float_of_string v; parse rest
+    | a :: _ ->
+        Printf.eprintf "regress: unknown argument %s\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let entries = run_all () in
+  let current = { Bench_gate.seed; entries } in
+  print_table entries;
+  Format.printf "@\n%a" Cost_model.Conformance.pp_summary global;
+  Option.iter (fun p -> write_file p (Bench_gate.to_json current)) !write;
+  Option.iter
+    (fun p -> write_file p (Cost_model.Conformance.report global))
+    !report;
+  Option.iter (fun p -> write_file p (Metrics.to_prometheus metrics)) !prom;
+  match !diff with
+  | None ->
+      if not (Cost_model.Conformance.all_within global) then begin
+        print_endline "conformance: VIOLATIONS (see table)";
+        exit 1
+      end
+  | Some path -> (
+      match Bench_gate.of_file path with
+      | Error msg ->
+          Printf.eprintf "regress: cannot load baseline %s: %s\n" path msg;
+          exit 2
+      | Ok baseline ->
+          let r =
+            Bench_gate.diff ~tolerance:!tolerance ~baseline ~current ()
+          in
+          Format.printf "@\n%a@?" Bench_gate.pp_report r;
+          if not (Bench_gate.passed r) then exit 1)

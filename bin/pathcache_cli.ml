@@ -49,13 +49,50 @@ let trace_arg =
                extension JSONL (one event per line; replay with the \
                $(b,replay) subcommand).")
 
-(* The handle is [None] unless [--trace] was given, so the default run
-   keeps the zero-overhead null path and byte-identical I/O counts. *)
-let make_obs trace = Option.map Obs.to_file trace
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Export a metrics snapshot after the run: $(i,FILE).json gets \
+               JSON, any other extension the Prometheus text format. The \
+               registry listens on the event stream, so I/O counts stay \
+               byte-identical with or without it.")
+
+(* The handle is [None] unless [--trace] or [--metrics] was given, so the
+   default run keeps the zero-overhead null path and byte-identical I/O
+   counts. A metrics registry taps the same handle via a teed sink. *)
+let make_obs trace metrics_file =
+  match (trace, metrics_file) with
+  | None, None -> (None, None)
+  | _ ->
+      let obs =
+        match trace with Some f -> Obs.to_file f | None -> Obs.create ()
+      in
+      let m =
+        Option.map
+          (fun _ ->
+            let m = Metrics.create () in
+            Metrics.attach m obs;
+            m)
+          metrics_file
+      in
+      (Some obs, m)
 
 let finish_obs trace obs =
   Option.iter Obs.close obs;
   Option.iter (Printf.printf "trace written to %s\n") trace
+
+let finish_metrics metrics_file m pool =
+  match (metrics_file, m) with
+  | Some path, Some m ->
+      Option.iter (fun p -> Buffer_pool.export_metrics p m) pool;
+      let body =
+        if Filename.check_suffix path ".json" then Metrics.to_json m
+        else Metrics.to_prometheus m
+      in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "metrics written to %s\n" path
+  | _ -> ()
 
 (* Per-query total-I/O distribution, printed after the query loop. *)
 let make_histo () = Histogram.create ()
@@ -88,9 +125,19 @@ let dist_arg =
   Arg.(value & opt dist_conv Workload.Uniform & info [ "dist" ] ~docv:"DIST"
          ~doc:"Point distribution: uniform, clustered, diagonal, skyline.")
 
-let pp_stats_line tag t ios stats =
-  Printf.printf "%-14s t=%-6d io=%-4d %s\n" tag t ios
+(* [verdict] adds the measured-vs-theorem column: predicted bound and
+   measured/predicted ratio for this query (lib/obs/cost_model.mli). *)
+let pp_stats_line ?verdict tag t ios stats =
+  let conf =
+    match verdict with
+    | None -> ""
+    | Some (v : Cost_model.Conformance.verdict) ->
+        Printf.sprintf " bound=%-5.1f ratio=%.2f%s" v.predicted v.ratio
+          (if v.within then "" else " VIOLATION")
+  in
+  Printf.printf "%-14s t=%-6d io=%-4d %s%s\n" tag t ios
     (Format.asprintf "%a" Query_stats.pp stats)
+    conf
 
 (* ----- pst (2-sided) ----- *)
 
@@ -108,11 +155,11 @@ let variant_arg =
   Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
          ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
 
-let run_pst n b seed k dist variant cache policy trace =
+let run_pst n b seed k dist variant cache policy trace metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
   let pool = make_pool cache policy in
-  let obs = make_obs trace in
+  let obs, m = make_obs trace metrics_file in
   let t = Ext_pst.create ?pool ?obs ~variant ~b pts in
   Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "built %s over %d points: %d pages (%.2f x n/B)\n%!"
@@ -124,19 +171,24 @@ let run_pst n b seed k dist variant cache policy trace =
     (fun (xl, yb) ->
       let res, st = Ext_pst.query t ~xl ~yb in
       record_histo histo (Query_stats.total st);
-      pp_stats_line
+      let verdict =
+        Ext_pst.conformance t ~t_out:(List.length res)
+          ~measured:(Query_stats.total st)
+      in
+      pp_stats_line ~verdict
         (Printf.sprintf "(%d,%d)" xl yb)
         (List.length res) (Query_stats.total st) st)
     (Workload.two_sided_corners rng ~k ~universe);
   report_histo histo;
   report_pool pool;
-  finish_obs trace obs
+  finish_obs trace obs;
+  finish_metrics metrics_file m pool
 
 let pst_cmd =
   let doc = "Build a 2-sided external PST and run random corner queries." in
   Cmd.v (Cmd.info "pst" ~doc)
     Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-          $ variant_arg $ cache_arg $ policy_arg $ trace_arg)
+          $ variant_arg $ cache_arg $ policy_arg $ trace_arg $ metrics_arg)
 
 (* ----- pst3 (3-sided) ----- *)
 
@@ -144,10 +196,10 @@ let width_arg =
   Arg.(value & opt int 100_000 & info [ "width" ] ~docv:"W"
          ~doc:"Approximate x-width of 3-sided queries.")
 
-let run_pst3 n b seed k dist width trace =
+let run_pst3 n b seed k dist width trace metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
-  let obs = make_obs trace in
+  let obs, m = make_obs trace metrics_file in
   (* only the cached structure is traced: one handle per run keeps the
      span stream a single coherent tree *)
   let cached = Ext_pst3.create ?obs ~mode:Ext_pst3.Cached ~b pts in
@@ -160,17 +212,25 @@ let run_pst3 n b seed k dist width trace =
       let res, st = Ext_pst3.query cached ~xl ~xr ~yb in
       let _, st_b = Ext_pst3.query base ~xl ~xr ~yb in
       record_histo histo (Query_stats.total st);
-      Printf.printf "(%d..%d, y>=%d) t=%-6d cached-io=%-4d baseline-io=%-4d\n"
-        xl xr yb (List.length res) (Query_stats.total st) (Query_stats.total st_b))
+      let v =
+        Ext_pst3.conformance cached ~t_out:(List.length res)
+          ~measured:(Query_stats.total st)
+      in
+      Printf.printf
+        "(%d..%d, y>=%d) t=%-6d cached-io=%-4d baseline-io=%-4d ratio=%.2f%s\n"
+        xl xr yb (List.length res) (Query_stats.total st)
+        (Query_stats.total st_b) v.Cost_model.Conformance.ratio
+        (if v.Cost_model.Conformance.within then "" else " VIOLATION"))
     (Workload.three_sided rng ~k ~universe ~width);
   report_histo histo;
-  finish_obs trace obs
+  finish_obs trace obs;
+  finish_metrics metrics_file m None
 
 let pst3_cmd =
   let doc = "Build 3-sided external PSTs (cached and baseline) and compare." in
   Cmd.v (Cmd.info "pst3" ~doc)
     Term.(const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-          $ width_arg $ trace_arg)
+          $ width_arg $ trace_arg $ metrics_arg)
 
 (* ----- stab (interval structures) ----- *)
 
@@ -183,19 +243,23 @@ let cached_arg =
   Arg.(value & opt bool true & info [ "cached" ] ~docv:"BOOL"
          ~doc:"Use path caches (false = naive baseline).")
 
-let run_stab n b seed k structure cached trace =
+let run_stab n b seed k structure cached trace metrics_file =
   let rng = Rng.create seed in
   let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
   let qs = Workload.stab_queries rng ~k ~universe in
-  let obs = make_obs trace in
+  let obs, m = make_obs trace metrics_file in
   let histo = make_histo () in
-  let run_queries stab =
+  let run_queries stab conf =
     List.iter
       (fun q ->
         let res, st = stab q in
         record_histo histo (Query_stats.total st);
-        pp_stats_line (Printf.sprintf "stab %d" q) (List.length res)
-          (Query_stats.total st) st)
+        let verdict =
+          conf ~t_out:(List.length res) ~measured:(Query_stats.total st)
+        in
+        pp_stats_line ~verdict
+          (Printf.sprintf "stab %d" q)
+          (List.length res) (Query_stats.total st) st)
       qs
   in
   (match structure with
@@ -205,27 +269,28 @@ let run_stab n b seed k structure cached trace =
       Printf.printf "segment tree (%s): %d pages\n%!"
         (Format.asprintf "%a" Ext_seg.pp_mode mode)
         (Ext_seg.storage_pages t);
-      run_queries (Ext_seg.stab t)
+      run_queries (Ext_seg.stab t) (Ext_seg.conformance t)
   | `Int ->
       let mode = if cached then Ext_int.Cached else Ext_int.Naive in
       let t = Ext_int.create ?obs ~mode ~b ivs in
       Printf.printf "interval tree (%s): %d pages\n%!"
         (Format.asprintf "%a" Ext_int.pp_mode mode)
         (Ext_int.storage_pages t);
-      run_queries (Ext_int.stab t)
+      run_queries (Ext_int.stab t) (Ext_int.conformance t)
   | `Pst ->
       let t = Stabbing.create ?obs ~b ivs in
       Printf.printf "dynamic stabbing store (KRV reduction): %d pages\n%!"
         (Stabbing.storage_pages t);
-      run_queries (Stabbing.stab t));
+      run_queries (Stabbing.stab t) (Stabbing.conformance t));
   report_histo histo;
-  finish_obs trace obs
+  finish_obs trace obs;
+  finish_metrics metrics_file m None
 
 let stab_cmd =
   let doc = "Build an interval structure and run stabbing queries." in
   Cmd.v (Cmd.info "stab" ~doc)
     Term.(const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg $ structure_arg
-          $ cached_arg $ trace_arg)
+          $ cached_arg $ trace_arg $ metrics_arg)
 
 (* ----- btree ----- *)
 
@@ -233,11 +298,11 @@ let span_arg =
   Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
          ~doc:"Width of 1-D range queries.")
 
-let run_btree n b seed k span cache policy trace =
+let run_btree n b seed k span cache policy trace metrics_file =
   let rng = Rng.create seed in
   let entries = List.init n (fun i -> (i, i)) in
   let pool = make_pool cache policy in
-  let obs = make_obs trace in
+  let obs, m = make_obs trace metrics_file in
   let t = Btree.bulk_load_in ?pool ?obs ~b entries in
   Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "B+-tree over %d keys: height=%d pages=%d\n%!" n
@@ -249,18 +314,22 @@ let run_btree n b seed k span cache policy trace =
     let res = Btree.range t ~lo ~hi:(lo + span - 1) in
     let ios = Io_stats.total (Pager.stats (Btree.pager t)) in
     record_histo histo ios;
-    Printf.printf "range [%d, %d): t=%-6d io=%d\n" lo (lo + span)
-      (List.length res) ios
+    let v = Btree.conformance t ~t_out:(List.length res) ~measured:ios in
+    Printf.printf "range [%d, %d): t=%-6d io=%-4d ratio=%.2f%s\n" lo (lo + span)
+      (List.length res) ios v.Cost_model.Conformance.ratio
+      (if v.Cost_model.Conformance.within then "" else " VIOLATION")
   done;
   report_histo histo;
   report_pool pool;
-  finish_obs trace obs
+  Option.iter (fun m -> Pager.export_metrics (Btree.pager t) m) m;
+  finish_obs trace obs;
+  finish_metrics metrics_file m pool
 
 let btree_cmd =
   let doc = "Bulk-load an external B+-tree and run range queries." in
   Cmd.v (Cmd.info "btree" ~doc)
     Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg
-          $ cache_arg $ policy_arg $ trace_arg)
+          $ cache_arg $ policy_arg $ trace_arg $ metrics_arg)
 
 (* ----- replay ----- *)
 
@@ -284,9 +353,33 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(ret (const run_replay $ file_arg))
 
+(* ----- profile ----- *)
+
+let run_profile file =
+  match Obs.Profile.of_file file with
+  | rows ->
+      Format.printf "%a@?" Obs.Profile.pp rows;
+      `Ok ()
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let profile_cmd =
+  let doc =
+    "Aggregate a JSONL trace (written with --trace FILE, non-.json \
+     extension) into a per-span-label profile: count, total I/Os, mean \
+     and p99 I/Os per span. Exits non-zero on input that is not a \
+     well-formed trace."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(ret (const run_profile $ file_arg))
+
 let () =
   let doc = "Path caching (PODS'94): optimal external searching structures." in
   let info = Cmd.info "pathcache_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd; replay_cmd ]))
+       (Cmd.group info
+          [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd; replay_cmd; profile_cmd ]))

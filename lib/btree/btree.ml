@@ -93,6 +93,11 @@ let with_span t ~kind f = Pc_obs.Obs.with_span (obs t) ~kind f
 let pager t = t.pager
 let size t = t.size
 let height t = t.height
+let cost_model _t = Pc_obs.Cost_model.Btree
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check Pc_obs.Cost_model.Btree ~n:t.size
+    ~b:(Pager.page_capacity t.pager) ~t:t_out ~measured
 
 (* Index of the first branch whose separator is >= target; the rightmost
    spine carries top_sep so the scan always terminates in range. *)

@@ -272,3 +272,29 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "{hits=%d; misses=%d; evictions=%d; write_backs=%d; overcommits=%d}"
     s.hits s.misses s.evictions s.write_backs s.overcommits
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let export_metrics t m =
+  let labels = [ ("policy", policy_name t) ] in
+  let set name help v =
+    Pc_obs.Metrics.set (Pc_obs.Metrics.gauge m ~help ~labels name) v
+  in
+  set "pathcache_pool_capacity_frames" "Frame budget of the pool."
+    (capacity t);
+  set "pathcache_pool_occupancy_frames" "Currently resident frames."
+    (occupancy t);
+  set "pathcache_pool_pinned_frames" "Frames pinned by clients."
+    (pinned_frames t);
+  let st = stats t in
+  set "pathcache_pool_hits" "Accesses absorbed by the pool." st.hits;
+  set "pathcache_pool_misses" "Accesses that went to the simulated disk."
+    st.misses;
+  set "pathcache_pool_evictions" "Frames pushed out of the pool."
+    st.evictions;
+  set "pathcache_pool_write_backs"
+    "Deferred writes charged at eviction or flush." st.write_backs;
+  set "pathcache_pool_overcommits"
+    "Admissions past capacity forced by pinned frames." st.overcommits

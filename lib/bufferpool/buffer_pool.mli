@@ -160,3 +160,9 @@ val flush : t -> unit
 val drop_client : client -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [export_metrics t m] publishes the pool's state into a metrics
+    registry as gauges labelled by replacement policy: frame budget,
+    occupancy, pins, and every {!stats} counter. Snapshot semantics —
+    call again to refresh before exporting the registry. *)
+val export_metrics : t -> Pc_obs.Metrics.t -> unit

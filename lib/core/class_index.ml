@@ -91,6 +91,13 @@ let build ?cache_capacity ?pool ?obs h ~b objs =
   }
 
 let size t = Pc_threesided.Ext_pst3.size t.pst
+let cost_model _t = Pc_obs.Cost_model.Class_index
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check Pc_obs.Cost_model.Class_index
+    ~n:(Pc_threesided.Ext_pst3.size t.pst)
+    ~b:(Pc_threesided.Ext_pst3.page_size t.pst)
+    ~t:t_out ~measured
 
 let query t ~cls ~key_at_least =
   Pc_obs.Obs.with_span

@@ -44,6 +44,16 @@ val build :
 
 val size : t -> int
 
+(** [cost_model t] identifies this instance's analytical bound (theorem
+    + calibrated constants) in {!Pc_obs.Cost_model}. *)
+val cost_model : t -> Pc_obs.Cost_model.structure
+
+(** [conformance t ~t_out ~measured] checks one query's measured page
+    I/Os against the instance's theorem bound ([t_out] is the query's
+    output size). *)
+val conformance :
+  t -> t_out:int -> measured:int -> Pc_obs.Cost_model.Conformance.verdict
+
 (** [query t ~cls ~key_at_least] reports objects in [cls] or any subclass
     whose key is [>= key_at_least], with the I/O breakdown. *)
 val query :

@@ -16,6 +16,9 @@
       pluggable replacement policies (LRU, FIFO, CLOCK, 2Q)
     - {!Obs}, {!Histogram}: observability — typed I/O event traces,
       query spans, and log-bucketed latency/I-O histograms
+    - {!Cost_model}, {!Metrics}, {!Bench_gate}: the paper's analytical
+      bounds as checkable data, a Prometheus/JSON metrics registry, and
+      the benchmark regression gate consuming both
     - {!Btree}: external B+-tree (1-D optimal baseline, §1)
     - {!Pst}, {!Treap_pst}, {!Segment_tree}, {!Interval_tree}, {!Avl}:
       in-core classics (oracles and building blocks)
@@ -43,6 +46,9 @@ module Buffer_pool = Pc_bufferpool.Buffer_pool
 module Replacement = Pc_bufferpool.Replacement
 module Obs = Pc_obs.Obs
 module Histogram = Pc_obs.Histogram
+module Cost_model = Pc_obs.Cost_model
+module Metrics = Pc_obs.Metrics
+module Bench_gate = Pc_obs.Bench_gate
 module Pager = Pc_pagestore.Pager
 module Blocked_list = Pc_pagestore.Blocked_list
 module Io_stats = Pc_pagestore.Io_stats

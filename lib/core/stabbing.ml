@@ -19,6 +19,13 @@ let create ?cache_capacity ?pool ?obs ~b ivs =
   }
 
 let size t = Pc_extpst.Dynamic.size t.pst
+let cost_model _t = Pc_obs.Cost_model.Stab_store
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check Pc_obs.Cost_model.Stab_store
+    ~n:(Pc_extpst.Dynamic.size t.pst)
+    ~b:(Pc_extpst.Dynamic.page_size t.pst)
+    ~t:t_out ~measured
 
 let insert t iv =
   Hashtbl.replace t.ivals (Ival.id iv) iv;

@@ -27,6 +27,16 @@ val create :
 
 val size : t -> int
 
+(** [cost_model t] identifies this instance's analytical bound (theorem
+    + calibrated constants) in {!Pc_obs.Cost_model}. *)
+val cost_model : t -> Pc_obs.Cost_model.structure
+
+(** [conformance t ~t_out ~measured] checks one query's measured page
+    I/Os against the instance's theorem bound ([t_out] is the query's
+    output size). *)
+val conformance :
+  t -> t_out:int -> measured:int -> Pc_obs.Cost_model.Conformance.verdict
+
 (** [insert t iv] adds an interval ([iv]'s id should be fresh). Returns
     the I/Os performed. *)
 val insert : t -> Ival.t -> int

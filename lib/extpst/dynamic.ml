@@ -853,6 +853,11 @@ let query_count t ~xl ~yb = List.length (fst (query t ~xl ~yb))
 
 let size t = t.size
 let page_size t = t.b
+let cost_model _t = Pc_obs.Cost_model.Dynamic2
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check Pc_obs.Cost_model.Dynamic2 ~n:t.size
+    ~b:t.b ~t:t_out ~measured
 
 let storage_pages t =
   Pager.pages_in_use t.pager + Pager.pages_in_use t.sub_pager

@@ -45,6 +45,19 @@ let variant t = t.variant
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
+let cost_model t =
+  Pc_obs.Cost_model.Pst2
+    (match t.variant with
+    | Iko -> Pc_obs.Cost_model.Iko
+    | Basic -> Pc_obs.Cost_model.Basic
+    | Segmented -> Pc_obs.Cost_model.Segmented
+    | Two_level -> Pc_obs.Cost_model.Two_level
+    | Multilevel -> Pc_obs.Cost_model.Multilevel)
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check (cost_model t) ~n:t.size
+    ~b:(Pager.page_capacity t.pager) ~t:t_out ~measured
+
 let query t ~xl ~yb =
   Pc_obs.Obs.with_span (Pager.obs t.pager) ~kind:"query.2sided"
     ~result_args:(fun (_, st) -> Query_stats.to_args st)

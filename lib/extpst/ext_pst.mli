@@ -50,6 +50,16 @@ val variant : t -> variant
 val size : t -> int
 val page_size : t -> int
 
+(** [cost_model t] identifies this variant's analytical bound (theorem +
+    calibrated constants) in {!Pc_obs.Cost_model}. *)
+val cost_model : t -> Pc_obs.Cost_model.structure
+
+(** [conformance t ~t_out ~measured] checks one query's measured page
+    I/Os against the variant's theorem bound ([t_out] is the query's
+    output size). *)
+val conformance :
+  t -> t_out:int -> measured:int -> Pc_obs.Cost_model.Conformance.verdict
+
 (** [query t ~xl ~yb] answers the 2-sided query; returns the points (id-
     deduplicated) and the per-query I/O breakdown. *)
 val query : t -> xl:int -> yb:int -> Point.t list * Types.query_stats

@@ -271,6 +271,11 @@ let query t ~x1 ~x2 ~y1 ~y2 =
 
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
+let cost_model _t = Pc_obs.Cost_model.Range2d
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check Pc_obs.Cost_model.Range2d ~n:t.size
+    ~b:(Pager.page_capacity t.pager) ~t:t_out ~measured
 let height t = t.height
 
 let query_count t ~x1 ~x2 ~y1 ~y2 =

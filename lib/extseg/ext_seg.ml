@@ -393,6 +393,16 @@ let stab t q =
 let mode t = t.mode
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
+
+let cost_model t =
+  Pc_obs.Cost_model.Segtree
+    (match t.mode with
+    | Naive -> Pc_obs.Cost_model.Naive
+    | Cached -> Pc_obs.Cost_model.Cached)
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check (cost_model t) ~n:t.size
+    ~b:(Pager.page_capacity t.pager) ~t:t_out ~measured
 let height t = t.height
 let stab_count t q = List.length (fst (stab t q))
 let storage_pages t = Pager.pages_in_use t.pager

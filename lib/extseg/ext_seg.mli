@@ -45,6 +45,16 @@ val create :
 val mode : t -> mode
 val size : t -> int
 val page_size : t -> int
+
+(** [cost_model t] identifies this instance's analytical bound (theorem
+    + calibrated constants) in {!Pc_obs.Cost_model}. *)
+val cost_model : t -> Pc_obs.Cost_model.structure
+
+(** [conformance t ~t_out ~measured] checks one query's measured page
+    I/Os against the instance's theorem bound ([t_out] is the query's
+    output size). *)
+val conformance :
+  t -> t_out:int -> measured:int -> Pc_obs.Cost_model.Conformance.verdict
 val height : t -> int
 
 (** [stab t q] reports all intervals containing [q] (id-deduplicated),

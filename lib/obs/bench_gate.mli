@@ -1,0 +1,80 @@
+(** The benchmark regression gate: schema'd baselines and the
+    [bench-diff] comparison.
+
+    [bench/regress.exe] measures a fixed-seed workload per structure and
+    writes one {!entry} each into a baseline file ([BENCH_regress.json],
+    committed to the repository). In [--diff] mode a fresh run is
+    compared against the committed baseline with {!diff}: any mean or
+    tail I/O count more than [tolerance] (default 10%) above the
+    baseline, any conformance violation, and any baseline entry missing
+    from the fresh run is a failure, and CI fails the job. Because every
+    workload is seeded and runs with the buffer pool disabled, a clean
+    tree reproduces the baseline {e exactly} — the tolerance is headroom
+    for deliberate, reviewed drift, not noise. *)
+
+(** One (experiment, structure) cell of a baseline: the per-query I/O
+    distribution and the worst measured/predicted conformance ratio. *)
+type entry = {
+  experiment : string;  (** e.g. ["R2"] *)
+  structure : string;  (** {!Cost_model.name} of the structure *)
+  theorem : string;  (** the bound checked, e.g. ["Thm 3.4"] *)
+  n : int;
+  b : int;
+  queries : int;  (** queries measured *)
+  mean_ios : float;
+  p50_ios : int;
+  p99_ios : int;
+  max_ios : int;
+  worst_ratio : float;  (** worst measured/predicted over the queries *)
+  within : bool;  (** all queries within the bound *)
+}
+
+type baseline = { seed : int; entries : entry list }
+
+(** Current schema tag, embedded in every file. *)
+val schema : string
+
+val entry_of_verdicts :
+  experiment:string ->
+  structure:Cost_model.structure ->
+  histo:Histogram.t ->
+  summary:Cost_model.Conformance.summary ->
+  n:int ->
+  b:int ->
+  entry
+
+val to_json : baseline -> string
+
+(** [of_string s] parses a {!to_json} baseline; [Error msg] on schema
+    mismatch or malformed entries. *)
+val of_string : string -> (baseline, string) result
+
+val of_file : string -> (baseline, string) result
+
+(** {1 The gate} *)
+
+type failure =
+  | Missing of string  (** baseline entry absent from the fresh run *)
+  | Regression of {
+      key : string;
+      metric : string;  (** ["mean_ios"], ["p99_ios"], ["max_ios"] *)
+      baseline : float;
+      current : float;
+    }
+  | Violation of string  (** conformance violation in the fresh run *)
+
+type report = {
+  compared : int;  (** entries matched between baseline and current *)
+  added : string list;  (** current entries with no baseline (informational) *)
+  failures : failure list;
+}
+
+val passed : report -> bool
+
+(** [diff ?tolerance ~baseline ~current ()] applies the gate rules.
+    [tolerance] (default [0.10]) is the allowed relative I/O growth. *)
+val diff :
+  ?tolerance:float -> baseline:baseline -> current:baseline -> unit -> report
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -29,8 +29,11 @@ val max_value : t -> int
 
 (** [percentile t p] for [0 <= p <= 100]: an upper bound on the smallest
     value [v] with at least [p]% of recordings [<= v] — exact for values
-    below 64, within one sub-bucket above, and clamped to
-    [max_value t]. *)
+    below 64, within one sub-bucket (≤ 12.5% relative error) above, and
+    clamped to [max_value t]. On an {e empty} histogram it returns [0]
+    and never raises — only [p] outside [0..100] is an
+    [Invalid_argument]. Pinned by a randomized property test against an
+    exact sorted-array reference (see [test/test_obs.ml]). *)
 val percentile : t -> float -> int
 
 val p50 : t -> int

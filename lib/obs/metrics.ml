@@ -1,0 +1,245 @@
+(* Named counters/gauges/histograms with Prometheus and JSON export.
+
+   Storage is a flat association list of families (one per metric name),
+   each holding its instances (one per label set). Registries live for a
+   whole run and hold at most a few dozen families, so linear lookup is
+   fine and keeps this module dependency-free. *)
+
+type value =
+  | Counter of int ref
+  | Gauge of int ref
+  | Histo of Histogram.t
+
+type instance = { labels : (string * string) list; value : value }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_type : string; (* "counter" | "gauge" | "histogram" *)
+  mutable instances : instance list; (* newest first *)
+}
+
+type t = { mutable families : family list (* newest first *) }
+
+let create () = { families = [] }
+
+let names t = List.rev_map (fun f -> f.f_name) t.families
+
+(* Canonical label order so ("a",1),("b",2) and ("b",2),("a",1) are the
+   same instance. *)
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let find_family t name = List.find_opt (fun f -> f.f_name = name) t.families
+
+let get_instance t ~name ~help ~typ ~labels ~make =
+  let labels = norm_labels labels in
+  let fam =
+    match find_family t name with
+    | Some f ->
+        if f.f_type <> typ then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as %s" name
+               f.f_type);
+        f
+    | None ->
+        let f =
+          { f_name = name; f_help = help; f_type = typ; instances = [] }
+        in
+        t.families <- f :: t.families;
+        f
+  in
+  match List.find_opt (fun i -> i.labels = labels) fam.instances with
+  | Some i -> i.value
+  | None ->
+      let v = make () in
+      fam.instances <- { labels; value = v } :: fam.instances;
+      v
+
+type counter = int ref
+
+let counter t ?(help = "") ?(labels = []) name : counter =
+  match
+    get_instance t ~name ~help ~typ:"counter" ~labels ~make:(fun () ->
+        Counter (ref 0))
+  with
+  | Counter r -> r
+  | _ -> assert false
+
+let inc ?(by = 1) (c : counter) = c := !c + by
+let counter_value (c : counter) = !c
+
+type gauge = int ref
+
+let gauge t ?(help = "") ?(labels = []) name : gauge =
+  match
+    get_instance t ~name ~help ~typ:"gauge" ~labels ~make:(fun () ->
+        Gauge (ref 0))
+  with
+  | Gauge r -> r
+  | _ -> assert false
+
+let set (g : gauge) v = g := v
+let gauge_value (g : gauge) = !g
+
+let histogram t ?(help = "") ?(labels = []) name =
+  match
+    get_instance t ~name ~help ~typ:"histogram" ~labels ~make:(fun () ->
+        Histo (Histogram.create ()))
+  with
+  | Histo h -> h
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Event-stream wiring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let default_source i = Printf.sprintf "src%d" i
+
+let observe t ?source (e : Obs.event) =
+  let src_name i =
+    match source with
+    | Some f -> ( match f i with Some n -> n | None -> default_source i)
+    | None -> default_source i
+  in
+  match e.Obs.kind with
+  | Obs.Span_begin ->
+      inc
+        (counter t ~help:"Operation spans opened, by span label."
+           ~labels:[ ("label", e.Obs.label) ]
+           "pathcache_spans_total")
+  | Obs.Span_end ->
+      let labels = [ ("label", e.Obs.label) ] in
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | "total" ->
+              Histogram.add
+                (histogram t
+                   ~help:"Per-span total page I/Os, by span label." ~labels
+                   "pathcache_span_total_ios")
+                (max 0 v)
+          | "wasteful_reads" when v > 0 ->
+              inc ~by:v
+                (counter t
+                   ~help:"Wasteful list-scan reads, by span label." ~labels
+                   "pathcache_span_wasteful_reads_total")
+          | "error" ->
+              inc
+                (counter t ~help:"Spans closed by an exception." ~labels
+                   "pathcache_span_errors_total")
+          | _ -> ())
+        e.Obs.args
+  | kind ->
+      inc
+        (counter t ~help:"I/O events, by kind and pager source."
+           ~labels:
+             [ ("kind", Obs.kind_name kind); ("source", src_name e.Obs.src) ]
+           "pathcache_io_events_total")
+
+let sink t ?source () = Obs.custom (fun e -> observe t ?source e)
+
+let attach t obs =
+  let metrics_sink = sink t ~source:(Obs.source_name obs) () in
+  Obs.set_sink obs (Obs.tee (Obs.current_sink obs) metrics_sink)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_str ?extra labels =
+  let labels = match extra with Some kv -> labels @ [ kv ] | None -> labels in
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+           labels)
+    ^ "}"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      if f.f_help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_type);
+      List.iter
+        (fun i ->
+          match i.value with
+          | Counter r | Gauge r ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %d\n" f.f_name (label_str i.labels) !r)
+          | Histo h ->
+              (* cumulative le-buckets over the nonzero log buckets *)
+              let cum = ref 0 in
+              List.iter
+                (fun (lo, n) ->
+                  cum := !cum + n;
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                       (label_str ~extra:("le", string_of_int lo) i.labels)
+                       !cum))
+                (Histogram.nonzero_buckets h);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" f.f_name
+                   (label_str ~extra:("le", "+Inf") i.labels)
+                   (Histogram.count h));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_sum%s %d\n" f.f_name (label_str i.labels)
+                   (Histogram.total h));
+              Buffer.add_string buf
+                (Printf.sprintf "%s_count%s %d\n" f.f_name
+                   (label_str i.labels) (Histogram.count h)))
+        (List.rev f.instances))
+    (List.rev t.families);
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" k (escape_label v))
+         labels)
+  ^ "}"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun fi f ->
+      if fi > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf "\n  \"%s\": {\"type\":\"%s\",\"help\":\"%s\",\"values\":["
+           f.f_name f.f_type (escape_label f.f_help));
+      List.iteri
+        (fun ii i ->
+          if ii > 0 then Buffer.add_string buf ",";
+          let v =
+            match i.value with
+            | Counter r | Gauge r -> string_of_int !r
+            | Histo h -> Histogram.to_json h
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "\n    {\"labels\":%s,\"value\":%s}"
+               (json_labels i.labels) v))
+        (List.rev f.instances);
+      Buffer.add_string buf "]}")
+    (List.rev t.families);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

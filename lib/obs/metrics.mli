@@ -1,0 +1,81 @@
+(** A zero-dependency registry of named counters, gauges and histograms,
+    exportable as Prometheus text format and JSON.
+
+    Traces ({!Obs}) answer "what did this run do, event by event";
+    metrics answer "how much, per name" — the aggregate view a scraper
+    or a CI artifact wants. The registry is populated two ways:
+
+    - directly, through {!counter}/{!gauge}/{!histogram} (used by
+      [Pager.export_metrics] and [Buffer_pool.export_metrics] to publish
+      their counter state);
+    - from the event stream, by installing {!attach} on an {!Obs.t}
+      handle: every I/O event increments a
+      [pathcache_io_events_total{kind,source}] counter and every closing
+      span feeds the [pathcache_span_total_ios{label}] histogram — the
+      existing [?obs] instrumentation points in every structure become
+      metric sources with no new plumbing.
+
+    The overhead contract matches {!Obs}: a structure whose [?obs] is
+    absent (or whose sink is null) never sees the registry, so default
+    runs keep byte-identical I/O counts; with metrics enabled, the
+    registry only *listens* to events, so counts are still identical.
+
+    Registration is idempotent: asking for an existing (name, labels)
+    pair returns the existing instance. Registering one name as two
+    different metric types raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Instruments} *)
+
+type counter
+
+(** [counter t name] registers (or finds) a monotonically increasing
+    counter. By Prometheus convention, [name] should end in [_total]. *)
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** [histogram t name] registers (or finds) a log-bucketed
+    {!Histogram.t}; record into it with {!Histogram.add}. *)
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
+
+(** {1 Event-stream wiring} *)
+
+(** [observe t ?source ev] folds one trace event into the registry;
+    [source] resolves source ids to names (default: ["src<i>"]). *)
+val observe : t -> ?source:(int -> string option) -> Obs.event -> unit
+
+(** [sink t ?source ()] is an {!Obs.sink} feeding {!observe}. *)
+val sink : t -> ?source:(int -> string option) -> unit -> Obs.sink
+
+(** [attach t obs] tees the registry onto [obs]'s current sink (keeping
+    an installed trace sink working) with source names resolved through
+    the handle. The handle becomes enabled if it was not. *)
+val attach : t -> Obs.t -> unit
+
+(** {1 Export} *)
+
+(** [to_prometheus t] renders the Prometheus text exposition format:
+    [# HELP]/[# TYPE] headers, one line per (name, labels), histograms
+    as cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+val to_prometheus : t -> string
+
+(** [to_json t] is one JSON object keyed by metric name. *)
+val to_json : t -> string
+
+(** [names t] lists registered family names in registration order. *)
+val names : t -> string list

@@ -170,6 +170,27 @@ let chrome oc =
 let custom f =
   Active { s_emit = f; s_flush = ignore; s_close = ignore; s_events = no_events }
 
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Active x, Active y ->
+      Active
+        {
+          s_emit =
+            (fun e ->
+              x.s_emit e;
+              y.s_emit e);
+          s_flush =
+            (fun () ->
+              x.s_flush ();
+              y.s_flush ());
+          s_close =
+            (fun () ->
+              x.s_close ();
+              y.s_close ());
+          s_events = x.s_events;
+        }
+
 (* ------------------------------------------------------------------ *)
 (* The handle                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -198,6 +219,7 @@ let create ?(sink = Null) () =
   }
 
 let set_sink t sink = t.sink <- sink
+let current_sink t = t.sink
 let enabled t = t.sink <> Null
 let tick t = t.tick
 
@@ -386,3 +408,139 @@ let pp_totals ppf t =
      evictions=%d; write_backs=%d; spans=%d}"
     t.t_events t.t_reads t.t_writes t.t_cache_hits t.t_allocs t.t_frees
     t.t_evictions t.t_write_backs t.t_spans
+
+(* ------------------------------------------------------------------ *)
+(* Per-span-label profile of a JSONL trace                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Extract the integer value of ["key":123] — the numeric sibling of
+   {!field_string}. *)
+let field_int line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < llen
+        && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else int_of_string_opt (String.sub line start (!stop - start))
+
+module Profile = struct
+  type row = {
+    label : string;
+    count : int;
+    total_ios : int;
+    mean : float;
+    p99 : int;
+    max : int;
+  }
+
+  type agg = {
+    mutable a_count : int;
+    mutable a_total : int;
+    a_histo : Histogram.t;
+  }
+
+  (* One open span: its id, label, and the I/Os seen since it opened.
+     Attribution is inclusive (an event counts toward every open span),
+     mirroring the documented [with_counted] nesting contract. *)
+  type open_span = { os_id : int; os_label : string; mutable os_ios : int }
+
+  let of_channel ic =
+    let aggs : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+    let agg_of label =
+      match Hashtbl.find_opt aggs label with
+      | Some a -> a
+      | None ->
+          let a = { a_count = 0; a_total = 0; a_histo = Histogram.create () } in
+          Hashtbl.add aggs label a;
+          a
+    in
+    let stack = ref [] in
+    let fail lineno msg =
+      failwith (Printf.sprintf "Obs.profile: line %d: %s" lineno msg)
+    in
+    let rec go lineno =
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> go (lineno + 1)
+      | line ->
+          let line = String.trim line in
+          (match parse_line lineno line with
+          | Span_begin ->
+              let id =
+                match field_int line "page" with
+                | Some id -> id
+                | None -> fail lineno "span_begin without span id"
+              in
+              let label =
+                Option.value ~default:"" (field_string line "label")
+              in
+              stack := { os_id = id; os_label = label; os_ios = 0 } :: !stack
+          | Span_end -> (
+              let id =
+                match field_int line "page" with
+                | Some id -> id
+                | None -> fail lineno "span_end without span id"
+              in
+              match !stack with
+              | [] -> fail lineno "span_end with no open span"
+              | top :: rest ->
+                  if top.os_id <> id then
+                    fail lineno
+                      (Printf.sprintf "span nesting mismatch: open %d, end %d"
+                         top.os_id id);
+                  stack := rest;
+                  let a = agg_of top.os_label in
+                  a.a_count <- a.a_count + 1;
+                  a.a_total <- a.a_total + top.os_ios;
+                  Histogram.add a.a_histo top.os_ios)
+          | Read | Write | Write_back ->
+              List.iter (fun os -> os.os_ios <- os.os_ios + 1) !stack
+          | Alloc | Free | Cache_hit | Evict | Pin -> ());
+          go (lineno + 1)
+    in
+    go 1;
+    Hashtbl.fold
+      (fun label a acc ->
+        {
+          label;
+          count = a.a_count;
+          total_ios = a.a_total;
+          mean =
+            (if a.a_count = 0 then 0.
+             else float_of_int a.a_total /. float_of_int a.a_count);
+          p99 = Histogram.p99 a.a_histo;
+          max = Histogram.max_value a.a_histo;
+        }
+        :: acc)
+      aggs []
+    |> List.sort (fun a b ->
+           match compare b.total_ios a.total_ios with
+           | 0 -> compare a.label b.label
+           | c -> c)
+
+  let of_file path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+
+  let pp ppf rows =
+    Format.fprintf ppf "%-18s %8s %10s %8s %6s %6s@\n" "span" "count"
+      "total-io" "mean" "p99" "max";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-18s %8d %10d %8.1f %6d %6d@\n" r.label r.count
+          r.total_ios r.mean r.p99 r.max)
+      rows
+end

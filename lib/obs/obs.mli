@@ -69,6 +69,13 @@ val chrome : out_channel -> sink
 (** [custom f] calls [f] on every event. *)
 val custom : (event -> unit) -> sink
 
+(** [tee a b] delivers every event to both [a] and [b]; flush and close
+    fan out, {!events} reads [a]'s buffer. {!null} operands collapse
+    away ([tee null s] is [s]), so teeing onto a disabled handle's sink
+    yields just the new sink. Used by {!Metrics.attach} to listen beside
+    an installed trace sink. *)
+val tee : sink -> sink -> sink
+
 (** {1 Handles} *)
 
 type t
@@ -77,6 +84,9 @@ type t
 val create : ?sink:sink -> unit -> t
 
 val set_sink : t -> sink -> unit
+
+(** [current_sink t] is the installed sink ({!null} when disabled). *)
+val current_sink : t -> sink
 
 (** [enabled t] is [false] iff the sink is {!null}. *)
 val enabled : t -> bool
@@ -157,3 +167,29 @@ val zero_totals : totals
 val replay_channel : in_channel -> totals
 val replay_file : string -> totals
 val pp_totals : Format.formatter -> totals -> unit
+
+(** {1 Profiling}
+
+    Aggregates a JSONL trace into a per-span-label table — the "where do
+    the I/Os go" view. I/O attribution is inclusive, matching the
+    {!Pc_pagestore.Pager.with_counted} contract: an event inside nested
+    spans counts toward every open span. Raises [Failure] with the
+    offending line number on malformed input or broken span nesting;
+    spans left open by a truncated trace are dropped. *)
+
+module Profile : sig
+  type row = {
+    label : string;  (** span label, e.g. ["query.2sided"] *)
+    count : int;  (** spans closed with this label *)
+    total_ios : int;  (** reads + writes (incl. write-backs) inside them *)
+    mean : float;  (** [total_ios / count] *)
+    p99 : int;  (** per-span I/O p99 (log-bucketed) *)
+    max : int;  (** worst single span *)
+  }
+
+  (** Rows sorted by decreasing [total_ios]. *)
+  val of_channel : in_channel -> row list
+
+  val of_file : string -> row list
+  val pp : Format.formatter -> row list -> unit
+end

@@ -74,3 +74,38 @@ let to_json t =
   ^ String.concat ","
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" k v) (to_args t))
   ^ "}"
+
+(* Extract ["key":123] from a flat JSON object — the inverse of the
+   hand-rolled [to_json] emitters, strict enough to reject lines that
+   they did not write. *)
+let json_int_field s key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < slen
+        && (match s.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else int_of_string_opt (String.sub s start (!stop - start))
+
+let of_json s =
+  let ( let* ) = Option.bind in
+  let* reads = json_int_field s "reads" in
+  let* writes = json_int_field s "writes" in
+  let* cache_hits = json_int_field s "cache_hits" in
+  let* allocs = json_int_field s "allocs" in
+  let* frees = json_int_field s "frees" in
+  let* evictions = json_int_field s "evictions" in
+  let* write_backs = json_int_field s "write_backs" in
+  Some { reads; writes; cache_hits; allocs; frees; evictions; write_backs }

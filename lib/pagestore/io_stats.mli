@@ -44,3 +44,12 @@ val to_args : t -> (string * int) list
 (** [to_json t] is a flat JSON object of all counters, as consumed by the
     trace and benchmark exporters. *)
 val to_json : t -> string
+
+(** [of_json s] parses a {!to_json} object back; [None] if any counter
+    field is missing or malformed. Round-trips with [to_json] (used by
+    [bench-diff] to read committed baselines). *)
+val of_json : string -> t option
+
+(** [json_int_field s key] extracts [{"key":123}]-style integer fields
+    from flat hand-rolled JSON — shared by the baseline parsers. *)
+val json_int_field : string -> string -> int option

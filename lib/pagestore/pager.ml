@@ -24,6 +24,7 @@ type 'a t = {
   mutable fault : (op:string -> page:int -> bool) option;
   obs : Pc_obs.Obs.t option;
   obs_src : Pc_obs.Obs.source option;
+  name : string; (* the [obs_name]; labels this pager's exported metrics *)
 }
 
 let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
@@ -50,6 +51,7 @@ let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
     fault = None;
     obs;
     obs_src;
+    name = obs_name;
   }
 
 let page_capacity t = t.page_capacity
@@ -260,3 +262,25 @@ let advise_willneed t ids =
           cache_insert ~hint:`Hot t id records
         end)
       ids
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let export_metrics t m =
+  let labels = [ ("pager", t.name) ] in
+  let set name help v =
+    Pc_obs.Metrics.set (Pc_obs.Metrics.gauge m ~help ~labels name) v
+  in
+  set "pathcache_pager_pages_in_use" "Live pages on the simulated disk."
+    t.live;
+  set "pathcache_pager_page_capacity" "Records per page (the model's B)."
+    t.page_capacity;
+  set "pathcache_pager_cache_frames" "Frame budget of the backing pool."
+    (Buffer_pool.capacity t.pool);
+  List.iter
+    (fun (k, v) ->
+      set
+        ("pathcache_pager_io_" ^ k)
+        "Cumulative I/O counter snapshot (see Io_stats)." v)
+    (Io_stats.to_args t.stats)

@@ -148,3 +148,12 @@ val advise_normal : 'a t -> unit
 (** [advise_willneed t ids] prefetches the given pages into the pool (one
     read I/O per non-resident page), admitting them hot. *)
 val advise_willneed : 'a t -> int list -> unit
+
+(** {1 Metrics export} *)
+
+(** [export_metrics t m] publishes this pager's state into a metrics
+    registry as gauges labelled by the pager's [obs_name]: live pages,
+    page capacity, the pool's frame budget, and every {!Io_stats}
+    counter ([pathcache_pager_io_*]). Snapshot semantics — call again to
+    refresh before exporting the registry. *)
+val export_metrics : 'a t -> Pc_obs.Metrics.t -> unit

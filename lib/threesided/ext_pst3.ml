@@ -518,6 +518,16 @@ let obs t = Pager.obs t.pager
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
+let cost_model t =
+  Pc_obs.Cost_model.Pst3
+    (match t.mode with
+    | Baseline -> Pc_obs.Cost_model.Naive
+    | Cached -> Pc_obs.Cost_model.Cached)
+
+let conformance t ~t_out ~measured =
+  Pc_obs.Cost_model.Conformance.check (cost_model t) ~n:t.size
+    ~b:(Pager.page_capacity t.pager) ~t:t_out ~measured
+
 let query_count t ~xl ~xr ~yb =
   List.length (fst (query t ~xl ~xr ~yb))
 

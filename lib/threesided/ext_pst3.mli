@@ -51,6 +51,16 @@ val obs : t -> Pc_obs.Obs.t option
 val size : t -> int
 val page_size : t -> int
 
+(** [cost_model t] identifies this instance's analytical bound (theorem
+    + calibrated constants) in {!Pc_obs.Cost_model}. *)
+val cost_model : t -> Pc_obs.Cost_model.structure
+
+(** [conformance t ~t_out ~measured] checks one query's measured page
+    I/Os against the instance's theorem bound ([t_out] is the query's
+    output size). *)
+val conformance :
+  t -> t_out:int -> measured:int -> Pc_obs.Cost_model.Conformance.verdict
+
 (** [query t ~xl ~xr ~yb] answers the 3-sided query (id-deduplicated) with
     its I/O breakdown. Returns [[]] if [xl > xr]. *)
 val query :

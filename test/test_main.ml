@@ -18,4 +18,5 @@ let () =
       ("persist", Test_persist.suite);
       ("robustness", Test_robustness.suite);
       ("obs", Test_obs.suite);
+      ("costmodel", Test_costmodel.suite);
     ]

@@ -318,6 +318,99 @@ let test_with_counted_nesting () =
   (* counters stay monotonic: with_counted never resets them *)
   check_int "cumulative stats intact" 3 (Pager.stats p).Io_stats.reads
 
+(* ----- satellite: percentile contract ----- *)
+
+(* Exact nearest-rank reference on a sorted array: the smallest recorded
+   value with at least p% of recordings <= it. *)
+let exact_percentile values p =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let test_percentile_empty () =
+  let h = Histogram.create () in
+  check_int "empty p0" 0 (Histogram.percentile h 0.);
+  check_int "empty p50" 0 (Histogram.percentile h 50.);
+  check_int "empty p100" 0 (Histogram.percentile h 100.);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Histogram.percentile")
+    (fun () -> ignore (Histogram.percentile h 101.))
+
+(* The documented accuracy contract: exact below 64, within one octave
+   sub-bucket (<= 12.5% relative error) above, never below the exact
+   nearest-rank answer, never above the observed max. *)
+let prop_percentile_reference =
+  QCheck.Test.make ~name:"percentile vs exact sorted-array reference"
+    ~count:1000
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 200) (int_range 0 100_000))
+        (int_range 0 100))
+    (fun (values, p_int) ->
+      let p = float_of_int p_int in
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      let got = Histogram.percentile h p in
+      let expect = exact_percentile values p in
+      if expect < 64 then got = expect
+      else
+        got >= expect
+        && got <= Histogram.max_value h
+        && float_of_int got <= 1.125 *. float_of_int expect)
+
+(* ----- satellite: trace profile aggregation ----- *)
+
+(* Hand-written trace, hand-computed table: two query spans (3 and 1
+   reads — write_back counts, cache_hit does not) and one build span
+   (2 writes); inclusive attribution gives the outer build span the
+   nested query's read too. *)
+let profile_trace =
+  String.concat "\n"
+    [
+      {|{"tick":0,"kind":"span_begin","src":-1,"page":0,"label":"build"}|};
+      {|{"tick":1,"kind":"alloc","src":0,"page":7}|};
+      {|{"tick":2,"kind":"write","src":0,"page":7}|};
+      {|{"tick":3,"kind":"write","src":0,"page":8}|};
+      {|{"tick":4,"kind":"span_begin","src":-1,"page":1,"label":"query"}|};
+      {|{"tick":5,"kind":"read","src":0,"page":7}|};
+      {|{"tick":6,"kind":"span_end","src":-1,"page":1,"label":"query"}|};
+      {|{"tick":7,"kind":"span_end","src":-1,"page":0,"label":"build"}|};
+      {|{"tick":8,"kind":"span_begin","src":-1,"page":2,"label":"query"}|};
+      {|{"tick":9,"kind":"read","src":0,"page":8}|};
+      {|{"tick":10,"kind":"cache_hit","src":0,"page":8}|};
+      {|{"tick":11,"kind":"read","src":0,"page":7}|};
+      {|{"tick":12,"kind":"write_back","src":0,"page":7}|};
+      {|{"tick":13,"kind":"span_end","src":-1,"page":2,"label":"query"}|};
+      "";
+    ]
+
+let test_profile_golden () =
+  let path = Filename.temp_file "pc_profile" ".jsonl" in
+  let oc = open_out path in
+  output_string oc profile_trace;
+  close_out oc;
+  let rows = Obs.Profile.of_file path in
+  Sys.remove path;
+  let table = Format.asprintf "%a" Obs.Profile.pp rows in
+  check_string "profile table"
+    ("span                  count   total-io     mean    p99    max\n"
+   ^ "query                     2          4      2.0      3      3\n"
+   ^ "build                     1          3      3.0      3      3\n")
+    table
+
+let test_profile_rejects_garbage () =
+  let path = Filename.temp_file "pc_profile" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"tick\":0,\"kind\":\"span_end\",\"src\":-1,\"page\":0}\n";
+  close_out oc;
+  let raised =
+    match Obs.Profile.of_file path with
+    | _ -> false
+    | exception Failure msg -> contains_sub msg "line 1"
+  in
+  Sys.remove path;
+  check_bool "mismatched span_end rejected with line number" true raised
+
 let suite =
   [
     Alcotest.test_case "golden pager trace" `Quick test_golden_pager;
@@ -342,4 +435,9 @@ let suite =
     Alcotest.test_case "io/query stats to_json" `Quick test_stats_to_json;
     Alcotest.test_case "with_counted nesting inclusive" `Quick
       test_with_counted_nesting;
+    Alcotest.test_case "percentile empty returns 0" `Quick test_percentile_empty;
+    QCheck_alcotest.to_alcotest prop_percentile_reference;
+    Alcotest.test_case "profile golden table" `Quick test_profile_golden;
+    Alcotest.test_case "profile rejects garbage" `Quick
+      test_profile_rejects_garbage;
   ]
