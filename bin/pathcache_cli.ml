@@ -376,10 +376,53 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc) Term.(ret (const run_profile $ file_arg))
 
+(* ----- check ----- *)
+
+let run_check file =
+  match Pc_check.Repro.load file with
+  | Error msg -> `Error (false, msg)
+  | Ok repro -> (
+      Format.printf "replaying %s: target=%s seed=%d b=%d ops=%d%s@." file
+        (Pc_check.Subject.name repro.target)
+        repro.seed repro.b
+        (Array.length repro.ops)
+        (match repro.fault with
+        | None -> ""
+        | Some k ->
+            Format.asprintf " fault=%s" (Pc_pagestore.Fault_plan.kind_to_string k));
+      match Pc_check.Repro.replay repro with
+      | Pc_check.Engine.Pass ->
+          Format.printf "pass@.";
+          `Ok ()
+      | outcome ->
+          Format.printf "%a@." Pc_check.Engine.pp_outcome outcome;
+          exit 1)
+
+let check_cmd =
+  let doc =
+    "Replay a .repro counterexample written by the differential stress \
+     harness (check/stress.exe): re-executes the recorded workload \
+     against the named structure and its in-memory model. Exits 0 if the \
+     run passes, 1 if it still diverges."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:".repro file.")
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run_check $ file_arg))
+
 let () =
   let doc = "Path caching (PODS'94): optimal external searching structures." in
   let info = Cmd.info "pathcache_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ pst_cmd; pst3_cmd; stab_cmd; btree_cmd; replay_cmd; profile_cmd ]))
+          [
+            pst_cmd;
+            pst3_cmd;
+            stab_cmd;
+            btree_cmd;
+            replay_cmd;
+            profile_cmd;
+            check_cmd;
+          ]))

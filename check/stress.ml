@@ -1,0 +1,123 @@
+(* Randomized differential stress driver, the CI entry point:
+
+     dune exec check/stress.exe -- --budget 30s --seeds 32
+
+   Sweeps seeds x all nine targets with fresh generated workloads, then a
+   fault-injection sweep (every fault kind x every target). On failure the
+   workload is shrunk and written as a .repro file for
+   [pathcache_cli check]; the exit code is the number of failures. *)
+
+open Pc_check
+
+let parse_budget s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "empty --budget";
+  let num mul k = float_of_string (String.sub s 0 k) *. mul in
+  match s.[len - 1] with
+  | 's' -> num 1. (len - 1)
+  | 'm' -> num 60. (len - 1)
+  | 'h' -> num 3600. (len - 1)
+  | _ -> float_of_string s
+
+let () =
+  let budget = ref 30. in
+  let seeds = ref 32 in
+  let ops = ref 400 in
+  let b = ref 8 in
+  let out = ref "_repros" in
+  let spec =
+    [
+      ( "--budget",
+        Arg.String (fun s -> budget := parse_budget s),
+        "DUR  wall-clock budget, e.g. 30s, 2m (default 30s)" );
+      ("--seeds", Arg.Set_int seeds, "N  seeds to sweep (default 32)");
+      ("--ops", Arg.Set_int ops, "N  operations per workload (default 400)");
+      ("--b", Arg.Set_int b, "B  page size (default 8)");
+      ("--out", Arg.Set_string out, "DIR  where to write .repro files");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "stress [--budget 30s] [--seeds 32] [--ops 400] [--b 8] [--out DIR]";
+  let deadline = Unix.gettimeofday () +. !budget in
+  let failures = ref 0 in
+  let runs = ref 0 in
+  let ensure_out () =
+    try Unix.mkdir !out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
+  let report ~seed ~fault target ops outcome =
+    incr failures;
+    Format.printf "FAIL %s seed=%d: %a@." (Subject.name target) seed
+      Engine.pp_outcome outcome;
+    (* Shrink against the same predicate that failed, then persist. *)
+    let fails ops =
+      match fault with
+      | None -> Engine.run ~b:!b target ~ops <> Engine.Pass
+      | Some k ->
+          let plan = Pc_pagestore.Fault_plan.make k in
+          let o, _, _ = Engine.run_faulted ~b:!b target ~ops ~plan in
+          o <> Engine.Pass
+    in
+    let small = Shrink.minimize fails ops in
+    ensure_out ();
+    let path =
+      Filename.concat !out
+        (Printf.sprintf "%s-seed%d%s.repro" (Subject.name target) seed
+           (match fault with
+           | None -> ""
+           | Some k ->
+               "-" ^ String.map (function ' ' -> '_' | c -> c)
+                       (Pc_pagestore.Fault_plan.kind_to_string k)))
+    in
+    Repro.save { target; seed; b = !b; fault; ops = small } path;
+    Format.printf "  shrunk %d -> %d ops, wrote %s@." (Array.length ops)
+      (Array.length small) path
+  in
+  let out_of_time () = Unix.gettimeofday () > deadline in
+  (* clean differential sweep *)
+  (try
+     for seed = 0 to !seeds - 1 do
+       let rng = Pc_util.Rng.create seed in
+       List.iter
+         (fun target ->
+           if out_of_time () then raise Exit;
+           let sub = Pc_util.Rng.split rng in
+           let workload = Dsl.generate sub ~n:!ops in
+           incr runs;
+           match Engine.run ~b:!b target ~ops:workload with
+           | Engine.Pass -> ()
+           | outcome -> report ~seed ~fault:None target workload outcome)
+         Subject.all
+     done
+   with Exit -> ());
+  (* fault-injection sweep: typed error or oracle-correct, never silent *)
+  let fault_kinds =
+    Pc_pagestore.Fault_plan.
+      [
+        Fail_stop { at = 7 };
+        Transient { every = 5; fails = 1; retries = 2 };
+        Transient { every = 6; fails = 4; retries = 2 };
+        Torn_write { at = 5 };
+      ]
+  in
+  (try
+     List.iter
+       (fun kind ->
+         List.iter
+           (fun target ->
+             if out_of_time () then raise Exit;
+             let seed = 1000 + !runs in
+             let rng = Pc_util.Rng.create seed in
+             let workload = Dsl.generate rng ~n:(min 200 !ops) in
+             incr runs;
+             let plan = Pc_pagestore.Fault_plan.make kind in
+             match Engine.run_faulted ~b:!b target ~ops:workload ~plan with
+             | Engine.Pass, _, _ -> ()
+             | outcome, _, _ ->
+                 report ~seed ~fault:(Some kind) target workload outcome)
+           Subject.all)
+       fault_kinds
+   with Exit -> ());
+  Format.printf "stress: %d runs, %d failure(s)%s@." !runs !failures
+    (if out_of_time () then " (budget exhausted)" else "");
+  exit (min 1 !failures)

@@ -233,6 +233,9 @@ let dirty_frames t ~owner =
     t.frames []
   |> List.sort (fun a b -> compare (a.f_owner, a.f_page) (b.f_owner, b.f_page))
 
+let dirty_pages c =
+  List.map (fun f -> f.f_page) (dirty_frames c.pool ~owner:(Some c.owner))
+
 let flush_client c =
   let t = c.pool in
   let p = pending_of c in

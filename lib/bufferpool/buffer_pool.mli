@@ -146,6 +146,12 @@ val sequential : client -> bool
 
 (** {1 Write-back} *)
 
+(** [dirty_pages c] lists [c]'s dirty resident pages in ascending page
+    order — exactly the write-back transfers a {!flush_client} would
+    perform, letting callers (e.g. a fault-injecting pager) account for
+    or veto each transfer before committing to the flush. *)
+val dirty_pages : client -> int list
+
 (** [flush_client c] writes back every dirty frame of [c] (in page
     order) and returns how many, so the caller can charge the deferred
     write I/Os; frames stay resident and clean. *)

@@ -1,0 +1,111 @@
+open Pc_util
+
+type op =
+  | Insert of Point.t
+  | Delete of int
+  | Q2 of { xl : int; yb : int }
+  | Q3 of { xl : int; xr : int; yb : int }
+  | Q4 of { x1 : int; x2 : int; y1 : int; y2 : int }
+  | Stab of int
+  | Krange of { lo : int; hi : int }
+
+let universe = 1000
+
+let generate ?(universe = universe) rng ~n =
+  let next_id = ref 0 in
+  let live = ref [] in
+  let live_count = ref 0 in
+  let coord () = Rng.int rng universe in
+  let span () =
+    let a = coord () and b = coord () in
+    (min a b, max a b)
+  in
+  Array.init n (fun _ ->
+      let roll = Rng.int rng 100 in
+      if roll < 40 || !live_count = 0 then begin
+        let id = !next_id in
+        incr next_id;
+        live := id :: !live;
+        incr live_count;
+        Insert (Point.make ~x:(coord ()) ~y:(coord ()) ~id)
+      end
+      else if roll < 55 then begin
+        let i = Rng.int rng !live_count in
+        let id = List.nth !live i in
+        live := List.filter (fun j -> j <> id) !live;
+        decr live_count;
+        Delete id
+      end
+      else
+        match Rng.int rng 5 with
+        | 0 -> Q2 { xl = coord (); yb = coord () }
+        | 1 ->
+            let xl, xr = span () in
+            Q3 { xl; xr; yb = coord () }
+        | 2 ->
+            let x1, x2 = span () in
+            let y1, y2 = span () in
+            Q4 { x1; x2; y1; y2 }
+        | 3 -> Stab (coord ())
+        | _ ->
+            let lo, hi = span () in
+            Krange { lo; hi })
+
+let is_query = function
+  | Insert _ | Delete _ -> false
+  | Q2 _ | Q3 _ | Q4 _ | Stab _ | Krange _ -> true
+
+let to_string = function
+  | Insert p -> Printf.sprintf "insert %d %d %d" p.x p.y p.id
+  | Delete id -> Printf.sprintf "delete %d" id
+  | Q2 { xl; yb } -> Printf.sprintf "q2 %d %d" xl yb
+  | Q3 { xl; xr; yb } -> Printf.sprintf "q3 %d %d %d" xl xr yb
+  | Q4 { x1; x2; y1; y2 } -> Printf.sprintf "q4 %d %d %d %d" x1 x2 y1 y2
+  | Stab q -> Printf.sprintf "stab %d" q
+  | Krange { lo; hi } -> Printf.sprintf "krange %d %d" lo hi
+
+let of_string s =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun w -> w <> "")
+  with
+  | [ "insert"; x; y; id ] -> (
+      try
+        Some
+          (Insert
+             (Point.make ~x:(int_of_string x) ~y:(int_of_string y)
+                ~id:(int_of_string id)))
+      with _ -> None)
+  | [ "delete"; id ] -> (
+      try Some (Delete (int_of_string id)) with _ -> None)
+  | [ "q2"; xl; yb ] -> (
+      try Some (Q2 { xl = int_of_string xl; yb = int_of_string yb })
+      with _ -> None)
+  | [ "q3"; xl; xr; yb ] -> (
+      try
+        Some
+          (Q3
+             {
+               xl = int_of_string xl;
+               xr = int_of_string xr;
+               yb = int_of_string yb;
+             })
+      with _ -> None)
+  | [ "q4"; x1; x2; y1; y2 ] -> (
+      try
+        Some
+          (Q4
+             {
+               x1 = int_of_string x1;
+               x2 = int_of_string x2;
+               y1 = int_of_string y1;
+               y2 = int_of_string y2;
+             })
+      with _ -> None)
+  | [ "stab"; q ] -> ( try Some (Stab (int_of_string q)) with _ -> None)
+  | [ "krange"; lo; hi ] -> (
+      try Some (Krange { lo = int_of_string lo; hi = int_of_string hi })
+      with _ -> None)
+  | _ -> None
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)

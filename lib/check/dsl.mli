@@ -1,0 +1,39 @@
+(** Typed workload DSL for the differential model checker.
+
+    One workload drives every structure in the repository: each subject
+    interprets the operation kinds it natively supports (a B-tree answers
+    [Krange], an interval store answers [Stab], a PST answers [Q2], ...)
+    and skips the rest, so a single generated sequence exercises all nine
+    targets. Points double as intervals ([min x y, max x y]) and as
+    key/value pairs ([x], [y]) under the per-subject mappings described in
+    DESIGN.md §11. *)
+
+open Pc_util
+
+type op =
+  | Insert of Point.t  (** fresh id; duplicates of a live id are no-ops *)
+  | Delete of int  (** by id; absent ids are no-ops *)
+  | Q2 of { xl : int; yb : int }  (** 2-sided: [x >= xl && y >= yb] *)
+  | Q3 of { xl : int; xr : int; yb : int }  (** 3-sided *)
+  | Q4 of { x1 : int; x2 : int; y1 : int; y2 : int }  (** range product *)
+  | Stab of int  (** interval stabbing *)
+  | Krange of { lo : int; hi : int }  (** 1-d key range *)
+
+(** Coordinate universe of {!generate}: all coordinates fall in
+    [0, universe). Small enough that queries hit and deletes collide. *)
+val universe : int
+
+(** [generate rng ~n] draws a workload of [n] operations: ~40% inserts
+    (fresh increasing ids), ~15% deletes of a live id, the rest queries
+    uniformly across the five kinds. Deterministic in the generator
+    state. *)
+val generate : ?universe:int -> Rng.t -> n:int -> op array
+
+val is_query : op -> bool
+
+(** One-line textual form, [of_string]'s inverse; the .repro file
+    format. *)
+val to_string : op -> string
+
+val of_string : string -> op option
+val pp : Format.formatter -> op -> unit

@@ -1,0 +1,108 @@
+open Pc_pagestore
+
+type divergence = {
+  op_index : int;
+  op : Dsl.op;
+  expected : (int * int) list;
+  actual : (int * int) list;
+}
+
+type outcome =
+  | Pass
+  | Diverged of divergence
+  | Check_failed of string
+
+let pp_answer ppf ans =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (a, b) -> Format.fprintf ppf "(%d,%d)" a b))
+    ans
+
+let pp_outcome ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Diverged d ->
+      Format.fprintf ppf "diverged at op %d (%a):@ expected %a@ got %a"
+        d.op_index Dsl.pp d.op pp_answer d.expected pp_answer d.actual
+  | Check_failed msg -> Format.fprintf ppf "invariant check failed: %s" msg
+
+type stats = { ops : int; queries : int; faults : int }
+
+let run_stats ?(b = 8) ?tamper ?plan target ~ops =
+  let queries = ref 0 and faults = ref 0 in
+  let before = match plan with Some p -> Fault_plan.injected p | None -> 0 in
+  (match plan with
+  | Some p ->
+      Fault_plan.disarm p;
+      Pager.set_ambient_fault_plan p
+  | None -> ());
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        match plan with
+        | Some p ->
+            Fault_plan.disarm p;
+            Pager.clear_ambient_fault_plan ()
+        | None -> ())
+    @@ fun () ->
+    let t = Subject.start ~b target in
+    let result = ref Pass in
+    (try
+       Array.iteri
+         (fun i op ->
+           let res =
+             match plan with
+             | None -> Subject.apply t op
+             | Some p -> (
+                 Fault_plan.arm p;
+                 match
+                   Fun.protect ~finally:(fun () -> Fault_plan.disarm p)
+                   @@ fun () -> Subject.apply t op
+                 with
+                 | res -> res
+                 | exception (Pager.Io_fault _ | Pager.Torn_write _) ->
+                     (* A typed fault surfaced: recover by rebuilding from
+                        the model (plan disarmed) and keep going. *)
+                     incr faults;
+                     Subject.restart t;
+                     None)
+           in
+           match res with
+           | None -> ()
+           | Some (expected, actual) ->
+               incr queries;
+               let actual =
+                 match tamper with Some f -> f op actual | None -> actual
+               in
+               if expected <> actual then begin
+                 result := Diverged { op_index = i; op; expected; actual };
+                 raise Exit
+               end)
+         ops
+     with Exit -> ());
+    (match !result with
+    | Pass -> (
+        try Subject.check t
+        with Failure msg -> result := Check_failed msg)
+    | _ -> ());
+    !result
+  in
+  let injected =
+    match plan with Some p -> Fault_plan.injected p - before | None -> 0
+  in
+  ( outcome,
+    { ops = Array.length ops; queries = !queries; faults = !faults },
+    injected )
+
+let run ?b ?tamper ?plan target ~ops =
+  let outcome, _, _ = run_stats ?b ?tamper ?plan target ~ops in
+  outcome
+
+(* [run_faulted] asserts the fault-injection contract: with [plan] armed
+   around every operation, the subject either raises a typed pager error
+   (and recovers after a rebuild) or keeps answering exactly like the
+   model — never silently wrong. Returns the number of operations that
+   faulted and the number of injected fault events. *)
+let run_faulted ?b target ~ops ~plan =
+  let outcome, stats, injected = run_stats ?b ~plan target ~ops in
+  (outcome, stats.faults, injected)

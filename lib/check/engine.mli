@@ -1,0 +1,48 @@
+(** The differential model-checking engine.
+
+    Executes a DSL workload against a {!Subject} and diffs every query's
+    normalized answer against the in-memory model, stopping at the first
+    divergence; a clean run ends with the structure's own
+    [check_invariants]. With a {!Pc_pagestore.Fault_plan} the engine arms
+    the plan around each operation and asserts the fault contract: a
+    typed pager error ({!Pc_pagestore.Pager.Io_fault} or
+    [Torn_write]) is recovered by rebuilding from the model; any other
+    effect of an injected fault must leave answers exactly correct. *)
+
+type divergence = {
+  op_index : int;
+  op : Dsl.op;
+  expected : (int * int) list;
+  actual : (int * int) list;
+}
+
+type outcome =
+  | Pass
+  | Diverged of divergence
+  | Check_failed of string  (** a structure invariant broke post-run *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [run target ~ops] executes the workload. [tamper] post-processes each
+    subject answer (keyed on the operation, not its index, so it stays
+    stable under shrinking) — the mutation-injection hook the harness
+    tests use to prove the diff actually fires. [plan] enables fault
+    mode: the ambient plan is set (disarmed) for the whole run so every
+    internally-created pager adopts it, armed only around operations. *)
+val run :
+  ?b:int ->
+  ?tamper:(Dsl.op -> (int * int) list -> (int * int) list) ->
+  ?plan:Pc_pagestore.Fault_plan.t ->
+  Subject.target ->
+  ops:Dsl.op array ->
+  outcome
+
+(** [run_faulted target ~ops ~plan] is fault-mode {!run}; also returns
+    how many operations surfaced a typed fault and how many fault events
+    the plan injected. *)
+val run_faulted :
+  ?b:int ->
+  Subject.target ->
+  ops:Dsl.op array ->
+  plan:Pc_pagestore.Fault_plan.t ->
+  outcome * int * int

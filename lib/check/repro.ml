@@ -1,0 +1,118 @@
+type t = {
+  target : Subject.target;
+  seed : int;
+  b : int;
+  fault : Pc_pagestore.Fault_plan.kind option;
+  ops : Dsl.op array;
+}
+
+let magic = "pathcache-repro 1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "target %s\n" (Subject.name t.target));
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  Buffer.add_string buf (Printf.sprintf "b %d\n" t.b);
+  (match t.fault with
+  | Some k ->
+      Buffer.add_string buf
+        (Printf.sprintf "fault %s\n" (Pc_pagestore.Fault_plan.kind_to_string k))
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "ops %d\n" (Array.length t.ops));
+  Array.iter
+    (fun op ->
+      Buffer.add_string buf (Dsl.to_string op);
+      Buffer.add_char buf '\n')
+    t.ops;
+  Buffer.contents buf
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char '\n' s with
+  | m :: rest when String.trim m = magic ->
+      let target = ref None
+      and seed = ref 0
+      and b = ref 8
+      and fault = ref None
+      and nops = ref (-1)
+      and ops = ref [] in
+      let rec go = function
+        | [] -> Ok ()
+        | line :: rest -> (
+            let line = String.trim line in
+            if line = "" then go rest
+            else if !nops >= 0 then
+              match Dsl.of_string line with
+              | Some op ->
+                  ops := op :: !ops;
+                  go rest
+              | None -> err "unparsable op %S" line
+            else
+              match String.index_opt line ' ' with
+              | None -> err "unparsable header line %S" line
+              | Some i -> (
+                  let key = String.sub line 0 i in
+                  let v = String.sub line (i + 1) (String.length line - i - 1) in
+                  match key with
+                  | "target" -> (
+                      match Subject.of_name v with
+                      | Some t ->
+                          target := Some t;
+                          go rest
+                      | None -> err "unknown target %S" v)
+                  | "seed" ->
+                      seed := int_of_string v;
+                      go rest
+                  | "b" ->
+                      b := int_of_string v;
+                      go rest
+                  | "fault" -> (
+                      match Pc_pagestore.Fault_plan.kind_of_string v with
+                      | Some k ->
+                          fault := Some k;
+                          go rest
+                      | None -> err "unknown fault kind %S" v)
+                  | "ops" ->
+                      nops := int_of_string v;
+                      go rest
+                  | _ -> err "unknown header key %S" key))
+      in
+      (match go rest with
+      | Error _ as e -> e
+      | Ok () -> (
+          match !target with
+          | None -> Error "missing target header"
+          | Some target ->
+              let ops = Array.of_list (List.rev !ops) in
+              if !nops >= 0 && Array.length ops <> !nops then
+                err "ops header says %d, file has %d" !nops (Array.length ops)
+              else Ok { target; seed = !seed; b = !b; fault = !fault; ops }))
+  | _ -> Error "not a pathcache-repro file"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error m -> Error m
+
+let replay t =
+  match t.fault with
+  | None -> Engine.run ~b:t.b t.target ~ops:t.ops
+  | Some k ->
+      let plan = Pc_pagestore.Fault_plan.make k in
+      let outcome, _, _ =
+        Engine.run_faulted ~b:t.b t.target ~ops:t.ops ~plan
+      in
+      outcome

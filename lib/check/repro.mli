@@ -1,0 +1,23 @@
+(** Replayable counterexample files.
+
+    When the harness finds a divergence it shrinks the workload and
+    writes a [.repro] file: a plain-text header (target, generator seed,
+    page size, optional fault plan) followed by one DSL operation per
+    line. [pathcache_cli check FILE] replays it. *)
+
+type t = {
+  target : Subject.target;
+  seed : int;  (** generator seed the workload came from, for provenance *)
+  b : int;
+  fault : Pc_pagestore.Fault_plan.kind option;
+  ops : Dsl.op array;
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+(** [replay t] re-executes the recorded workload (fault-mode if a fault
+    header is present) and returns the engine outcome. *)
+val replay : t -> Engine.outcome

@@ -1,0 +1,33 @@
+(* Greedy delta debugging over operation sequences.
+
+   Deterministic by construction: the candidate order depends only on the
+   input array and the predicate's answers, so the same failure always
+   shrinks to the same minimal sequence (the golden test relies on
+   this). *)
+
+let remove arr lo len =
+  Array.append (Array.sub arr 0 lo)
+    (Array.sub arr (lo + len) (Array.length arr - lo - len))
+
+let minimize fails ops0 =
+  if not (fails ops0) then
+    invalid_arg "Shrink.minimize: input sequence does not fail";
+  let ops = ref ops0 in
+  let chunk = ref (Array.length ops0 / 2) in
+  while !chunk > 0 do
+    (* Try removing each [chunk]-sized window front to back; on success
+       restart from the front at the same granularity, on a full fruitless
+       scan halve it. *)
+    let removed = ref false in
+    let i = ref 0 in
+    while (not !removed) && !i + !chunk <= Array.length !ops do
+      let candidate = remove !ops !i !chunk in
+      if fails candidate then begin
+        ops := candidate;
+        removed := true
+      end
+      else incr i
+    done;
+    if not !removed then chunk := !chunk / 2
+  done;
+  !ops

@@ -1,0 +1,16 @@
+(** Greedy delta-debugging shrinker for failing operation sequences. *)
+
+(** [minimize fails ops] returns a 1-minimal-by-windows subsequence of
+    [ops] on which [fails] still holds: no single remaining operation can
+    be removed without losing the failure. Deterministic — equal inputs
+    and a deterministic predicate give byte-identical minimal sequences.
+    Raises [Invalid_argument] if [fails ops] is false. The predicate is
+    called O(n log n + k n) times for k successful removals; subjects
+    must tolerate deletes of never-inserted ids (ours treat them as
+    no-ops), since shrinking drops inserts independently of the deletes
+    that reference them. *)
+val minimize : ('a array -> bool) -> 'a array -> 'a array
+
+(** [remove arr lo len] is [arr] without the window [lo, lo+len) — the
+    shrinker's only edit, exposed so tests can probe 1-minimality. *)
+val remove : 'a array -> int -> int -> 'a array

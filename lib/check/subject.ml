@@ -1,0 +1,311 @@
+open Pc_util
+
+type target =
+  | Btree
+  | Ext_int
+  | Ext_seg
+  | Ext_pst
+  | Dynamic
+  | Ext_range
+  | Class_index
+  | Stabbing
+  | Ext_pst3
+
+let all =
+  [
+    Btree;
+    Ext_int;
+    Ext_seg;
+    Ext_pst;
+    Dynamic;
+    Ext_range;
+    Class_index;
+    Stabbing;
+    Ext_pst3;
+  ]
+
+let name = function
+  | Btree -> "btree"
+  | Ext_int -> "ext_int"
+  | Ext_seg -> "ext_seg"
+  | Ext_pst -> "ext_pst"
+  | Dynamic -> "dynamic"
+  | Ext_range -> "ext_range"
+  | Class_index -> "class_index"
+  | Stabbing -> "stabbing"
+  | Ext_pst3 -> "ext_pst3"
+
+let of_name s = List.find_opt (fun t -> name t = s) all
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+(* ----- per-target mappings ----- *)
+
+(* A point doubles as the interval [min x y, max x y] for the stabbing
+   targets. *)
+let ival_of_point (p : Point.t) =
+  Ival.make ~lo:(min p.x p.y) ~hi:(max p.x p.y) ~id:p.id
+
+(* Fixed 8-class hierarchy for the Class_index target:
+     object - a - b
+            |   ` c - d
+            - e - f
+            ` g
+   A point maps to the object {cls = class of x; key = y; oid = id} and a
+   3-sided query maps to (class of xl, key_at_least = yb). *)
+let class_names = [| "object"; "a"; "b"; "c"; "d"; "e"; "f"; "g" |]
+let class_parents = [| ""; "object"; "a"; "a"; "c"; "object"; "e"; "object" |]
+
+let class_closure =
+  [|
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ] (* object *);
+    [ 1; 2; 3; 4 ] (* a *);
+    [ 2 ] (* b *);
+    [ 3; 4 ] (* c *);
+    [ 4 ] (* d *);
+    [ 5; 6 ] (* e *);
+    [ 6 ] (* f *);
+    [ 7 ] (* g *);
+  |]
+
+let class_of x = ((x mod 8) + 8) mod 8
+
+let make_hierarchy () =
+  let h = Pathcaching.Class_index.hierarchy () in
+  for i = 1 to Array.length class_names - 1 do
+    Pathcaching.Class_index.add_class h ~name:class_names.(i)
+      ~parent:class_parents.(i)
+  done;
+  h
+
+let obj_of_point (p : Point.t) =
+  { Pathcaching.Class_index.cls = class_names.(class_of p.x); key = p.y; oid = p.id }
+
+(* ----- instance ----- *)
+
+type structure =
+  | S_btree of Pc_btree.Btree.t
+  | S_extint of Pc_extint.Ext_int.t
+  | S_extseg of Pc_extseg.Ext_seg.t
+  | S_extpst of Pc_extpst.Ext_pst.t
+  | S_dynamic of Pc_extpst.Dynamic.t
+  | S_extrange of Pc_extrange.Ext_range.t
+  | S_classidx of Pathcaching.Class_index.t
+  | S_stabbing of Pathcaching.Stabbing.t
+  | S_pst3 of Pc_threesided.Ext_pst3.t
+
+type t = {
+  target : target;
+  b : int;
+  hierarchy : Pathcaching.Class_index.hierarchy;  (* Class_index only *)
+  live : (int, Point.t) Hashtbl.t;  (* the model: live points by id *)
+  mutable st : structure option;  (* None = stale, rebuild before querying *)
+}
+
+let target t = t.target
+
+let is_dynamic = function
+  | Btree | Dynamic | Stabbing -> true
+  | Ext_int | Ext_seg | Ext_pst | Ext_range | Class_index | Ext_pst3 -> false
+
+let live_points t = Hashtbl.fold (fun _ p acc -> p :: acc) t.live []
+
+(* Deterministic build inputs: sort by id so Hashtbl iteration order never
+   leaks into structure layout. *)
+let live_sorted t = List.sort Point.compare_id (live_points t)
+
+let build_structure t =
+  let b = t.b in
+  let pts = live_sorted t in
+  match t.target with
+  | Btree ->
+      let entries =
+        List.map (fun (p : Point.t) -> (p.x, p.y)) pts
+        |> List.sort compare
+      in
+      S_btree (Pc_btree.Btree.bulk_load_in ~b entries)
+  | Ext_int ->
+      S_extint
+        (Pc_extint.Ext_int.create ~mode:Pc_extint.Ext_int.Cached ~b
+           (List.map ival_of_point pts))
+  | Ext_seg ->
+      S_extseg
+        (Pc_extseg.Ext_seg.create ~mode:Pc_extseg.Ext_seg.Cached ~b
+           (List.map ival_of_point pts))
+  | Ext_pst ->
+      S_extpst
+        (Pc_extpst.Ext_pst.create ~variant:Pc_extpst.Ext_pst.Multilevel ~b pts)
+  | Dynamic -> S_dynamic (Pc_extpst.Dynamic.create ~b pts)
+  | Ext_range -> S_extrange (Pc_extrange.Ext_range.create ~b pts)
+  | Class_index ->
+      S_classidx
+        (Pathcaching.Class_index.build t.hierarchy ~b
+           (List.map obj_of_point pts))
+  | Stabbing ->
+      S_stabbing (Pathcaching.Stabbing.create ~b (List.map ival_of_point pts))
+  | Ext_pst3 ->
+      S_pst3
+        (Pc_threesided.Ext_pst3.create ~mode:Pc_threesided.Ext_pst3.Cached ~b
+           pts)
+
+let start ?(b = 8) target =
+  let t =
+    {
+      target;
+      b;
+      hierarchy = make_hierarchy ();
+      live = Hashtbl.create 256;
+      st = None;
+    }
+  in
+  if is_dynamic target then t.st <- Some (build_structure t);
+  t
+
+let force t =
+  match t.st with
+  | Some s -> s
+  | None ->
+      let s = build_structure t in
+      t.st <- Some s;
+      s
+
+(* Discard the structure and rebuild from the model — the recovery step
+   after an injected fault surfaced as a typed error. *)
+let restart t =
+  t.st <- None;
+  if is_dynamic t.target then t.st <- Some (build_structure t)
+
+(* ----- updates ----- *)
+
+let insert t (p : Point.t) =
+  if not (Hashtbl.mem t.live p.id) then begin
+    Hashtbl.replace t.live p.id p;
+    match t.st with
+    | Some (S_btree bt) -> Pc_btree.Btree.insert bt ~key:p.x ~value:p.y
+    | Some (S_dynamic d) -> ignore (Pc_extpst.Dynamic.insert d p)
+    | Some (S_stabbing s) ->
+        ignore (Pathcaching.Stabbing.insert s (ival_of_point p))
+    | _ -> t.st <- None
+  end
+
+let delete t id =
+  match Hashtbl.find_opt t.live id with
+  | None -> ()
+  | Some p -> (
+      Hashtbl.remove t.live id;
+      match t.st with
+      | Some (S_btree bt) ->
+          ignore (Pc_btree.Btree.delete bt ~key:p.x ~value:p.y)
+      | Some (S_dynamic d) -> ignore (Pc_extpst.Dynamic.delete d ~id)
+      | Some (S_stabbing s) -> ignore (Pathcaching.Stabbing.delete s ~id)
+      | _ -> t.st <- None)
+
+(* ----- queries ----- *)
+
+(* Answers are normalized to sorted (int * int) lists: (id, 0) for
+   id-valued queries, (key, value) pairs for the B-tree. *)
+let of_ids ids = List.sort compare (List.map (fun i -> (i, 0)) ids)
+let of_points pts = of_ids (List.map Point.id pts)
+let of_ivals ivs = of_ids (List.map Ival.id ivs)
+
+let model_answer t (op : Dsl.op) =
+  let pts = live_points t in
+  match op with
+  | Dsl.Insert _ | Dsl.Delete _ -> assert false
+  | Dsl.Q2 { xl; yb } -> of_points (Pc_inmem.Oracle.two_sided pts ~xl ~yb)
+  | Dsl.Q3 { xl; xr; yb } ->
+      if t.target = Class_index then
+        let closure = class_closure.(class_of xl) in
+        of_points
+          (List.filter
+             (fun (p : Point.t) ->
+               p.y >= yb && List.mem (class_of p.x) closure)
+             pts)
+      else of_points (Pc_inmem.Oracle.three_sided pts ~xl ~xr ~yb)
+  | Dsl.Q4 { x1; x2; y1; y2 } ->
+      of_points (Pc_inmem.Oracle.range_2d pts ~x1 ~x2 ~y1 ~y2)
+  | Dsl.Stab q ->
+      of_ivals (Pc_inmem.Oracle.stabbing (List.map ival_of_point pts) ~q)
+  | Dsl.Krange { lo; hi } ->
+      List.filter_map
+        (fun (p : Point.t) -> if lo <= p.x && p.x <= hi then Some (p.x, p.y) else None)
+        pts
+      |> List.sort compare
+
+(* [None] = this target does not natively answer this query kind. *)
+let subject_answer t (op : Dsl.op) =
+  match (op, t.target) with
+  | Dsl.Krange { lo; hi }, Btree -> (
+      match force t with
+      | S_btree bt -> Some (List.sort compare (Pc_btree.Btree.range bt ~lo ~hi))
+      | _ -> assert false)
+  | Dsl.Stab q, Ext_int -> (
+      match force t with
+      | S_extint s -> Some (of_ivals (fst (Pc_extint.Ext_int.stab s q)))
+      | _ -> assert false)
+  | Dsl.Stab q, Ext_seg -> (
+      match force t with
+      | S_extseg s -> Some (of_ivals (fst (Pc_extseg.Ext_seg.stab s q)))
+      | _ -> assert false)
+  | Dsl.Stab q, Stabbing -> (
+      match force t with
+      | S_stabbing s -> Some (of_ivals (fst (Pathcaching.Stabbing.stab s q)))
+      | _ -> assert false)
+  | Dsl.Q2 { xl; yb }, Ext_pst -> (
+      match force t with
+      | S_extpst s -> Some (of_points (fst (Pc_extpst.Ext_pst.query s ~xl ~yb)))
+      | _ -> assert false)
+  | Dsl.Q2 { xl; yb }, Dynamic -> (
+      match force t with
+      | S_dynamic s ->
+          Some (of_points (fst (Pc_extpst.Dynamic.query s ~xl ~yb)))
+      | _ -> assert false)
+  | Dsl.Q3 { xl; xr; yb }, Ext_pst3 -> (
+      match force t with
+      | S_pst3 s ->
+          Some (of_points (fst (Pc_threesided.Ext_pst3.query s ~xl ~xr ~yb)))
+      | _ -> assert false)
+  | Dsl.Q3 { xl; yb; _ }, Class_index -> (
+      match force t with
+      | S_classidx s ->
+          let objs, _ =
+            Pathcaching.Class_index.query s ~cls:class_names.(class_of xl)
+              ~key_at_least:yb
+          in
+          Some
+            (of_ids (List.map (fun o -> o.Pathcaching.Class_index.oid) objs))
+      | _ -> assert false)
+  | Dsl.Q4 { x1; x2; y1; y2 }, Ext_range -> (
+      match force t with
+      | S_extrange s ->
+          Some (of_ids (fst (Pc_extrange.Ext_range.query s ~x1 ~x2 ~y1 ~y2)))
+      | _ -> assert false)
+  | _ -> None
+
+(* [apply t op] executes [op]. For a query the target natively answers,
+   returns [Some (expected, actual)]. *)
+let apply t (op : Dsl.op) =
+  match op with
+  | Dsl.Insert p ->
+      insert t p;
+      None
+  | Dsl.Delete id ->
+      delete t id;
+      None
+  | _ -> (
+      match subject_answer t op with
+      | None -> None
+      | Some actual -> Some (model_answer t op, actual))
+
+let check t =
+  match force t with
+  | S_btree s -> Pc_btree.Btree.check_invariants s
+  | S_extint s -> Pc_extint.Ext_int.check_invariants s
+  | S_extseg s -> Pc_extseg.Ext_seg.check_invariants s
+  | S_extpst s -> Pc_extpst.Ext_pst.check_invariants s
+  | S_dynamic s -> Pc_extpst.Dynamic.check_invariants s
+  | S_extrange s -> Pc_extrange.Ext_range.check_invariants s
+  | S_classidx s -> Pathcaching.Class_index.check_invariants s
+  | S_stabbing s -> Pathcaching.Stabbing.check_invariants s
+  | S_pst3 s -> Pc_threesided.Ext_pst3.check_invariants s
+
+let size t = Hashtbl.length t.live

@@ -1,0 +1,67 @@
+(** Uniform wrapper over the nine searchable structures, each paired with
+    its in-memory model.
+
+    A subject executes DSL operations against both the external structure
+    and a trivially-correct model (a hash table of live points queried
+    through {!Pc_inmem.Oracle}); queries return both answers for the
+    engine to diff. Dynamic targets ({!Btree}, {!Dynamic}, {!Stabbing})
+    apply updates in place; static targets absorb updates into the model
+    and lazily rebuild the structure on the next query.
+
+    Per-target workload mappings (DESIGN.md §11): a point [(x, y, id)] is
+    the interval [[min x y, max x y]] for the stabbing targets, the
+    B-tree entry [(key = x, value = y)], and for {!Class_index} the
+    object [{cls = class_of x; key = y}] over a fixed 8-class
+    hierarchy. *)
+
+open Pc_util
+
+type target =
+  | Btree
+  | Ext_int
+  | Ext_seg
+  | Ext_pst
+  | Dynamic
+  | Ext_range
+  | Class_index
+  | Stabbing
+  | Ext_pst3
+
+val all : target list
+val name : target -> string
+val of_name : string -> target option
+val pp : Format.formatter -> target -> unit
+
+(** Targets that apply updates in place (the rest rebuild lazily). *)
+val is_dynamic : target -> bool
+
+type t
+
+(** [start target ~b] makes a fresh empty subject with page size [b]
+    (default 8). Consults the ambient fault plan, if any, for every pager
+    it creates — arm plans only around {!apply}. *)
+val start : ?b:int -> target -> t
+
+val target : t -> target
+
+(** [apply t op] executes [op] on structure and model. Queries the target
+    natively answers return [Some (expected, actual)], both normalized to
+    sorted [(int * int)] lists — [(id, 0)] for id-valued queries,
+    [(key, value)] for the B-tree; updates and foreign query kinds return
+    [None]. *)
+val apply : t -> Dsl.op -> ((int * int) list * (int * int) list) option
+
+(** [restart t] discards the structure and rebuilds it from the model —
+    the recovery step after an injected fault surfaced as a typed
+    error. *)
+val restart : t -> unit
+
+(** [check t] runs the structure's [check_invariants] (building it first
+    if stale). Run with fault plans disarmed. *)
+val check : t -> unit
+
+(** Number of live points in the model. *)
+val size : t -> int
+
+(** The interval a point stands for under the stabbing mapping. *)
+val ival_of_point : Point.t -> Ival.t

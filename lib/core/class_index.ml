@@ -120,3 +120,54 @@ let query_count t ~cls ~key_at_least =
   List.length (fst (query t ~cls ~key_at_least))
 
 let storage_pages t = Pc_threesided.Ext_pst3.storage_pages t.pst
+
+(* The reduction's own invariants on top of the underlying PST's: the
+   preorder numbering is a proper nesting and every object's point sits
+   at (its class's preorder number, its key). Costs I/O; run with fault
+   plans disarmed. *)
+let check_invariants t =
+  let fail fmt =
+    Format.kasprintf failwith ("Class_index.check_invariants: " ^^ fmt)
+  in
+  Pc_threesided.Ext_pst3.check_invariants t.pst;
+  let n = t.h.count in
+  if Array.length t.ranges < n then fail "ranges shorter than the hierarchy";
+  let rlo, rhi = t.ranges.(0) in
+  if rlo <> 0 || rhi <> n - 1 then fail "root range is not [0, %d]" (n - 1);
+  for i = 0 to n - 1 do
+    let lo, hi = t.ranges.(i) in
+    if lo > hi then fail "class %d: empty preorder range" i;
+    (* children partition (lo, hi] into consecutive sub-ranges *)
+    let kids =
+      List.rev t.h.classes.(i).children
+      |> List.map (fun c ->
+             if t.h.classes.(c).parent <> i then
+               fail "class %d: child %d disowns it" i c;
+             t.ranges.(c))
+    in
+    let next =
+      List.fold_left
+        (fun expect (clo, chi) ->
+          if clo <> expect then fail "class %d: preorder gap at %d" i clo;
+          if chi > hi then fail "class %d: child range escapes" i;
+          chi + 1)
+        (lo + 1) kids
+    in
+    if next <> hi + 1 then fail "class %d: preorder range not filled" i
+  done;
+  (* every object's point: x = its class's preorder number, y = its key *)
+  let pts, _ = Pc_threesided.Ext_pst3.query t.pst ~xl:min_int ~xr:max_int ~yb:min_int in
+  if List.length pts <> Hashtbl.length t.objs then
+    fail "%d stored points, %d objects in the table" (List.length pts)
+      (Hashtbl.length t.objs);
+  List.iter
+    (fun (p : Point.t) ->
+      match Hashtbl.find_opt t.objs p.id with
+      | None -> fail "point id %d has no object" p.id
+      | Some o -> (
+          match Hashtbl.find_opt t.h.by_name o.cls with
+          | None -> fail "object %d names unknown class %s" p.id o.cls
+          | Some cidx ->
+              if p.x <> fst t.ranges.(cidx) || p.y <> o.key then
+                fail "object %d disagrees with its stored point" p.id))
+    pts

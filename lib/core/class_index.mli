@@ -60,4 +60,14 @@ val query :
   t -> cls:string -> key_at_least:int -> obj list * Pc_pagestore.Query_stats.t
 
 val query_count : t -> cls:string -> key_at_least:int -> int
+
+(** [check_invariants t] validates the reduction on top of the
+    underlying 3-sided PST's own invariants: the preorder numbering is a
+    proper nesting (each class's children partition its subtree range)
+    and every object is stored at (its class's preorder number, its
+    key). Raises [Failure] with a description on the first violation.
+    Reads every page — run outside counted sections and with fault
+    plans disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int

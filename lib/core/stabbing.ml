@@ -53,6 +53,25 @@ let stab t q =
   (ivs, stats)
 
 let stab_count t q = List.length (fst (stab t q))
+
+(* The reduction's own invariant on top of the underlying PST's: the
+   interval table and the stored points are the same set under the KRV
+   map. Costs I/O; run with fault plans disarmed. *)
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith ("Stabbing.check_invariants: " ^^ fmt) in
+  Pc_extpst.Dynamic.check_invariants t.pst;
+  let pts = Pc_extpst.Dynamic.to_list t.pst in
+  if List.length pts <> Hashtbl.length t.ivals then
+    fail "%d stored points, %d intervals in the table" (List.length pts)
+      (Hashtbl.length t.ivals);
+  List.iter
+    (fun (p : Point.t) ->
+      match Hashtbl.find_opt t.ivals p.id with
+      | None -> fail "point id %d has no interval" p.id
+      | Some iv ->
+          if to_point iv <> p then
+            fail "interval %d disagrees with its stored point" p.id)
+    pts
 let storage_pages t = Pc_extpst.Dynamic.storage_pages t.pst
 let total_ios t = Pc_extpst.Dynamic.total_ios t.pst
 let reset_io_stats t = Pc_extpst.Dynamic.reset_io_stats t.pst

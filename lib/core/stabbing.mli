@@ -49,6 +49,15 @@ val delete : t -> id:int -> int option
 val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
 
 val stab_count : t -> int -> int
+
+(** [check_invariants t] validates the KRV reduction on top of the
+    underlying dynamic PST's own invariants: the interval table and the
+    stored points are the same set under the interval-to-point map.
+    Raises [Failure] with a description on the first violation. Reads
+    every page — run outside counted sections and with fault plans
+    disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int
 val total_ios : t -> int
 val reset_io_stats : t -> unit

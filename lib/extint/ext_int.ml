@@ -406,6 +406,131 @@ let mode t = t.mode
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
+(* Structural invariants, walked page-by-page off the live store. Costs
+   I/O (it reads every page); callers that also count I/O should
+   snapshot stats around it, and fault plans should be disarmed. *)
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith ("Ext_int.check_invariants: " ^^ fmt) in
+  match t.layout with
+  | None -> if t.size <> 0 then fail "no layout but size=%d" t.size
+  | Some layout ->
+      let b = Pager.page_capacity t.pager in
+      let descs = Hashtbl.create 64 in
+      Array.iter
+        (fun page ->
+          Array.iter
+            (function
+              | Desc d ->
+                  if Hashtbl.mem descs d.node then fail "duplicate node %d" d.node;
+                  Hashtbl.replace descs d.node d
+              | Iv _ | Tagged _ -> fail "interval cell in a skeletal block")
+            (Pager.read t.pager page))
+        t.block_pages;
+      let get i =
+        match Hashtbl.find_opt descs i with
+        | Some d -> d
+        | None -> fail "missing descriptor for node %d" i
+      in
+      let ivs_of list = List.map cell_ival (Blocked_list.read_all t.pager list) in
+      let check_sorted what cmp l =
+        let rec go = function
+          | a :: (c :: _ as rest) ->
+              if cmp a c > 0 then fail "%s out of order" what;
+              go rest
+          | _ -> ()
+        in
+        go l
+      in
+      let total = ref 0 in
+      let rec walk i ~lo ~hi ~depth ~parent =
+        let d = get i in
+        if d.node <> i then fail "node %d stored under id %d" d.node i;
+        if d.depth <> depth then
+          fail "node %d: depth %d, expected %d" i d.depth depth;
+        if not (lo <= d.key && d.key < hi) then
+          fail "node %d: key %d outside routing range" i d.key;
+        let is_leaf = d.left < 0 in
+        if is_leaf <> (d.right < 0) then fail "node %d: half-leaf" i;
+        let is_block_root =
+          match parent with
+          | None -> true
+          | Some p -> not (Skeletal_layout.same_block layout i p)
+        in
+        if d.is_hop <> (is_leaf || is_block_root) then
+          fail "node %d: is_hop mis-marked" i;
+        let here = ivs_of d.by_lo in
+        if List.length here <> d.by_lo_len then
+          fail "node %d: by_lo length %d <> by_lo_len %d" i (List.length here)
+            d.by_lo_len;
+        total := !total + d.by_lo_len;
+        check_sorted "by_lo" Ival.compare_lo here;
+        let by_hi = ivs_of d.by_hi in
+        if List.sort compare here <> List.sort compare by_hi then
+          fail "node %d: by_lo and by_hi hold different intervals" i;
+        (* one-page lists share the page across both sort orders (and the
+           shared page keeps the by_lo order, so only a multi-page by_hi
+           is required to be hi-sorted) *)
+        if d.by_lo_len <= b then begin
+          if d.by_hi <> d.by_lo then
+            fail "node %d: single-page by_hi not shared with by_lo" i
+        end
+        else check_sorted "by_hi" Ival.compare_hi_desc by_hi;
+        (* caches: Cached mode only, on hops only, tagged and sorted *)
+        let check_cache what cmp cache =
+          let cells = Blocked_list.read_all t.pager cache in
+          if t.mode = Naive && cells <> [] then
+            fail "node %d: %s non-empty in naive mode" i what;
+          if (not d.is_hop) && cells <> [] then
+            fail "node %d: %s on a non-hop node" i what;
+          let per_src = Hashtbl.create 4 in
+          List.iter
+            (function
+              | Tagged { iv = _; src; src_total } ->
+                  let u = get src in
+                  if u.depth >= depth && src <> i then
+                    fail "node %d: %s source %d is not an ancestor" i what src;
+                  if src_total <> min b u.by_lo_len then
+                    fail "node %d: %s source %d total %d <> min(b,%d)" i what
+                      src src_total u.by_lo_len;
+                  Hashtbl.replace per_src src
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt per_src src))
+              | Iv _ | Desc _ -> fail "node %d: untagged %s cell" i what)
+            cells;
+          Hashtbl.iter
+            (fun src n ->
+              if n <> min b (get src).by_lo_len then
+                fail "node %d: %s holds %d of source %d" i what n src)
+            per_src;
+          check_sorted what cmp (List.map cell_ival cells)
+        in
+        check_cache "cache_l" Ival.compare_lo d.cache_l;
+        check_cache "cache_r" Ival.compare_hi_desc d.cache_r;
+        let locals = ivs_of d.locals in
+        if is_leaf then begin
+          if here <> [] then fail "leaf %d holds straddlers" i;
+          check_sorted "locals" Ival.compare_lo locals;
+          List.iter
+            (fun iv ->
+              if not (Ival.lo iv >= lo && Ival.hi iv < hi) then
+                fail "leaf %d: local interval escapes its range" i)
+            locals;
+          total := !total + List.length locals
+        end
+        else begin
+          if locals <> [] then fail "internal node %d holds locals" i;
+          List.iter
+            (fun iv ->
+              if not (Ival.lo iv < d.key && d.key <= Ival.hi iv) then
+                fail "node %d: stored interval does not straddle its key" i)
+            here;
+          walk d.left ~lo ~hi:d.key ~depth:(depth + 1) ~parent:(Some i);
+          walk d.right ~lo:d.key ~hi ~depth:(depth + 1) ~parent:(Some i)
+        end
+      in
+      walk 0 ~lo:min_int ~hi:max_int ~depth:0 ~parent:None;
+      if !total <> t.size then
+        fail "stored %d intervals, size says %d" !total t.size
+
 let cost_model t =
   Pc_obs.Cost_model.Inttree
     (match t.mode with

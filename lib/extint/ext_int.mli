@@ -58,6 +58,18 @@ val height : t -> int
 val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
 
 val stab_count : t -> int -> int
+
+(** [check_invariants t] walks every page and validates the structure:
+    routing-key order, straddle placement (each interval at the highest
+    node whose key it straddles, leaf-confined intervals in leaf locals),
+    both sort orders over identical interval sets with single-page lists
+    shared, hop marking against the skeletal layout, cache contents
+    (tagged, ancestor-sourced, first-page-sized, direction-sorted) and
+    the total interval count. Raises [Failure] with a description on the
+    first violation. Reads every page, so it costs I/O; run it outside
+    counted sections and with fault plans disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int
 val io_stats : t -> Pc_pagestore.Io_stats.t
 val reset_io_stats : t -> unit

@@ -67,6 +67,171 @@ let query t ~xl ~yb =
   | Some s -> Query.two_sided t.pager s ~xl ~yb
 
 let query_count t ~xl ~yb = List.length (fst (query t ~xl ~yb))
+
+(* Walk one persisted level and validate it, returning every point it
+   stores (sorted) so callers can match sub-structures against their
+   region's points. Costs I/O; run with fault plans disarmed. *)
+let rec check_structure pager (s : Types.structure) =
+  let fail fmt = Format.kasprintf failwith ("Ext_pst.check_invariants: " ^^ fmt) in
+  let open Types in
+  let b = Pager.page_capacity pager in
+  let descs = Hashtbl.create 64 in
+  Array.iter
+    (fun page ->
+      Array.iter
+        (function
+          | Desc d ->
+              if Hashtbl.mem descs d.node then fail "duplicate node %d" d.node;
+              Hashtbl.replace descs d.node d
+          | Pt _ | Src _ -> fail "point cell in a skeletal block")
+        (Pager.read pager page))
+    s.block_pages;
+  let get i =
+    match Hashtbl.find_opt descs i with
+    | Some d -> d
+    | None -> fail "missing descriptor for node %d" i
+  in
+  let pts_of list =
+    List.map
+      (function
+        | Pt p -> p
+        | Src _ -> fail "tagged cell in an X/Y-list"
+        | Desc _ -> fail "descriptor cell in an X/Y-list")
+      (Blocked_list.read_all pager list)
+  in
+  let check_sorted what cmp l =
+    let rec go = function
+      | a :: (c :: _ as rest) ->
+          if cmp a c > 0 then fail "%s out of order" what;
+          go rest
+      | _ -> ()
+    in
+    go l
+  in
+  let key (p : Pc_util.Point.t) = (p.x, p.y, p.id) in
+  let total = ref 0 in
+  let all_pts = ref [] in
+  let rec walk i ~depth ~anc =
+    let d = get i in
+    if d.node <> i then fail "node %d stored under id %d" d.node i;
+    if d.depth <> depth then fail "node %d: depth %d, expected %d" i d.depth depth;
+    let ys = pts_of d.y_list in
+    if List.length ys <> d.n_pts then
+      fail "node %d: y_list length %d <> n_pts %d" i (List.length ys) d.n_pts;
+    if d.n_pts > s.cap then fail "node %d: %d points over capacity %d" i d.n_pts s.cap;
+    if (d.left >= 0 || d.right >= 0) && d.n_pts <> s.cap then
+      fail "internal region %d not full" i;
+    total := !total + d.n_pts;
+    all_pts := List.rev_append ys !all_pts;
+    check_sorted "y_list" Pc_util.Point.compare_y_desc ys;
+    (match ys with
+    | [] -> if d.min_y <> max_int then fail "empty region %d: min_y not max_int" i
+    | _ ->
+        let m = List.fold_left (fun acc (p : Pc_util.Point.t) -> min acc p.y) max_int ys in
+        if d.min_y <> m then fail "node %d: min_y %d <> actual %d" i d.min_y m);
+    let xs = pts_of d.x_list in
+    if List.sort compare (List.map key xs) <> List.sort compare (List.map key ys)
+    then fail "node %d: x_list and y_list hold different points" i;
+    if d.n_pts <= b then begin
+      if not (d.x_list == d.y_list) then
+        fail "node %d: single-page x_list not shared with y_list" i
+    end
+    else check_sorted "x_list" Pc_util.Point.compare_x_desc xs;
+    (* region nesting against the whole ancestor path *)
+    List.iter
+      (fun (p : Pc_util.Point.t) ->
+        List.iter
+          (fun ((a : Types.desc), went_left) ->
+            if p.y > a.min_y then fail "node %d: heap violation under %d" i a.node;
+            if went_left then begin
+              if p.x > a.split then fail "node %d: left point beyond split of %d" i a.node
+            end
+            else if p.x < a.split then
+              fail "node %d: right point before split of %d" i a.node)
+          anc)
+      ys;
+    (* caches: tagged first-page copies over the mode's ancestor window *)
+    let lo, hi = Build.cache_window ~mode:s.mode ~seg_len:s.seg_len ~depth in
+    let covered =
+      List.filter (fun ((a : Types.desc), _) -> a.depth >= lo && a.depth < hi) anc
+    in
+    let check_cache what cmp cells ~expected =
+      let per_src = Hashtbl.create 4 in
+      List.iter
+        (function
+          | Src { p = _; src; src_total } ->
+              if not (List.mem_assoc src expected) then
+                fail "node %d: %s source %d not in the cache window" i what src;
+              if src_total <> List.assoc src expected then
+                fail "node %d: %s source %d total %d, expected %d" i what src
+                  src_total (List.assoc src expected);
+              Hashtbl.replace per_src src
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_src src))
+          | Pt _ -> fail "node %d: untagged %s cell" i what
+          | Desc _ -> fail "node %d: descriptor %s cell" i what)
+        cells;
+      List.iter
+        (fun (src, k) ->
+          if k > 0 && Option.value ~default:0 (Hashtbl.find_opt per_src src) <> k
+          then fail "node %d: %s misses entries of source %d" i what src)
+        expected;
+      check_sorted what cmp
+        (List.map
+           (function Src { p; _ } -> p | Pt p -> p | Desc _ -> assert false)
+           cells)
+    in
+    check_cache "a_list" Pc_util.Point.compare_x_desc
+      (Blocked_list.read_all pager d.a_list)
+      ~expected:
+        (List.map
+           (fun ((a : Types.desc), _) -> (a.node, min b a.n_pts))
+           covered);
+    check_cache "s_list" Pc_util.Point.compare_y_desc
+      (Blocked_list.read_all pager d.s_list)
+      ~expected:
+        (List.filter_map
+           (fun ((a : Types.desc), went_left) ->
+             if went_left && a.right >= 0 then
+               Some (a.right, min b (get a.right).n_pts)
+             else None)
+           covered);
+    (* the denormalized children summaries *)
+    let child_min c = if c < 0 then max_int else (get c).min_y in
+    if d.left_min_y <> child_min d.left then fail "node %d: stale left_min_y" i;
+    if d.right_min_y <> child_min d.right then fail "node %d: stale right_min_y" i;
+    (* sub-structure: present exactly when levels remain and the region
+       overflows one page; holds exactly this region's points *)
+    (match d.sub with
+    | Some sub ->
+        if s.levels_below = 0 then fail "node %d: sub below the last level" i;
+        if sub.levels_below <> s.levels_below - 1 then
+          fail "node %d: sub skips levels" i;
+        if sub.num_points <> d.n_pts then
+          fail "node %d: sub holds %d points, region has %d" i sub.num_points
+            d.n_pts;
+        let sub_pts = check_structure pager sub in
+        if sub_pts <> List.sort compare (List.map key ys) then
+          fail "node %d: sub-structure points differ from the region's" i
+    | None ->
+        if s.levels_below > 0 && d.n_pts > b then
+          fail "node %d: missing sub-structure" i);
+    if d.left >= 0 then walk d.left ~depth:(depth + 1) ~anc:((d, true) :: anc);
+    if d.right >= 0 then walk d.right ~depth:(depth + 1) ~anc:((d, false) :: anc)
+  in
+  walk 0 ~depth:0 ~anc:[];
+  if !total <> s.num_points then
+    fail "stored %d points, num_points says %d" !total s.num_points;
+  List.sort compare (List.map key !all_pts)
+
+let check_invariants t =
+  match t.structure with
+  | None ->
+      if t.size <> 0 then
+        failwith "Ext_pst.check_invariants: no structure but size > 0"
+  | Some s ->
+      let pts = check_structure t.pager s in
+      if List.length pts <> t.size then
+        failwith "Ext_pst.check_invariants: stored point count <> size"
 let storage_pages t = Pager.pages_in_use t.pager
 let io_stats t = Pager.stats t.pager
 let reset_io_stats t = Pager.reset_stats t.pager

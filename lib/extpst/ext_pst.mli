@@ -67,6 +67,17 @@ val query : t -> xl:int -> yb:int -> Point.t list * Types.query_stats
 (** [query_count t ~xl ~yb] is [query] reporting only the hit count. *)
 val query_count : t -> xl:int -> yb:int -> int
 
+(** [check_invariants t] walks every page of every level and validates
+    the persisted decomposition: heap-on-y and split-on-x nesting along
+    each root path, region capacities (internal regions full), both sort
+    orders over identical point sets with single-page lists shared,
+    denormalized child [min_y] summaries, A/S cache contents against the
+    variant's ancestor window (tagged, first-page-sized, sorted), and
+    that each sub-structure holds exactly its region's points. Raises
+    [Failure] with a description on the first violation. Reads every
+    page — run outside counted sections and with fault plans disarmed. *)
+val check_invariants : t -> unit
+
 (** [storage_pages t] is the number of live pages the structure occupies
     — the space measure of the paper's theorems. *)
 val storage_pages : t -> int

@@ -271,6 +271,100 @@ let query t ~x1 ~x2 ~y1 ~y2 =
 
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
+
+(* Structural invariants, walked page-by-page off the live store. Costs
+   I/O; run outside counted sections and with fault plans disarmed. *)
+let check_invariants t =
+  let fail fmt =
+    Format.kasprintf failwith ("Ext_range.check_invariants: " ^^ fmt)
+  in
+  match t.layout with
+  | None -> if t.size <> 0 then fail "no layout but size=%d" t.size
+  | Some _ ->
+      let b = Pager.page_capacity t.pager in
+      let descs = Hashtbl.create 64 in
+      Array.iter
+        (fun page ->
+          Array.iter
+            (function
+              | Desc d ->
+                  if Hashtbl.mem descs d.node then fail "duplicate node %d" d.node;
+                  Hashtbl.replace descs d.node d
+              | Pt _ -> fail "point cell in a skeletal block")
+            (Pager.read t.pager page))
+        t.block_pages;
+      let get i =
+        match Hashtbl.find_opt descs i with
+        | Some d -> d
+        | None -> fail "missing descriptor for node %d" i
+      in
+      let total = ref 0 in
+      (* Returns the subtree's (y, id) multiset, sorted, so each internal
+         node's y-index can be matched against it. *)
+      let rec walk i =
+        let d = get i in
+        if d.node <> i then fail "node %d stored under id %d" d.node i;
+        if d.xlo > d.xhi then fail "node %d: empty x-range" i;
+        let is_leaf = d.left < 0 in
+        if is_leaf <> (d.right < 0) then fail "node %d: half-leaf" i;
+        if is_leaf then begin
+          if d.y_index <> None then fail "leaf %d carries a y-index" i;
+          let pts =
+            List.map
+              (function
+                | Pt p -> p
+                | Desc _ -> fail "descriptor in leaf %d's point page" i)
+              (Blocked_list.read_all t.pager d.pts_page)
+          in
+          if List.length pts <> d.n_pts then
+            fail "leaf %d: %d points stored, n_pts %d" i (List.length pts)
+              d.n_pts;
+          if d.n_pts = 0 || d.n_pts > b then
+            fail "leaf %d: %d points per leaf (b=%d)" i d.n_pts b;
+          total := !total + d.n_pts;
+          let rec sorted = function
+            | a :: (c :: _ as rest) ->
+                if Point.compare_yx a c > 0 then fail "leaf %d: points unsorted" i;
+                sorted rest
+            | _ -> ()
+          in
+          sorted pts;
+          List.iter
+            (fun (p : Point.t) ->
+              if p.x < d.xlo || p.x > d.xhi then
+                fail "leaf %d: point x=%d outside [%d,%d]" i p.x d.xlo d.xhi)
+            pts;
+          List.sort compare (List.map (fun (p : Point.t) -> (p.y, p.id)) pts)
+        end
+        else begin
+          if Blocked_list.length d.pts_page <> 0 then
+            fail "internal node %d holds a point page" i;
+          let l = get d.left and r = get d.right in
+          if l.xlo <> d.xlo || r.xhi <> d.xhi then
+            fail "node %d: children do not span its x-range" i;
+          if d.mid <> l.xhi then fail "node %d: mid is not the left max x" i;
+          if l.xhi > r.xlo then
+            fail "node %d: children's x-ranges out of order" i;
+          let pts = List.merge compare (walk d.left) (walk d.right) in
+          if List.length pts <> d.n_pts then
+            fail "node %d: n_pts %d <> subtree total %d" i d.n_pts
+              (List.length pts);
+          (match d.y_index with
+          | None -> fail "internal node %d lacks a y-index" i
+          | Some bt ->
+              Pc_btree.Btree.check_invariants bt;
+              let indexed =
+                List.sort compare (Pc_btree.Btree.range bt ~lo:min_int ~hi:max_int)
+              in
+              if indexed <> pts then
+                fail "node %d: y-index disagrees with subtree points" i);
+          pts
+        end
+      in
+      let pts = walk 0 in
+      ignore pts;
+      if !total <> t.size then fail "stored %d points, size says %d" !total t.size
+
 let cost_model _t = Pc_obs.Cost_model.Range2d
 
 let conformance t ~t_out ~measured =

@@ -55,6 +55,17 @@ val query :
   t -> x1:int -> x2:int -> y1:int -> y2:int -> int list * Pc_pagestore.Query_stats.t
 
 val query_count : t -> x1:int -> x2:int -> y1:int -> y2:int -> int
+
+(** [check_invariants t] walks every page and validates the range tree:
+    x-range tiling (children span their parent in order, leaves hold
+    1..B y-sorted points inside their range), point counts up the tree,
+    and every internal node's y-index B+-tree (delegating to
+    {!Pc_btree.Btree.check_invariants}) holding exactly its subtree's
+    [(y, id)] pairs. Raises [Failure] with a description on the first
+    violation. Reads every page — run outside counted sections and with
+    fault plans disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int
 val io_stats : t -> Pc_pagestore.Io_stats.t
 val reset_io_stats : t -> unit

@@ -394,6 +394,129 @@ let mode t = t.mode
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
+(* Structural invariants, walked page-by-page off the live store. Costs
+   I/O; run outside counted sections and with fault plans disarmed. *)
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith ("Ext_seg.check_invariants: " ^^ fmt) in
+  match t.layout with
+  | None -> if t.size <> 0 then fail "no layout but size=%d" t.size
+  | Some layout ->
+      let b = Pager.page_capacity t.pager in
+      let descs = Hashtbl.create 64 in
+      Array.iter
+        (fun page ->
+          Array.iter
+            (function
+              | Desc d ->
+                  if Hashtbl.mem descs d.node then fail "duplicate node %d" d.node;
+                  Hashtbl.replace descs d.node d
+              | Iv _ | Tagged _ -> fail "interval cell in a skeletal block")
+            (Pager.read t.pager page))
+        t.block_pages;
+      let get i =
+        match Hashtbl.find_opt descs i with
+        | Some d -> d
+        | None -> fail "missing descriptor for node %d" i
+      in
+      let ivs_of list = List.map cell_ival (Blocked_list.read_all t.pager list) in
+      let check_sorted what l =
+        let rec go = function
+          | a :: (c :: _ as rest) ->
+              if Ival.compare_lo a c > 0 then fail "%s out of order" what;
+              go rest
+          | _ -> ()
+        in
+        go l
+      in
+      let allocations = ref 0 in
+      let rec walk i ~depth ~parent =
+        let d = get i in
+        if d.node <> i then fail "node %d stored under id %d" d.node i;
+        if d.depth <> depth then
+          fail "node %d: depth %d, expected %d" i d.depth depth;
+        if d.lo >= d.hi then fail "node %d: empty cover [%d,%d)" i d.lo d.hi;
+        let is_leaf = d.left < 0 in
+        if is_leaf <> (d.right < 0) then fail "node %d: half-leaf" i;
+        let is_block_root =
+          match parent with
+          | None -> true
+          | Some p -> not (Skeletal_layout.same_block layout i p)
+        in
+        if d.is_hop <> (is_leaf || is_block_root) then
+          fail "node %d: is_hop mis-marked" i;
+        let cl = ivs_of d.cl in
+        if List.length cl <> d.cl_len then
+          fail "node %d: cover-list length %d <> cl_len %d" i (List.length cl)
+            d.cl_len;
+        allocations := !allocations + d.cl_len;
+        check_sorted "cover-list" cl;
+        (* every stored interval covers this node's range entirely *)
+        List.iter
+          (fun iv ->
+            if not (Ival.lo iv <= d.lo && d.hi <= Ival.hi iv + 1) then
+              fail "node %d: cover-list interval does not cover [%d,%d)" i d.lo
+                d.hi)
+          cl;
+        (* standard allocation: the parent is not covered too *)
+        (match parent with
+        | None -> ()
+        | Some p ->
+            let pd = get p in
+            List.iter
+              (fun iv ->
+                if Ival.lo iv <= pd.lo && pd.hi <= Ival.hi iv + 1 then
+                  fail "node %d: interval also covers parent %d (not maximal)" i
+                    p)
+              cl);
+        let cache = Blocked_list.read_all t.pager d.cache in
+        if t.mode = Naive && cache <> [] then
+          fail "node %d: cache non-empty in naive mode" i;
+        if (not d.is_hop) && cache <> [] then fail "node %d: cache on non-hop" i;
+        let per_src = Hashtbl.create 4 in
+        List.iter
+          (function
+            | Tagged { iv = _; src; src_total } ->
+                let u = get src in
+                if u.depth > depth then
+                  fail "node %d: cache source %d below it" i src;
+                if src_total <> min b u.cl_len then
+                  fail "node %d: cache source %d total %d <> min(b,%d)" i src
+                    src_total u.cl_len;
+                Hashtbl.replace per_src src
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt per_src src))
+            | Iv _ | Desc _ -> fail "node %d: untagged cache cell" i)
+          cache;
+        Hashtbl.iter
+          (fun src n ->
+            if n <> min b (get src).cl_len then
+              fail "node %d: cache holds %d entries of source %d" i n src)
+          per_src;
+        let locals = ivs_of d.locals in
+        if is_leaf then begin
+          check_sorted "locals" locals;
+          List.iter
+            (fun iv ->
+              (* locals overlap the leaf's range without covering it *)
+              if not (Ival.lo iv < d.hi && d.lo <= Ival.hi iv) then
+                fail "leaf %d: local interval outside its range" i;
+              if Ival.lo iv <= d.lo && d.hi <= Ival.hi iv + 1 then
+                fail "leaf %d: local interval covers the whole leaf" i)
+            locals
+        end
+        else begin
+          if locals <> [] then fail "internal node %d holds locals" i;
+          let l = get d.left and r = get d.right in
+          if l.lo <> d.lo || r.hi <> d.hi || l.hi <> r.lo || d.mid <> r.lo then
+            fail "node %d: children do not tile its cover" i;
+          walk d.left ~depth:(depth + 1) ~parent:(Some i);
+          walk d.right ~depth:(depth + 1) ~parent:(Some i)
+        end
+      in
+      walk 0 ~depth:0 ~parent:None;
+      if !allocations <> t.total_allocations then
+        fail "stored %d cover-list entries, total_allocations says %d"
+          !allocations t.total_allocations
+
 let cost_model t =
   Pc_obs.Cost_model.Segtree
     (match t.mode with

@@ -62,6 +62,16 @@ val height : t -> int
 val stab : t -> int -> Ival.t list * Pc_pagestore.Query_stats.t
 
 val stab_count : t -> int -> int
+
+(** [check_invariants t] walks every page and validates the structure:
+    cover nesting (children tile their parent's half-open range),
+    segment-tree allocation (each cover-list interval covers its node but
+    not the parent; leaf locals overlap without covering), sort orders,
+    hop marking, cache contents (tagged, ancestor-sourced,
+    first-page-sized) and the allocation total. Raises [Failure] on the
+    first violation. Reads every page — run with fault plans disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int
 val io_stats : t -> Pc_pagestore.Io_stats.t
 val reset_io_stats : t -> unit

@@ -93,8 +93,12 @@ let percentile t p =
   if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
   if t.count = 0 then 0
   else begin
+    (* The epsilon guards against binary-float overshoot: p/100*count can
+       land a hair above an exact integer (55/100*20 = 11.000000000000002)
+       and ceil would then claim one rank too many, misreporting exact-path
+       percentiles by a whole sample. *)
     let rank =
-      max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.count)))
+      max 1 (int_of_float (ceil ((p /. 100. *. float_of_int t.count) -. 1e-9)))
     in
     let acc = ref 0 and result = ref t.max_v in
     (try

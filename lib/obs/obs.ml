@@ -17,6 +17,7 @@ type kind =
   | Evict
   | Write_back
   | Pin
+  | Fault
   | Span_begin
   | Span_end
 
@@ -38,6 +39,7 @@ let kind_name = function
   | Evict -> "evict"
   | Write_back -> "write_back"
   | Pin -> "pin"
+  | Fault -> "fault"
   | Span_begin -> "span_begin"
   | Span_end -> "span_end"
 
@@ -50,6 +52,7 @@ let kind_of_name = function
   | "evict" -> Some Evict
   | "write_back" -> Some Write_back
   | "pin" -> Some Pin
+  | "fault" -> Some Fault
   | "span_begin" -> Some Span_begin
   | "span_end" -> Some Span_end
   | _ -> None
@@ -392,7 +395,7 @@ let replay_channel ic =
                 t_write_backs = acc.t_write_backs + 1;
                 t_writes = acc.t_writes + 1;
               }
-        | Pin -> go (lineno + 1) acc
+        | Pin | Fault -> go (lineno + 1) acc
         | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
         | Span_end -> go (lineno + 1) acc)
   in
@@ -508,7 +511,7 @@ module Profile = struct
                   Histogram.add a.a_histo top.os_ios)
           | Read | Write | Write_back ->
               List.iter (fun os -> os.os_ios <- os.os_ios + 1) !stack
-          | Alloc | Free | Cache_hit | Evict | Pin -> ());
+          | Alloc | Free | Cache_hit | Evict | Pin | Fault -> ());
           go (lineno + 1)
     in
     go 1;

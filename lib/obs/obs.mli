@@ -28,6 +28,10 @@ type kind =
   | Evict  (** frame pushed out of the buffer pool *)
   | Write_back  (** deferred write charged at eviction or flush *)
   | Pin  (** frame pinned resident *)
+  | Fault
+      (** a device error injected by a {!Pc_pagestore.Fault_plan} — one
+          event per failed transfer attempt, tagged with the page, so a
+          trace shows exactly where the fault landed *)
   | Span_begin
   | Span_end
 

@@ -1,6 +1,7 @@
 open Pc_bufferpool
 
 exception Io_fault of { page : int; op : string }
+exception Torn_write of { page : int; kept : int; len : int }
 exception Page_overflow of { page : int; len : int; capacity : int }
 exception Frame_mutated of { page : int }
 
@@ -22,10 +23,23 @@ type 'a t = {
   client : Buffer_pool.client;
   stats : Io_stats.t;
   mutable fault : (op:string -> page:int -> bool) option;
+  mutable plan : Fault_plan.t option;
   obs : Pc_obs.Obs.t option;
   obs_src : Pc_obs.Obs.source option;
   name : string; (* the [obs_name]; labels this pager's exported metrics *)
 }
+
+(* The ambient plan: structures create pagers internally (often two per
+   structure, and again on every rebuild), so the check harness cannot
+   hand a plan to each [create] call. Instead it installs one plan here
+   and every pager created while it is set inherits it — all of them
+   sharing the plan's single access counter, which is what makes "the
+   Nth transfer anywhere in the structure" expressible. *)
+let ambient_plan : Fault_plan.t option ref = ref None
+
+let set_ambient_fault_plan p = ambient_plan := Some p
+let clear_ambient_fault_plan () = ambient_plan := None
+let ambient_fault_plan () = !ambient_plan
 
 let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
     () =
@@ -49,6 +63,7 @@ let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
     client = Buffer_pool.register ?obs:obs_src pool;
     stats = Io_stats.create ();
     fault = None;
+    plan = !ambient_plan;
     obs;
     obs_src;
     name = obs_name;
@@ -71,6 +86,59 @@ let check_fault t ~op ~page =
   match t.fault with
   | Some f when f ~op ~page -> raise (Io_fault { page; op })
   | _ -> ()
+
+(* --- fault-plan guards -------------------------------------------- *)
+(* One guard call per *device transfer* (read miss, immediate write
+   charge, alloc, flush write-back). Cache hits and deferred dirtying
+   never reach the device and are never guarded. *)
+
+let fault_ev t ~page = ev t Pc_obs.Obs.Fault ~page
+
+(* A guarded device read. Transient bursts charge each failed attempt
+   as a real read I/O — a retried transfer is still a transfer — so a
+   read that succeeds after [f] failures costs [f + 1] reads. *)
+let guard_read t ~op ~page =
+  match t.plan with
+  | None -> ()
+  | Some p -> (
+      match Fault_plan.decide p ~write:false with
+      | Fault_plan.Proceed | Fault_plan.Tear -> ()
+      | Fault_plan.Deny ->
+          fault_ev t ~page;
+          raise (Io_fault { page; op })
+      | Fault_plan.Transient_burst { fails; retries } ->
+          let failed = min fails (retries + 1) in
+          Fault_plan.note p failed;
+          for _ = 1 to failed do
+            t.stats.reads <- t.stats.reads + 1;
+            fault_ev t ~page
+          done;
+          if fails > retries then raise (Io_fault { page; op }))
+
+(* A guarded device write of [records]. A torn write transfers only the
+   first half of the page: the prefix replaces the slot (later reads see
+   the torn page), the stale cached frame is dropped, the partial
+   transfer is still charged as one write, and the caller gets the typed
+   error. *)
+let guard_write t ~op ~page records =
+  match t.plan with
+  | None -> ()
+  | Some p -> (
+      match Fault_plan.decide p ~write:true with
+      | Fault_plan.Proceed | Fault_plan.Transient_burst _ -> ()
+      | Fault_plan.Deny ->
+          fault_ev t ~page;
+          raise (Io_fault { page; op })
+      | Fault_plan.Tear ->
+          let len = Array.length records in
+          let kept = len / 2 in
+          t.slots.(page) <- Some (Live (Array.sub records 0 kept));
+          Hashtbl.remove t.frames page;
+          Buffer_pool.forget t.client page;
+          t.stats.writes <- t.stats.writes + 1;
+          ev t Pc_obs.Obs.Write ~page;
+          fault_ev t ~page;
+          raise (Torn_write { page; kept; len }))
 
 let ensure_capacity t id =
   let len = Array.length t.slots in
@@ -129,10 +197,11 @@ let cache_insert ?hint t id data =
    mode it only dirties the resident frame and is charged at eviction or
    flush. A write that cannot be buffered (capacity-0 pool) is always
    charged immediately. *)
-let charge_write t id ~buffered =
+let charge_write t id ~op ~records ~buffered =
   if buffered && Buffer_pool.write_back_mode t.pool then
     Buffer_pool.mark_dirty t.client id
   else begin
+    guard_write t ~op ~page:id records;
     t.stats.writes <- t.stats.writes + 1;
     ev t Pc_obs.Obs.Write ~page:id
   end
@@ -149,7 +218,7 @@ let alloc t records =
   t.stats.allocs <- t.stats.allocs + 1;
   ev t Pc_obs.Obs.Alloc ~page:id;
   cache_insert t id records;
-  charge_write t id ~buffered:(Hashtbl.mem t.frames id);
+  charge_write t id ~op:"alloc" ~records ~buffered:(Hashtbl.mem t.frames id);
   id
 
 let alloc_empty t = alloc t [||]
@@ -174,6 +243,7 @@ let read t id =
       fr.data
   | None ->
       let records = get_slot t id "read" in
+      guard_read t ~op:"read" ~page:id;
       t.stats.reads <- t.stats.reads + 1;
       ev t Pc_obs.Obs.Read ~page:id;
       cache_insert t id records;
@@ -192,7 +262,7 @@ let write t id records =
       refresh_shadow t fr;
       Buffer_pool.touch t.client id
   | None -> cache_insert t id records);
-  charge_write t id ~buffered:(Hashtbl.mem t.frames id)
+  charge_write t id ~op:"write" ~records ~buffered:(Hashtbl.mem t.frames id)
 
 let free t id =
   sync t;
@@ -223,6 +293,9 @@ let with_counted t f =
 
 let set_fault t f = t.fault <- Some f
 let clear_fault t = t.fault <- None
+let set_fault_plan t p = t.plan <- Some p
+let clear_fault_plan t = t.plan <- None
+let fault_plan t = t.plan
 
 let drop_cache t =
   sync t;
@@ -231,6 +304,23 @@ let drop_cache t =
 
 let flush t =
   sync t;
+  (* Veto write-backs page by page *before* the pool clears dirty bits:
+     if the plan denies one, every frame (pinned ones included) is still
+     resident and dirty, so a caller that handles the fault can retry
+     the flush. A tear mid-flush degrades to a plain denial — the slot
+     already holds the full data, so there is nothing to tear. The page
+     order matches [Buffer_pool.flush_client]. *)
+  (match t.plan with
+  | Some p when Fault_plan.armed p ->
+      List.iter
+        (fun page ->
+          match Fault_plan.decide p ~write:true with
+          | Fault_plan.Proceed | Fault_plan.Transient_burst _ -> ()
+          | Fault_plan.Deny | Fault_plan.Tear ->
+              fault_ev t ~page;
+              raise (Io_fault { page; op = "flush" }))
+        (Buffer_pool.dirty_pages t.client)
+  | _ -> ());
   let n = Buffer_pool.flush_client t.client in
   t.stats.writes <- t.stats.writes + n;
   t.stats.write_backs <- t.stats.write_backs + n
@@ -257,6 +347,7 @@ let advise_willneed t ids =
       (fun id ->
         if not (Hashtbl.mem t.frames id) then begin
           let records = get_slot t id "advise_willneed" in
+          guard_read t ~op:"advise_willneed" ~page:id;
           t.stats.reads <- t.stats.reads + 1;
           ev t Pc_obs.Obs.Read ~page:id;
           cache_insert ~hint:`Hot t id records

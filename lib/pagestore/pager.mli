@@ -24,7 +24,14 @@ open Pc_bufferpool
 type 'a t
 
 exception Io_fault of { page : int; op : string }
-(** Raised when fault injection (see {!set_fault}) rejects an access. *)
+(** Raised when fault injection (see {!set_fault} / {!set_fault_plan})
+    rejects an access. *)
+
+exception Torn_write of { page : int; kept : int; len : int }
+(** Raised by a {!Fault_plan.Torn_write} plan: the device transferred
+    only the first [kept] of [len] records before failing. The torn
+    prefix {e is} what later reads of [page] will see — exactly the
+    partial-write hazard a real disk presents. *)
 
 exception Page_overflow of { page : int; len : int; capacity : int }
 (** Raised when a page is written with more records than it can hold. *)
@@ -117,6 +124,32 @@ val with_counted : 'a t -> (unit -> 'b) -> 'b * Io_stats.t
 val set_fault : 'a t -> (op:string -> page:int -> bool) -> unit
 
 val clear_fault : 'a t -> unit
+
+(** {1 Fault plans}
+
+    The scripted-device layer used by the differential model-checking
+    harness ({!Pc_check} and DESIGN.md §11). Unlike the {!set_fault}
+    predicate — which needs the caller to know page ids in advance — a
+    {!Fault_plan} counts {e device transfers} (read misses, immediate
+    write charges, allocs, flush write-backs; cache hits and deferred
+    dirtying are free and never faulted) and injects at the Nth one.
+    Every injected error also emits a {!Pc_obs.Obs.Fault} trace event. *)
+
+(** [set_fault_plan t p] installs [p] on this pager; several pagers may
+    share one plan (and then share its transfer counter). *)
+val set_fault_plan : 'a t -> Fault_plan.t -> unit
+
+val clear_fault_plan : 'a t -> unit
+val fault_plan : 'a t -> Fault_plan.t option
+
+(** [set_ambient_fault_plan p] makes every {e subsequently created} pager
+    inherit [p], covering structures that create pagers internally
+    (including on rebuild). Existing pagers are unaffected. The harness
+    brackets runs with this; remember {!clear_ambient_fault_plan}. *)
+val set_ambient_fault_plan : Fault_plan.t -> unit
+
+val clear_ambient_fault_plan : unit -> unit
+val ambient_fault_plan : unit -> Fault_plan.t option
 
 (** [drop_cache t] drops this pager's frames from the buffer pool (e.g.
     between benchmark repetitions) without touching the stats. Dirty

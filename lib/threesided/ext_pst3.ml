@@ -518,6 +518,167 @@ let obs t = Pager.obs t.pager
 let size t = t.size
 let page_size t = Pager.page_capacity t.pager
 
+(* Structural invariants, walked page-by-page off the live store. Costs
+   I/O; run outside counted sections and with fault plans disarmed. *)
+let check_invariants t =
+  let fail fmt =
+    Format.kasprintf failwith ("Ext_pst3.check_invariants: " ^^ fmt)
+  in
+  match t.layout with
+  | None -> if t.size <> 0 then fail "no layout but size=%d" t.size
+  | Some _ ->
+      let b = Pager.page_capacity t.pager in
+      let descs = Hashtbl.create 64 in
+      Array.iter
+        (fun page ->
+          Array.iter
+            (function
+              | Desc d ->
+                  if Hashtbl.mem descs d.node then fail "duplicate node %d" d.node;
+                  Hashtbl.replace descs d.node d
+              | Pt _ | Src _ -> fail "point cell in a skeletal block")
+            (Pager.read t.pager page))
+        t.block_pages;
+      let get i =
+        match Hashtbl.find_opt descs i with
+        | Some d -> d
+        | None -> fail "missing descriptor for node %d" i
+      in
+      let pts_of list = List.map cell_point (Blocked_list.read_all t.pager list) in
+      let check_sorted what cmp l =
+        let rec go = function
+          | a :: (c :: _ as rest) ->
+              if cmp a c > 0 then fail "%s out of order" what;
+              go rest
+          | _ -> ()
+        in
+        go l
+      in
+      let key (p : Point.t) = (p.x, p.y, p.id) in
+      let total = ref 0 in
+      let rec walk i ~depth ~anc =
+        let d = get i in
+        if d.node <> i then fail "node %d stored under id %d" d.node i;
+        if d.depth <> depth then
+          fail "node %d: depth %d, expected %d" i d.depth depth;
+        let ys = pts_of d.y_list in
+        if List.length ys <> d.n_pts then
+          fail "node %d: y_list length %d <> n_pts %d" i (List.length ys) d.n_pts;
+        if d.n_pts > b then fail "node %d: region over capacity" i;
+        if (d.left >= 0 || d.right >= 0) && d.n_pts <> b then
+          fail "internal region %d not full" i;
+        total := !total + d.n_pts;
+        check_sorted "y_list" Point.compare_y_desc ys;
+        (* denormalized extremes *)
+        let fold f init sel = List.fold_left (fun acc p -> f acc (sel p)) init ys in
+        let min_y = fold min max_int (fun (p : Point.t) -> p.y) in
+        let min_x = fold min max_int (fun (p : Point.t) -> p.x) in
+        let max_x = fold max min_int (fun (p : Point.t) -> p.x) in
+        if d.min_y <> min_y then fail "node %d: stale min_y" i;
+        if d.min_x <> min_x then fail "node %d: stale min_x" i;
+        if d.max_x <> max_x then fail "node %d: stale max_x" i;
+        (* the three sort orders hold the same points; with capacity B
+           every region fits one page, which all three views share *)
+        let xs = pts_of d.x_list and xa = pts_of d.x_asc_list in
+        if List.sort compare (List.map key xs) <> List.sort compare (List.map key ys)
+        then fail "node %d: x_list holds different points" i;
+        if List.sort compare (List.map key xa) <> List.sort compare (List.map key ys)
+        then fail "node %d: x_asc_list holds different points" i;
+        if d.n_pts <= b then begin
+          if not (d.x_list == d.y_list) then
+            fail "node %d: single-page x_list not shared" i;
+          if not (d.x_asc_list == d.y_list) then
+            fail "node %d: single-page x_asc_list not shared" i
+        end
+        else begin
+          check_sorted "x_list" Point.compare_x_desc xs;
+          check_sorted "x_asc_list" Point.compare_xy xa
+        end;
+        (* nesting along the ancestor path *)
+        List.iter
+          (fun (p : Point.t) ->
+            List.iter
+              (fun ((a : desc), went_left) ->
+                if p.y > a.min_y then
+                  fail "node %d: heap violation under %d" i a.node;
+                if went_left then begin
+                  if p.x > a.split then
+                    fail "node %d: left point beyond split of %d" i a.node
+                end
+                else if p.x < a.split then
+                  fail "node %d: right point before split of %d" i a.node)
+              anc)
+          ys;
+        (* caches over the segment window *)
+        let lo, hi =
+          if t.mode = Baseline then (0, 0)
+          else if depth = 0 then (0, 0)
+          else (((depth - 1) / t.seg_len) * t.seg_len, depth)
+        in
+        let window =
+          List.filter (fun ((a : desc), _) -> a.depth >= lo && a.depth < hi) anc
+        in
+        let check_cache what cmp cells ~expected =
+          let per_src = Hashtbl.create 4 in
+          List.iter
+            (function
+              | Src { p = _; src; src_total } ->
+                  if not (List.mem_assoc src expected) then
+                    fail "node %d: %s source %d outside the window" i what src;
+                  if src_total <> List.assoc src expected then
+                    fail "node %d: %s source %d total %d, expected %d" i what
+                      src src_total (List.assoc src expected);
+                  Hashtbl.replace per_src src
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt per_src src))
+              | Pt _ | Desc _ -> fail "node %d: untagged %s cell" i what)
+            cells;
+          List.iter
+            (fun (src, k) ->
+              if
+                k > 0
+                && Option.value ~default:0 (Hashtbl.find_opt per_src src) <> k
+              then fail "node %d: %s misses entries of source %d" i what src)
+            expected;
+          check_sorted what cmp (List.map cell_point cells)
+        in
+        let anc_expected =
+          List.map (fun ((a : desc), _) -> (a.node, min b a.n_pts)) window
+        in
+        check_cache "a_list" Point.compare_x_desc
+          (Blocked_list.read_all t.pager d.a_list)
+          ~expected:anc_expected;
+        check_cache "a_asc_list" Point.compare_xy
+          (Blocked_list.read_all t.pager d.a_asc_list)
+          ~expected:anc_expected;
+        let sib_expected pick =
+          List.filter_map
+            (fun ((a : desc), went_left) ->
+              match pick went_left a with
+              | Some s when s >= 0 -> Some (s, min b (get s).n_pts)
+              | _ -> None)
+            window
+        in
+        check_cache "sr_list" Point.compare_y_desc
+          (Blocked_list.read_all t.pager d.sr_list)
+          ~expected:
+            (sib_expected (fun went_left (a : desc) ->
+                 if went_left then Some a.right else None));
+        check_cache "sl_list" Point.compare_y_desc
+          (Blocked_list.read_all t.pager d.sl_list)
+          ~expected:
+            (sib_expected (fun went_left (a : desc) ->
+                 if went_left then None else Some a.left));
+        let child_min c = if c < 0 then max_int else (get c).min_y in
+        if d.left_min_y <> child_min d.left then fail "node %d: stale left_min_y" i;
+        if d.right_min_y <> child_min d.right then
+          fail "node %d: stale right_min_y" i;
+        if d.left >= 0 then walk d.left ~depth:(depth + 1) ~anc:((d, true) :: anc);
+        if d.right >= 0 then
+          walk d.right ~depth:(depth + 1) ~anc:((d, false) :: anc)
+      in
+      walk 0 ~depth:0 ~anc:[];
+      if !total <> t.size then fail "stored %d points, size says %d" !total t.size
+
 let cost_model t =
   Pc_obs.Cost_model.Pst3
     (match t.mode with

@@ -67,6 +67,17 @@ val query :
   t -> xl:int -> xr:int -> yb:int -> Point.t list * Pc_pagestore.Query_stats.t
 
 val query_count : t -> xl:int -> xr:int -> yb:int -> int
+
+(** [check_invariants t] walks every page and validates the persisted
+    decomposition: heap-on-y and split-on-x nesting, full internal
+    regions, the three sort orders over identical point sets (sharing
+    one page per region), denormalized [min_y]/[min_x]/[max_x] and child
+    summaries, and all four caches against the segment window (tagged,
+    first-page-sized, sorted). Raises [Failure] with a description on
+    the first violation. Reads every page — run outside counted sections
+    and with fault plans disarmed. *)
+val check_invariants : t -> unit
+
 val storage_pages : t -> int
 val io_stats : t -> Pc_pagestore.Io_stats.t
 val reset_io_stats : t -> unit

@@ -177,6 +177,78 @@ let test_pin_overcommit () =
   check_bool "overcommit counted" true ((Buffer_pool.stats pool).overcommits >= 1);
   Pager.unpin p 0
 
+(* {1 Generative pin/unpin lifecycle} *)
+
+(* Random admit/touch/pin/unpin traffic from two clients against a small
+   pool, re-checking after every step that no pinned frame was evicted —
+   under every replacement policy. Pins deliberately exceed the budget at
+   times so overcommit paths are exercised too. *)
+let test_pin_lifecycle_generative () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let rng = Rng.create seed in
+          let pool = Buffer_pool.create ~policy ~capacity:6 () in
+          let clients =
+            [| Buffer_pool.register pool; Buffer_pool.register pool |]
+          in
+          let pinned = Hashtbl.create 16 in
+          let demand c page =
+            if Buffer_pool.resident c page then Buffer_pool.touch c page
+            else Buffer_pool.admit c page
+          in
+          for step = 1 to 500 do
+            let ci = Rng.int rng 2 in
+            let c = clients.(ci) in
+            let page = Rng.int rng 20 in
+            (match Rng.int rng 10 with
+            | 0 | 1 ->
+                if
+                  Hashtbl.length pinned < 8
+                  && not (Hashtbl.mem pinned (ci, page))
+                then begin
+                  demand c page;
+                  Buffer_pool.pin c page;
+                  Hashtbl.replace pinned (ci, page) ()
+                end
+            | 2 -> (
+                match Hashtbl.fold (fun k () acc -> k :: acc) pinned [] with
+                | [] -> ()
+                | keys ->
+                    let n = List.length keys in
+                    let ci', page' = List.nth keys (Rng.int rng n) in
+                    Buffer_pool.unpin clients.(ci') page';
+                    Hashtbl.remove pinned (ci', page'))
+            | _ -> demand c page);
+            Hashtbl.iter
+              (fun (ci', page') () ->
+                let c' = clients.(ci') in
+                if not (Buffer_pool.resident c' page') then
+                  Alcotest.failf
+                    "%s seed %d step %d: pinned page %d of client %d evicted"
+                    (Replacement.name policy) seed step page' ci';
+                if not (Buffer_pool.pinned c' page') then
+                  Alcotest.failf
+                    "%s seed %d step %d: pin flag lost on page %d"
+                    (Replacement.name policy) seed step page')
+              pinned
+          done;
+          (* unpin everything: a flood may now evict freely and occupancy
+             settles back inside the budget *)
+          Hashtbl.iter
+            (fun (ci', page') () -> Buffer_pool.unpin clients.(ci') page')
+            pinned;
+          for page = 100 to 120 do
+            demand clients.(0) page
+          done;
+          check_bool
+            (Replacement.name policy ^ ": occupancy within budget after unpin")
+            true
+            (Buffer_pool.occupancy pool <= Buffer_pool.capacity pool))
+        [ 101; 202; 303 ])
+    Replacement.all
+
 (* {1 Write-back mode} *)
 
 let test_write_back_deferred () =
@@ -325,6 +397,8 @@ let suite =
     Alcotest.test_case "policy of_string" `Quick test_policy_of_string;
     Alcotest.test_case "pin blocks eviction" `Quick test_pin_blocks_eviction;
     Alcotest.test_case "pin overcommit" `Quick test_pin_overcommit;
+    Alcotest.test_case "pin lifecycle generative (all policies)" `Quick
+      test_pin_lifecycle_generative;
     Alcotest.test_case "write-back deferred" `Quick test_write_back_deferred;
     Alcotest.test_case "write-back on eviction" `Quick
       test_write_back_on_eviction;

@@ -19,4 +19,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("obs", Test_obs.suite);
       ("costmodel", Test_costmodel.suite);
+      ("check", Test_check.suite);
     ]

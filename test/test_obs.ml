@@ -321,11 +321,14 @@ let test_with_counted_nesting () =
 (* ----- satellite: percentile contract ----- *)
 
 (* Exact nearest-rank reference on a sorted array: the smallest recorded
-   value with at least p% of recordings <= it. *)
-let exact_percentile values p =
+   value with at least p% of recordings <= it. Integer arithmetic —
+   rank = ceil(p*n/100) — so the reference cannot itself suffer the
+   binary-float overshoot the histogram guards against (0.56 *. 175. =
+   98.00000000000001 would claim rank 99). *)
+let exact_percentile values p_int =
   let sorted = List.sort compare values in
   let n = List.length sorted in
-  let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+  let rank = max 1 (((p_int * n) + 99) / 100) in
   List.nth sorted (rank - 1)
 
 let test_percentile_empty () =
@@ -335,6 +338,26 @@ let test_percentile_empty () =
   check_int "empty p100" 0 (Histogram.percentile h 100.);
   Alcotest.check_raises "p out of range" (Invalid_argument "Histogram.percentile")
     (fun () -> ignore (Histogram.percentile h 101.))
+
+(* On the exact path (all values < 64) every integer percentile must
+   equal the nearest-rank answer exactly. The sample sizes include the
+   two known float-overshoot traps: 0.55 *. 20. = 11.000000000000002 and
+   0.56 *. 175. = 98.00000000000001 would each misreport by one whole
+   sample without the epsilon guard in Histogram.percentile. *)
+let test_percentile_every_integer () =
+  List.iter
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let values = List.init n (fun _ -> Rng.int rng 64) in
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) values;
+      for p = 0 to 100 do
+        check_int
+          (Printf.sprintf "n=%d p=%d" n p)
+          (exact_percentile values p)
+          (Histogram.percentile h (float_of_int p))
+      done)
+    [ (1, 1); (2, 2); (3, 3); (4, 7); (5, 20); (6, 100); (7, 175); (8, 200) ]
 
 (* The documented accuracy contract: exact below 64, within one octave
    sub-bucket (<= 12.5% relative error) above, never below the exact
@@ -351,7 +374,7 @@ let prop_percentile_reference =
       let h = Histogram.create () in
       List.iter (Histogram.add h) values;
       let got = Histogram.percentile h p in
-      let expect = exact_percentile values p in
+      let expect = exact_percentile values p_int in
       if expect < 64 then got = expect
       else
         got >= expect
@@ -436,6 +459,8 @@ let suite =
     Alcotest.test_case "with_counted nesting inclusive" `Quick
       test_with_counted_nesting;
     Alcotest.test_case "percentile empty returns 0" `Quick test_percentile_empty;
+    Alcotest.test_case "percentile exact at every integer p" `Quick
+      test_percentile_every_integer;
     QCheck_alcotest.to_alcotest prop_percentile_reference;
     Alcotest.test_case "profile golden table" `Quick test_profile_golden;
     Alcotest.test_case "profile rejects garbage" `Quick
