@@ -217,6 +217,87 @@ let r9_dynamic () =
   in
   [ cell ~experiment:"R9" ~structure:(Dynamic_pst.cost_model t) ~n ~b verdicts ]
 
+(* D1: the durability tax. Journaled twin vs plain twin over the same
+   update and query streams: the journal charges each dirtied page twice
+   (journal record + in-place apply; the commit record piggybacks on the
+   last journal write), so insert writes are bounded by 2x the plain
+   run's (+1 when a checkpoint's superblock write lands), and the query
+   path pays nothing at all — reads must be byte-identical. Tracked here
+   so BENCH_regress.json catches any drift in the write amplification or
+   a read sneaking onto the query path. *)
+let d1_durability () =
+  let n = 20000 and b = 64 and k = 40 in
+  let entries = List.init n (fun i -> (i * 7, i)) in
+  let plain = Btree.bulk_load_in ~b entries in
+  let dur =
+    Btree.bulk_load_in ~durability:(Pc_pagestore.Wal.create ()) ~b entries
+  in
+  let mk ~structure ~theorem samples ~worst ~within =
+    let sorted = List.sort compare samples in
+    let len = List.length samples in
+    let nth p = List.nth sorted (min (len - 1) (p * len / 100)) in
+    {
+      Bench_gate.experiment = "D1";
+      structure;
+      theorem;
+      n;
+      b;
+      queries = len;
+      mean_ios =
+        float_of_int (List.fold_left ( + ) 0 samples) /. float_of_int len;
+      p50_ios = nth 50;
+      p99_ios = nth 99;
+      max_ios = List.fold_left max 0 samples;
+      worst_ratio = worst;
+      within;
+    }
+  in
+  let rng = Rng.create (seed + 5) in
+  (* update path: per-insert writes, journaled vs plain *)
+  let worst = ref 0. and ok = ref true in
+  let write_samples =
+    List.init k (fun i ->
+        let key = (n * 7) + (i * 11) and value = Rng.int rng universe in
+        Pager.reset_stats (Btree.pager plain);
+        Pager.reset_stats (Btree.pager dur);
+        Btree.insert plain ~key ~value;
+        Btree.insert dur ~key ~value;
+        let pw = (Pager.stats (Btree.pager plain)).Io_stats.writes in
+        let dw = (Pager.stats (Btree.pager dur)).Io_stats.writes in
+        worst := max !worst (float_of_int dw /. float_of_int (max 1 (2 * pw)));
+        if dw > (2 * pw) + 1 then ok := false;
+        dw)
+  in
+  let amp =
+    mk ~structure:"btree_journal" ~theorem:"<=2x writes" write_samples
+      ~worst:!worst ~within:!ok
+  in
+  (* query path: reads must be byte-identical, writes zero *)
+  let qworst = ref 0. and qok = ref true in
+  let read_samples =
+    List.init k (fun i ->
+        let width = [| 10; 100; 1000 |].(i mod 3) in
+        let lo = Rng.int rng (n * 7) in
+        Pager.reset_stats (Btree.pager plain);
+        Pager.reset_stats (Btree.pager dur);
+        ignore (Btree.range plain ~lo ~hi:(lo + width));
+        ignore (Btree.range dur ~lo ~hi:(lo + width));
+        let ps = Pager.stats (Btree.pager plain)
+        and ds = Pager.stats (Btree.pager dur) in
+        qworst :=
+          max !qworst
+            (float_of_int ds.Io_stats.reads
+            /. float_of_int (max 1 ps.Io_stats.reads));
+        if ds.Io_stats.reads <> ps.Io_stats.reads || ds.Io_stats.writes <> 0
+        then qok := false;
+        ds.Io_stats.reads)
+  in
+  let qreads =
+    mk ~structure:"btree_journal_q" ~theorem:"0 extra reads" read_samples
+      ~worst:!qworst ~within:!qok
+  in
+  [ amp; qreads ]
+
 let run_all () =
   List.concat
     [
@@ -229,6 +310,7 @@ let run_all () =
       r7_stabbing ();
       r8_class_index ();
       r9_dynamic ();
+      d1_durability ();
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -25,6 +25,7 @@ let () =
   let ops = ref 400 in
   let b = ref 8 in
   let out = ref "_repros" in
+  let crash = ref false in
   let spec =
     [
       ( "--budget",
@@ -34,17 +35,63 @@ let () =
       ("--ops", Arg.Set_int ops, "N  operations per workload (default 400)");
       ("--b", Arg.Set_int b, "B  page size (default 8)");
       ("--out", Arg.Set_string out, "DIR  where to write .repro files");
+      ( "--crash",
+        Arg.Set crash,
+        "  crash-point sweep only: power-fail at every I/O and verify \
+         recovery" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "stress [--budget 30s] [--seeds 32] [--ops 400] [--b 8] [--out DIR]";
+    "stress [--budget 30s] [--seeds 32] [--ops 400] [--b 8] [--out DIR] \
+     [--crash]";
   let deadline = Unix.gettimeofday () +. !budget in
   let failures = ref 0 in
   let runs = ref 0 in
   let ensure_out () =
     try Unix.mkdir !out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   in
+  let out_of_time () = Unix.gettimeofday () > deadline in
+  if !crash then begin
+    (* Crash-point sweep: power-fail at every recorded I/O of each
+       workload, recover from the disk image alone, verify against the
+       committed prefix. Workloads are kept short — each one costs
+       O(crash points) full recoveries. *)
+    let crash_ops = min !ops 24 in
+    (try
+       for seed = 0 to !seeds - 1 do
+         let rng = Pc_util.Rng.create seed in
+         List.iter
+           (fun target ->
+             if out_of_time () then raise Exit;
+             let sub = Pc_util.Rng.split rng in
+             let workload = Dsl.generate sub ~n:crash_ops in
+             incr runs;
+             match Crash.check ~b:!b target ~ops:workload with
+             | Ok _ -> ()
+             | Error (rep, small) ->
+                 incr failures;
+                 Format.printf "FAIL %a@." Crash.pp_report rep;
+                 ensure_out ();
+                 let path =
+                   Filename.concat !out
+                     (Printf.sprintf "%s-seed%d-crash.repro"
+                        (Subject.name target) seed)
+                 in
+                 Repro.save
+                   { target; seed; b = !b; fault = None; crash = true;
+                     ops = small }
+                   path;
+                 Format.printf "  shrunk %d -> %d ops, wrote %s@."
+                   (Array.length workload) (Array.length small) path)
+           Subject.all
+       done
+     with Exit -> ());
+    Format.printf "stress --crash: %d sweeps, %d failure(s)%s@." !runs
+      !failures
+      (if out_of_time () then " (budget exhausted)" else "");
+    exit (min 1 !failures)
+  end;
   let report ~seed ~fault target ops outcome =
     incr failures;
     Format.printf "FAIL %s seed=%d: %a@." (Subject.name target) seed
@@ -69,11 +116,10 @@ let () =
                "-" ^ String.map (function ' ' -> '_' | c -> c)
                        (Pc_pagestore.Fault_plan.kind_to_string k)))
     in
-    Repro.save { target; seed; b = !b; fault; ops = small } path;
+    Repro.save { target; seed; b = !b; fault; crash = false; ops = small } path;
     Format.printf "  shrunk %d -> %d ops, wrote %s@." (Array.length ops)
       (Array.length small) path
   in
-  let out_of_time () = Unix.gettimeofday () > deadline in
   (* clean differential sweep *)
   (try
      for seed = 0 to !seeds - 1 do

@@ -49,7 +49,11 @@ let encode = function
            branches)
 
 let decode page =
-  if Array.length page = 0 then invalid_arg "Btree: empty page";
+  (* Every encoded page carries a [Meta] header, so an empty page can
+     only be a quarantined one served in degraded mode: read it as an
+     empty leaf — its records are lost and the result is marked partial. *)
+  if Array.length page = 0 then LeafN { next = -1; kvs = [||] }
+  else
   match page.(0) with
   | Meta { leaf = true; next } ->
       let kvs =
@@ -77,15 +81,27 @@ let read_node t id = decode (Pager.read t.pager id)
 let write_node t id node = Pager.write t.pager id (encode node)
 let alloc_node t node = Pager.alloc t.pager (encode node)
 
+(* The tree's non-page state; the durability layer carries it in every
+   commit record so recovery can rebuild the handle from pages alone. *)
+let snapshot t =
+  Marshal.to_string (Pager.page_capacity t.pager, t.root, t.size, t.height) []
+
+(* On a durable pager, group the page writes of one logical operation
+   into a journal transaction; on a plain pager this is just [f ()]. *)
+let durable_txn t f = Wal.with_txn (Pager.wal t.pager) ~meta:(fun () -> snapshot t) f
+
 let create pager =
   if Pager.page_capacity pager < 4 then
     invalid_arg "Btree.create: page capacity must be >= 4";
   let t = { pager; root = -1; size = 0; height = 1 } in
-  t.root <- alloc_node t (LeafN { next = -1; kvs = [||] });
+  durable_txn t (fun () ->
+      t.root <- alloc_node t (LeafN { next = -1; kvs = [||] }));
   t
 
-let create_in ?cache_capacity ?pool ?obs ~b () =
-  create (Pager.create ?cache_capacity ?pool ?obs ~obs_name:"btree" ~page_capacity:b ())
+let create_in ?cache_capacity ?pool ?obs ?durability ~b () =
+  create
+    (Pager.create ?cache_capacity ?pool ?obs ?wal:durability ~obs_name:"btree"
+       ~page_capacity:b ())
 
 let obs t = Pager.obs t.pager
 let with_span t ~kind f = Pc_obs.Obs.with_span (obs t) ~kind f
@@ -358,6 +374,7 @@ let rec insert_rec t id entry =
 
 let insert t ~key ~value =
   with_span t ~kind:"btree.insert" @@ fun () ->
+  durable_txn t @@ fun () ->
   (match insert_rec t t.root (key, value) with
   | No_split -> ()
   | Split { left_sep; right } ->
@@ -508,6 +525,7 @@ let rec delete_rec t id target =
 
 let delete t ~key ~value =
   with_span t ~kind:"btree.delete" @@ fun () ->
+  durable_txn t @@ fun () ->
   match delete_rec t t.root (key, value) with
   | Not_found_entry -> false
   | Deleted _ ->
@@ -557,6 +575,7 @@ let bulk_load pager entries =
   check_sorted entries;
   let t = { pager; root = -1; size = List.length entries; height = 1 } in
   let cap = max_payload t in
+  durable_txn t @@ fun () ->
   match entries with
   | [] ->
       t.root <- alloc_node t (LeafN { next = -1; kvs = [||] });
@@ -660,7 +679,29 @@ let check_invariants t =
   in
   if not (sorted chained) then fail "leaf chain unsorted"
 
-let bulk_load_in ?cache_capacity ?pool ?obs ~b entries =
+let bulk_load_in ?cache_capacity ?pool ?obs ?durability ~b entries =
   bulk_load
-    (Pager.create ?cache_capacity ?pool ?obs ~obs_name:"btree" ~page_capacity:b ())
+    (Pager.create ?cache_capacity ?pool ?obs ?wal:durability ~obs_name:"btree"
+       ~page_capacity:b ())
     entries
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wal t = Pager.wal t.pager
+let rebind t pager = { t with pager }
+
+let of_snapshot r ~idx ~snapshot =
+  let (b, root, size, height) : int * int * int * int =
+    Marshal.from_string snapshot 0
+  in
+  let pager = Pager.attach_recovered r ~idx ~page_capacity:b () in
+  { pager; root; size; height }
+
+let recover ~b (r : Wal.recovered) =
+  match r.Wal.r_meta with
+  | Some snapshot -> of_snapshot r ~idx:0 ~snapshot
+  | None ->
+      (* nothing ever committed: the durable state is an empty tree *)
+      bulk_load_in ~durability:(Wal.create ()) ~b []

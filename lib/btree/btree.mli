@@ -40,11 +40,18 @@ val bulk_load : cell Pager.t -> (int * int) list -> t
 (** [create_in ~b ()] and [bulk_load_in ~b entries] allocate the pager
     internally, with an optional private cache ([cache_capacity]), a
     shared buffer pool ([pool]), and an optional trace handle ([obs]) —
-    see {!Pc_pagestore.Pager.create}. *)
+    see {!Pc_pagestore.Pager.create}.
+
+    [durability] enrolls the pager in a write-ahead journal: every
+    mutating entry point then runs as one {!Pc_pagestore.Wal}
+    transaction (build, insert, delete), carrying the tree's scalar
+    state in the commit record, and {!recover} can rebuild the tree
+    from a crash image alone. *)
 val create_in :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   b:int ->
   unit ->
   t
@@ -53,9 +60,37 @@ val bulk_load_in :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   b:int ->
   (int * int) list ->
   t
+
+(** {1 Recovery} *)
+
+(** [wal t] is the journal of the backing pager, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the tree from a {!Pc_pagestore.Wal.recover}
+    result: pages re-attach at enrollment index 0 and the scalar state
+    comes from the last commit record. If nothing was ever committed the
+    durable state is an empty tree (built fresh, with fanout [b]). The
+    recovered tree is durable again, journaled in [r.r_wal]. *)
+val recover : b:int -> Pc_pagestore.Wal.recovered -> t
+
+(** [of_snapshot r ~idx ~snapshot] is {!recover} for a tree embedded in
+    a larger structure: attach at enrollment index [idx], scalars from
+    [snapshot] (a {!snapshot} string the owner carried in its own commit
+    record). *)
+val of_snapshot : Pc_pagestore.Wal.recovered -> idx:int -> snapshot:string -> t
+
+(** [snapshot t] marshals the tree's non-page scalars. *)
+val snapshot : t -> string
+
+(** [rebind t pager] is [t] reading through [pager] instead — the
+    recovery fixup for owners that embed tree handles inside their own
+    pages (a live handle stands in for what a real disk would store as a
+    root page id). *)
+val rebind : t -> cell Pager.t -> t
 
 (** [obs t] is the trace handle of the backing pager, if any. Entry
     points ([find], [range], [insert], [delete], [bulk_load]) open

@@ -1,0 +1,136 @@
+(* Crash-point sweep: run a workload against a journaled subject, then
+   simulate power loss at every recorded device effect — clean and torn —
+   and prove recovery lands on exactly the committed operation prefix.
+
+   The reference run tags each operation's commits with its index and
+   snapshots the model after each op, so a recovered image identifies its
+   own expected state: [r_tag = i] means ops [0..i] committed, hence the
+   oracle is [snaps.(i + 1)]; [r_meta = None] means nothing ever
+   committed and the expected state is empty (the initial build's commit,
+   tagged -1, occupies [snaps.(0)]).
+
+   Static targets absorb updates into the model and build once, so their
+   crash model is the atomicity of that single build transaction: every
+   crash point recovers to either the empty store or the full input —
+   never a partial build. *)
+
+module W = Pc_pagestore.Wal
+
+type failure = { f_ios : int; f_torn : bool; f_reason : string }
+
+type report = {
+  r_target : Subject.target;
+  r_points : int;  (** device effects swept (each clean, all but last torn) *)
+  r_failures : failure list;
+}
+
+let passed r = r.r_failures = []
+
+let pp_failure ppf f =
+  Format.fprintf ppf "crash at io %d%s: %s" f.f_ios
+    (if f.f_torn then " (torn)" else "")
+    f.f_reason
+
+let pp_report ppf r =
+  if passed r then
+    Format.fprintf ppf "%s: %d crash points ok" (Subject.name r.r_target)
+      r.r_points
+  else
+    Format.fprintf ppf "%s: %d/%d crash points failed:@ %a"
+      (Subject.name r.r_target)
+      (List.length r.r_failures)
+      r.r_points
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_failure)
+      r.r_failures
+
+(* Probe queries asked of every recovered image, beyond the workload's
+   own: one of each kind, so each target answers at least one natively. *)
+let default_probes =
+  let u = Dsl.universe in
+  [
+    Dsl.Q2 { xl = 0; yb = 0 };
+    Dsl.Q3 { xl = 0; xr = u; yb = 0 };
+    Dsl.Q4 { x1 = 0; x2 = u; y1 = 0; y2 = u };
+    Dsl.Stab (u / 2);
+    Dsl.Krange { lo = 0; hi = u };
+  ]
+
+(* The tagged reference run. Returns the journal to sweep and the oracle
+   prefix table indexed by [r_tag + 1]. *)
+let run_tagged ~b target ~ops =
+  let t = Subject.start ~b ~durability:true target in
+  if Subject.is_dynamic target then begin
+    let wal = Option.get (Subject.wal t) in
+    let n = Array.length ops in
+    let snaps = Array.make (n + 1) [] in
+    snaps.(0) <- Subject.model t;
+    Array.iteri
+      (fun i op ->
+        W.set_tag wal i;
+        ignore (Subject.apply t op);
+        snaps.(i + 1) <- Subject.model t)
+      ops;
+    (wal, snaps)
+  end
+  else begin
+    (* Updates are model-only here (the structure is stale until forced),
+       so the journal records exactly one build transaction. *)
+    Array.iter
+      (fun op -> if not (Dsl.is_query op) then ignore (Subject.apply t op))
+      ops;
+    Subject.check t;
+    match Subject.wal t with
+    | Some wal -> (wal, [| Subject.model t |])
+    | None -> assert false
+  end
+
+let verify ~b target ~snaps ~probes wal ~ios ~torn =
+  match
+    let img = W.image_at ~torn wal ~ios in
+    let r = W.recover img in
+    if not (W.recovered_equal r (W.recover img)) then
+      failwith "recovery is not idempotent";
+    let expected = if r.W.r_meta = None then [] else snaps.(r.W.r_tag + 1) in
+    let s = Subject.of_recovered ~b target r ~model:expected in
+    Subject.check s;
+    List.iter
+      (fun q ->
+        match Subject.apply s q with
+        | Some (want, got) when want <> got ->
+            Format.kasprintf failwith
+              "recovered to tag %d but %a diverges from the committed prefix"
+              r.W.r_tag Dsl.pp q
+        | _ -> ())
+      probes
+  with
+  | () -> None
+  | exception Failure m -> Some m
+  | exception e -> Some (Printexc.to_string e)
+
+let sweep ?(b = 8) target ~ops =
+  let wal, snaps = run_tagged ~b target ~ops in
+  let probes =
+    Array.to_list ops |> List.filter Dsl.is_query |> fun qs ->
+    qs @ default_probes
+  in
+  let n = W.crash_points wal in
+  let failures = ref [] in
+  for ios = n downto 0 do
+    List.iter
+      (fun torn ->
+        if not (torn && ios = n) then
+          match verify ~b target ~snaps ~probes wal ~ios ~torn with
+          | None -> ()
+          | Some f_reason ->
+              failures := { f_ios = ios; f_torn = torn; f_reason } :: !failures)
+      [ false; true ]
+  done;
+  { r_target = target; r_points = n; r_failures = !failures }
+
+let check ?(b = 8) target ~ops =
+  let rep = sweep ~b target ~ops in
+  if passed rep then Ok rep
+  else
+    let fails ops = not (passed (sweep ~b target ~ops)) in
+    let small = Shrink.minimize fails ops in
+    Error (sweep ~b target ~ops:small, small)

@@ -1,0 +1,41 @@
+(** Crash-point recovery sweep (DESIGN.md §12).
+
+    Runs a workload against a journaled subject, then simulates power
+    loss at {e every} recorded device effect — clean-cut and torn — and
+    verifies from the disk image alone that {!Pc_pagestore.Wal.recover}
+    is idempotent and lands on exactly the committed operation prefix:
+    the recovered structure passes its invariant checker and answers the
+    workload's queries identically to the model replayed up to the last
+    committed operation. This subsumes the old rebuild-from-model check:
+    nothing from the model reaches the recovered structure. *)
+
+type failure = {
+  f_ios : int;  (** crash index: the first [f_ios] effects were durable *)
+  f_torn : bool;  (** effect [f_ios] itself reached the disk half-written *)
+  f_reason : string;
+}
+
+type report = {
+  r_target : Subject.target;
+  r_points : int;  (** device effects swept (each clean, all but last torn) *)
+  r_failures : failure list;
+}
+
+val passed : report -> bool
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** [sweep target ~ops] performs the full sweep: one tagged reference
+    run, then [2 * crash_points + 1] crash/recover/verify cycles.
+    Dynamic targets ({!Subject.is_dynamic}) are swept per operation;
+    static targets build once, so the sweep checks that single build's
+    atomicity (every crash recovers to empty or to the full input). *)
+val sweep : ?b:int -> Subject.target -> ops:Dsl.op array -> report
+
+(** [check target ~ops] is {!sweep}, shrinking the workload to a minimal
+    failing one on failure (re-sweeping each candidate). *)
+val check :
+  ?b:int ->
+  Subject.target ->
+  ops:Dsl.op array ->
+  (report, report * Dsl.op array) result

@@ -28,7 +28,12 @@ let pp_outcome ppf = function
 
 type stats = { ops : int; queries : int; faults : int }
 
-let run_stats ?(b = 8) ?tamper ?plan target ~ops =
+let run_stats ?(b = 8) ?durability ?tamper ?plan target ~ops =
+  (* Faulted runs default to journaled subjects, so recovery exercises
+     the crash-recovery path rather than an oracle rebuild. *)
+  let durability =
+    match durability with Some d -> d | None -> plan <> None
+  in
   let queries = ref 0 and faults = ref 0 in
   let before = match plan with Some p -> Fault_plan.injected p | None -> 0 in
   (match plan with
@@ -45,7 +50,7 @@ let run_stats ?(b = 8) ?tamper ?plan target ~ops =
             Pager.clear_ambient_fault_plan ()
         | None -> ())
     @@ fun () ->
-    let t = Subject.start ~b target in
+    let t = Subject.start ~b ~durability target in
     let result = ref Pass in
     (try
        Array.iteri
@@ -60,11 +65,14 @@ let run_stats ?(b = 8) ?tamper ?plan target ~ops =
                    @@ fun () -> Subject.apply t op
                  with
                  | res -> res
-                 | exception (Pager.Io_fault _ | Pager.Torn_write _) ->
-                     (* A typed fault surfaced: recover by rebuilding from
-                        the model (plan disarmed) and keep going. *)
+                 | exception
+                     ( Pager.Io_fault _ | Pager.Torn_write _
+                     | Pager.Corrupt_page _ ) ->
+                     (* A typed fault surfaced: recover (plan disarmed) —
+                        through the journal for durable dynamic targets,
+                        by lazy rebuild otherwise — and keep going. *)
                      incr faults;
-                     Subject.restart t;
+                     Subject.recover t;
                      None)
            in
            match res with
@@ -94,8 +102,8 @@ let run_stats ?(b = 8) ?tamper ?plan target ~ops =
     { ops = Array.length ops; queries = !queries; faults = !faults },
     injected )
 
-let run ?b ?tamper ?plan target ~ops =
-  let outcome, _, _ = run_stats ?b ?tamper ?plan target ~ops in
+let run ?b ?durability ?tamper ?plan target ~ops =
+  let outcome, _, _ = run_stats ?b ?durability ?tamper ?plan target ~ops in
   outcome
 
 (* [run_faulted] asserts the fault-injection contract: with [plan] armed
@@ -103,6 +111,6 @@ let run ?b ?tamper ?plan target ~ops =
    (and recovers after a rebuild) or keeps answering exactly like the
    model — never silently wrong. Returns the number of operations that
    faulted and the number of injected fault events. *)
-let run_faulted ?b target ~ops ~plan =
-  let outcome, stats, injected = run_stats ?b ~plan target ~ops in
+let run_faulted ?b ?durability target ~ops ~plan =
+  let outcome, stats, injected = run_stats ?b ?durability ~plan target ~ops in
   (outcome, stats.faults, injected)

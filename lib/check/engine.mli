@@ -5,8 +5,9 @@
     divergence; a clean run ends with the structure's own
     [check_invariants]. With a {!Pc_pagestore.Fault_plan} the engine arms
     the plan around each operation and asserts the fault contract: a
-    typed pager error ({!Pc_pagestore.Pager.Io_fault} or
-    [Torn_write]) is recovered by rebuilding from the model; any other
+    typed pager error ({!Pc_pagestore.Pager.Io_fault}, [Torn_write] or
+    [Corrupt_page]) is recovered through {!Subject.recover} — the
+    journal's crash-recovery path for durable subjects — and any other
     effect of an injected fault must leave answers exactly correct. *)
 
 type divergence = {
@@ -23,7 +24,11 @@ type outcome =
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
-(** [run target ~ops] executes the workload. [tamper] post-processes each
+(** [run target ~ops] executes the workload. [durability] journals every
+    structure the subject builds; it defaults to [true] exactly when
+    [plan] is given, so faulted runs recover through the journal while
+    plain differential runs stay byte-identical to an undurable tree.
+    [tamper] post-processes each
     subject answer (keyed on the operation, not its index, so it stays
     stable under shrinking) — the mutation-injection hook the harness
     tests use to prove the diff actually fires. [plan] enables fault
@@ -31,6 +36,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
     internally-created pager adopts it, armed only around operations. *)
 val run :
   ?b:int ->
+  ?durability:bool ->
   ?tamper:(Dsl.op -> (int * int) list -> (int * int) list) ->
   ?plan:Pc_pagestore.Fault_plan.t ->
   Subject.target ->
@@ -42,6 +48,7 @@ val run :
     the plan injected. *)
 val run_faulted :
   ?b:int ->
+  ?durability:bool ->
   Subject.target ->
   ops:Dsl.op array ->
   plan:Pc_pagestore.Fault_plan.t ->

@@ -3,6 +3,7 @@ type t = {
   seed : int;
   b : int;
   fault : Pc_pagestore.Fault_plan.kind option;
+  crash : bool;
   ops : Dsl.op array;
 }
 
@@ -20,6 +21,7 @@ let to_string t =
       Buffer.add_string buf
         (Printf.sprintf "fault %s\n" (Pc_pagestore.Fault_plan.kind_to_string k))
   | None -> ());
+  if t.crash then Buffer.add_string buf "crash 1\n";
   Buffer.add_string buf (Printf.sprintf "ops %d\n" (Array.length t.ops));
   Array.iter
     (fun op ->
@@ -36,6 +38,7 @@ let of_string s =
       and seed = ref 0
       and b = ref 8
       and fault = ref None
+      and crash = ref false
       and nops = ref (-1)
       and ops = ref [] in
       let rec go = function
@@ -74,6 +77,9 @@ let of_string s =
                           fault := Some k;
                           go rest
                       | None -> err "unknown fault kind %S" v)
+                  | "crash" ->
+                      crash := v <> "0";
+                      go rest
                   | "ops" ->
                       nops := int_of_string v;
                       go rest
@@ -88,7 +94,16 @@ let of_string s =
               let ops = Array.of_list (List.rev !ops) in
               if !nops >= 0 && Array.length ops <> !nops then
                 err "ops header says %d, file has %d" !nops (Array.length ops)
-              else Ok { target; seed = !seed; b = !b; fault = !fault; ops }))
+              else
+                Ok
+                  {
+                    target;
+                    seed = !seed;
+                    b = !b;
+                    fault = !fault;
+                    crash = !crash;
+                    ops;
+                  }))
   | _ -> Error "not a pathcache-repro file"
 
 let save t path =
@@ -108,6 +123,13 @@ let load path =
   | exception Sys_error m -> Error m
 
 let replay t =
+  if t.crash then (
+    (* A crash repro re-runs the crash-point sweep on the saved
+       workload; a surviving failure surfaces as a check failure. *)
+    let rep = Crash.sweep ~b:t.b t.target ~ops:t.ops in
+    if Crash.passed rep then Engine.Pass
+    else Engine.Check_failed (Format.asprintf "%a" Crash.pp_report rep))
+  else
   match t.fault with
   | None -> Engine.run ~b:t.b t.target ~ops:t.ops
   | Some k ->

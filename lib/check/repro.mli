@@ -10,6 +10,7 @@ type t = {
   seed : int;  (** generator seed the workload came from, for provenance *)
   b : int;
   fault : Pc_pagestore.Fault_plan.kind option;
+  crash : bool;  (** the workload fails the {!Crash} crash-point sweep *)
   ops : Dsl.op array;
 }
 
@@ -19,5 +20,6 @@ val save : t -> string -> unit
 val load : string -> (t, string) result
 
 (** [replay t] re-executes the recorded workload (fault-mode if a fault
-    header is present) and returns the engine outcome. *)
+    header is present, the full crash-point sweep if the [crash] header
+    is) and returns the engine outcome. *)
 val replay : t -> Engine.outcome

@@ -96,9 +96,11 @@ type structure =
 type t = {
   target : target;
   b : int;
+  durable : bool;  (* journal every structure this subject builds *)
   hierarchy : Pathcaching.Class_index.hierarchy;  (* Class_index only *)
   live : (int, Point.t) Hashtbl.t;  (* the model: live points by id *)
   mutable st : structure option;  (* None = stale, rebuild before querying *)
+  mutable wal : Pc_pagestore.Wal.t option;  (* current structure's journal *)
 }
 
 let target t = t.target
@@ -116,49 +118,67 @@ let live_sorted t = List.sort Point.compare_id (live_points t)
 let build_structure t =
   let b = t.b in
   let pts = live_sorted t in
+  (* Every build gets a fresh journal: a rebuilt static structure is a new
+     durable unit (its crash model is the atomicity of that one build
+     transaction). *)
+  let durability =
+    if t.durable then begin
+      let w = Pc_pagestore.Wal.create () in
+      t.wal <- Some w;
+      Some w
+    end
+    else None
+  in
   match t.target with
   | Btree ->
       let entries =
         List.map (fun (p : Point.t) -> (p.x, p.y)) pts
         |> List.sort compare
       in
-      S_btree (Pc_btree.Btree.bulk_load_in ~b entries)
+      S_btree (Pc_btree.Btree.bulk_load_in ?durability ~b entries)
   | Ext_int ->
       S_extint
-        (Pc_extint.Ext_int.create ~mode:Pc_extint.Ext_int.Cached ~b
+        (Pc_extint.Ext_int.create ?durability ~mode:Pc_extint.Ext_int.Cached ~b
            (List.map ival_of_point pts))
   | Ext_seg ->
       S_extseg
-        (Pc_extseg.Ext_seg.create ~mode:Pc_extseg.Ext_seg.Cached ~b
+        (Pc_extseg.Ext_seg.create ?durability ~mode:Pc_extseg.Ext_seg.Cached ~b
            (List.map ival_of_point pts))
   | Ext_pst ->
       S_extpst
-        (Pc_extpst.Ext_pst.create ~variant:Pc_extpst.Ext_pst.Multilevel ~b pts)
-  | Dynamic -> S_dynamic (Pc_extpst.Dynamic.create ~b pts)
-  | Ext_range -> S_extrange (Pc_extrange.Ext_range.create ~b pts)
+        (Pc_extpst.Ext_pst.create ?durability
+           ~variant:Pc_extpst.Ext_pst.Multilevel ~b pts)
+  | Dynamic -> S_dynamic (Pc_extpst.Dynamic.create ?durability ~b pts)
+  | Ext_range -> S_extrange (Pc_extrange.Ext_range.create ?durability ~b pts)
   | Class_index ->
       S_classidx
-        (Pathcaching.Class_index.build t.hierarchy ~b
+        (Pathcaching.Class_index.build ?durability t.hierarchy ~b
            (List.map obj_of_point pts))
   | Stabbing ->
-      S_stabbing (Pathcaching.Stabbing.create ~b (List.map ival_of_point pts))
+      S_stabbing
+        (Pathcaching.Stabbing.create ?durability ~b (List.map ival_of_point pts))
   | Ext_pst3 ->
       S_pst3
-        (Pc_threesided.Ext_pst3.create ~mode:Pc_threesided.Ext_pst3.Cached ~b
-           pts)
+        (Pc_threesided.Ext_pst3.create ?durability
+           ~mode:Pc_threesided.Ext_pst3.Cached ~b pts)
 
-let start ?(b = 8) target =
+let start ?(b = 8) ?(durability = false) target =
   let t =
     {
       target;
       b;
+      durable = durability;
       hierarchy = make_hierarchy ();
       live = Hashtbl.create 256;
       st = None;
+      wal = None;
     }
   in
   if is_dynamic target then t.st <- Some (build_structure t);
   t
+
+let wal t = t.wal
+let model t = live_sorted t
 
 let force t =
   match t.st with
@@ -168,36 +188,98 @@ let force t =
       t.st <- Some s;
       s
 
-(* Discard the structure and rebuild from the model — the recovery step
-   after an injected fault surfaced as a typed error. *)
-let restart t =
-  t.st <- None;
-  if is_dynamic t.target then t.st <- Some (build_structure t)
+(* The recovery step after an injected fault surfaced as a typed error.
+   A durable dynamic structure recovers through the journal: crash the
+   image where it stands and replay it — the model is never consulted
+   (updates apply structure-first, so the model holds exactly the ops
+   the structure committed). Static targets and undurable subjects
+   discard the structure; the next query rebuilds it (for static targets
+   the structure is definitionally derived state). *)
+let recover t =
+  match (t.wal, t.target) with
+  | Some w, (Btree | Dynamic | Stabbing) ->
+      let r = Pc_pagestore.Wal.(recover (crash w)) in
+      let st, w' =
+        match t.target with
+        | Btree ->
+            let bt = Pc_btree.Btree.recover ~b:t.b r in
+            (S_btree bt, Pc_btree.Btree.wal bt)
+        | Dynamic ->
+            let d = Pc_extpst.Dynamic.recover ~b:t.b r in
+            (S_dynamic d, Pc_extpst.Dynamic.wal d)
+        | Stabbing ->
+            let s = Pathcaching.Stabbing.recover ~b:t.b r in
+            (S_stabbing s, Pathcaching.Stabbing.wal s)
+        | _ -> assert false
+      in
+      t.st <- Some st;
+      t.wal <- w'
+  | _ ->
+      t.st <- None;
+      t.wal <- None;
+      if is_dynamic t.target then t.st <- Some (build_structure t)
+
+(* A subject over an already-recovered crash image, paired with the
+   model the caller knows that image must equal — the crash sweep's
+   verification handle. *)
+let of_recovered ?(b = 8) target (r : Pc_pagestore.Wal.recovered) ~model =
+  let t =
+    {
+      target;
+      b;
+      durable = true;
+      hierarchy = make_hierarchy ();
+      live = Hashtbl.create 256;
+      st = None;
+      wal = None;
+    }
+  in
+  List.iter (fun (p : Point.t) -> Hashtbl.replace t.live p.id p) model;
+  let st =
+    match target with
+    | Btree -> S_btree (Pc_btree.Btree.recover ~b r)
+    | Dynamic -> S_dynamic (Pc_extpst.Dynamic.recover ~b r)
+    | Stabbing -> S_stabbing (Pathcaching.Stabbing.recover ~b r)
+    | Ext_int -> S_extint (Pc_extint.Ext_int.recover ~b r)
+    | Ext_seg -> S_extseg (Pc_extseg.Ext_seg.recover ~b r)
+    | Ext_pst -> S_extpst (Pc_extpst.Ext_pst.recover ~b r)
+    | Ext_range -> S_extrange (Pc_extrange.Ext_range.recover ~b r)
+    | Class_index ->
+        S_classidx
+          (Pathcaching.Class_index.recover ~hierarchy:t.hierarchy ~b r)
+    | Ext_pst3 -> S_pst3 (Pc_threesided.Ext_pst3.recover ~b r)
+  in
+  t.st <- Some st;
+  t
 
 (* ----- updates ----- *)
 
+(* Structure first, model second: if the structure op dies on an injected
+   fault, the model must not have applied the op either — the journal
+   rolls the structure back to the last commit, and [recover] replays
+   exactly the committed prefix, which then equals the model again. *)
 let insert t (p : Point.t) =
   if not (Hashtbl.mem t.live p.id) then begin
-    Hashtbl.replace t.live p.id p;
-    match t.st with
+    (match t.st with
     | Some (S_btree bt) -> Pc_btree.Btree.insert bt ~key:p.x ~value:p.y
     | Some (S_dynamic d) -> ignore (Pc_extpst.Dynamic.insert d p)
     | Some (S_stabbing s) ->
         ignore (Pathcaching.Stabbing.insert s (ival_of_point p))
-    | _ -> t.st <- None
+    | _ -> t.st <- None);
+    Hashtbl.replace t.live p.id p
   end
 
 let delete t id =
   match Hashtbl.find_opt t.live id with
   | None -> ()
-  | Some p -> (
-      Hashtbl.remove t.live id;
-      match t.st with
+  | Some p ->
+      (match t.st with
       | Some (S_btree bt) ->
           ignore (Pc_btree.Btree.delete bt ~key:p.x ~value:p.y)
       | Some (S_dynamic d) -> ignore (Pc_extpst.Dynamic.delete d ~id)
       | Some (S_stabbing s) -> ignore (Pathcaching.Stabbing.delete s ~id)
-      | _ -> t.st <- None)
+      | _ -> t.st <- None);
+      Hashtbl.remove t.live id
 
 (* ----- queries ----- *)
 

@@ -39,8 +39,26 @@ type t
 
 (** [start target ~b] makes a fresh empty subject with page size [b]
     (default 8). Consults the ambient fault plan, if any, for every pager
-    it creates — arm plans only around {!apply}. *)
-val start : ?b:int -> target -> t
+    it creates — arm plans only around {!apply}. With [durability] every
+    structure the subject builds is journaled ({!Pc_pagestore.Wal}): each
+    build gets a fresh journal, readable via {!wal}, and {!recover} goes
+    through the crash-recovery path instead of the model. *)
+val start : ?b:int -> ?durability:bool -> target -> t
+
+(** The current structure's journal, when the subject is durable and a
+    structure is built. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** The model's live points, sorted by id — the oracle state the current
+    structure must agree with. *)
+val model : t -> Point.t list
+
+(** [of_recovered target r ~model] wraps an already-recovered crash
+    image: the structure comes from the per-target [recover] on [r], the
+    model is [model] (the committed oracle prefix the caller computed).
+    Queries and {!check} then verify the recovery. *)
+val of_recovered :
+  ?b:int -> target -> Pc_pagestore.Wal.recovered -> model:Point.t list -> t
 
 val target : t -> target
 
@@ -51,10 +69,14 @@ val target : t -> target
     [None]. *)
 val apply : t -> Dsl.op -> ((int * int) list * (int * int) list) option
 
-(** [restart t] discards the structure and rebuilds it from the model —
-    the recovery step after an injected fault surfaced as a typed
-    error. *)
-val restart : t -> unit
+(** [recover t] is the recovery step after an injected fault surfaced as
+    a typed error. Durable dynamic targets recover through the journal —
+    crash the image where it stands, replay it, re-attach — without
+    consulting the model (updates apply structure-first, so the model
+    matches the committed prefix). Static targets and undurable subjects
+    discard the structure and rebuild it from the model on the next
+    query (a static structure is definitionally derived state). *)
+val recover : t -> unit
 
 (** [check t] runs the structure's [check_invariants] (building it first
     if stale). Run with fault plans disarmed. *)

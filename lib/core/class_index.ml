@@ -56,7 +56,20 @@ type t = {
   objs : (int, obj) Hashtbl.t; (* point id -> object *)
 }
 
-let build ?cache_capacity ?pool ?obs h ~b objs =
+let snapshot t =
+  let objs =
+    Hashtbl.fold (fun i o acc -> (i, o) :: acc) t.objs []
+    |> List.sort compare
+  in
+  Marshal.to_string
+    (t.h, t.ranges, objs, Pc_threesided.Ext_pst3.snapshot t.pst)
+    []
+
+let build ?cache_capacity ?pool ?obs ?durability h ~b objs =
+  let result = ref None in
+  Pc_pagestore.Wal.with_txn durability
+    ~meta:(fun () -> snapshot (Option.get !result))
+  @@ fun () ->
   h.frozen <- true;
   let n = h.count in
   let ranges = Array.make n (0, 0) in
@@ -81,14 +94,18 @@ let build ?cache_capacity ?pool ?obs h ~b objs =
         Point.make ~x:(fst ranges.(cidx)) ~y:o.key ~id:i)
       objs
   in
-  {
-    h;
-    ranges;
-    pst =
-      Pc_threesided.Ext_pst3.create ?cache_capacity ?pool ?obs
-        ~mode:Pc_threesided.Ext_pst3.Cached ~b points;
-    objs = table;
-  }
+  let t =
+    {
+      h;
+      ranges;
+      pst =
+        Pc_threesided.Ext_pst3.create ?cache_capacity ?pool ?obs ?durability
+          ~mode:Pc_threesided.Ext_pst3.Cached ~b points;
+      objs = table;
+    }
+  in
+  result := Some t;
+  t
 
 let size t = Pc_threesided.Ext_pst3.size t.pst
 let cost_model _t = Pc_obs.Cost_model.Class_index
@@ -171,3 +188,29 @@ let check_invariants t =
               if p.x <> fst t.ranges.(cidx) || p.y <> o.key then
                 fail "object %d disagrees with its stored point" p.id))
     pts
+
+let wal t = Pc_threesided.Ext_pst3.wal t.pst
+
+(* All-or-nothing recovery of the one build transaction: hierarchy,
+   preorder ranges and the object table travel in the commit record, the
+   embedded 3-sided PST recovers from its pages via its own snapshot. *)
+let recover ?hierarchy:h ~b (r : Pc_pagestore.Wal.recovered) =
+  match r.Pc_pagestore.Wal.r_meta with
+  | None ->
+      (* Nothing committed: an empty index over the hierarchy the caller
+         expects to query (the committed one travels in the snapshot). *)
+      let h = match h with Some h -> h | None -> hierarchy () in
+      build ~durability:(Pc_pagestore.Wal.create ()) h ~b []
+  | Some snapshot ->
+      let (h, ranges, objs, pst_snap)
+            : hierarchy * (int * int) array * (int * obj) list * string =
+        Marshal.from_string snapshot 0
+      in
+      let table = Hashtbl.create (max 64 (List.length objs)) in
+      List.iter (fun (i, o) -> Hashtbl.replace table i o) objs;
+      {
+        h;
+        ranges;
+        pst = Pc_threesided.Ext_pst3.of_snapshot r ~idx:0 ~snapshot:pst_snap;
+        objs = table;
+      }

@@ -37,10 +37,21 @@ val build :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   hierarchy ->
   b:int ->
   obj list ->
   t
+
+(** [wal t] is the journal of the embedded PST's pager, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the index from a crash image ([hierarchy]
+    seeds the empty index when nothing committed): all-or-nothing
+    (the build is one journal transaction). The hierarchy, ranges and
+    object table come from the commit record; the embedded 3-sided PST
+    re-attaches its recovered pages. *)
+val recover : ?hierarchy:hierarchy -> b:int -> Pc_pagestore.Wal.recovered -> t
 
 val size : t -> int
 

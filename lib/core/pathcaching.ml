@@ -50,6 +50,8 @@ module Cost_model = Pc_obs.Cost_model
 module Metrics = Pc_obs.Metrics
 module Bench_gate = Pc_obs.Bench_gate
 module Pager = Pc_pagestore.Pager
+module Wal = Pc_pagestore.Wal
+module Fault_plan = Pc_pagestore.Fault_plan
 module Blocked_list = Pc_pagestore.Blocked_list
 module Io_stats = Pc_pagestore.Io_stats
 module Query_stats = Pc_pagestore.Query_stats

@@ -8,15 +8,42 @@ type t = { pst : Pc_extpst.Dynamic.t; ivals : (int, Ival.t) Hashtbl.t }
 
 let to_point iv = Point.make ~x:(-Ival.lo iv) ~y:(Ival.hi iv) ~id:(Ival.id iv)
 
-let create ?cache_capacity ?pool ?obs ~b ivs =
+(* Durability is logged logically at this layer: the commit record
+   carries the interval table, and every update (including the initial
+   build, whose inner Dynamic transaction folds into ours) commits as
+   one Stabbing-level transaction so recovery round-trips through the
+   KRV reduction with the right signs. *)
+let snapshot t =
+  let ivs =
+    Hashtbl.fold (fun _ iv acc -> iv :: acc) t.ivals []
+    |> List.sort (fun a b -> compare (Ival.id a) (Ival.id b))
+  in
+  Marshal.to_string (Pc_extpst.Dynamic.page_size t.pst, ivs) []
+
+let durable_txn t f =
+  Pc_pagestore.Wal.with_txn
+    (Pc_extpst.Dynamic.wal t.pst)
+    ~meta:(fun () -> snapshot t)
+    f
+
+let create ?cache_capacity ?pool ?obs ?durability ~b ivs =
   let ivals = Hashtbl.create (max 64 (List.length ivs)) in
   List.iter (fun iv -> Hashtbl.replace ivals (Ival.id iv) iv) ivs;
-  {
-    pst =
-      Pc_extpst.Dynamic.create ?cache_capacity ?pool ?obs ~b
-        (List.map to_point ivs);
-    ivals;
-  }
+  let result = ref None in
+  Pc_pagestore.Wal.with_txn durability
+    ~meta:(fun () -> snapshot (Option.get !result))
+    (fun () ->
+      let t =
+        {
+          pst =
+            Pc_extpst.Dynamic.create ?cache_capacity ?pool ?obs ?durability
+              ~b
+              (List.map to_point ivs);
+          ivals;
+        }
+      in
+      result := Some t;
+      t)
 
 let size t = Pc_extpst.Dynamic.size t.pst
 let cost_model _t = Pc_obs.Cost_model.Stab_store
@@ -28,10 +55,13 @@ let conformance t ~t_out ~measured =
     ~t:t_out ~measured
 
 let insert t iv =
+  durable_txn t @@ fun () ->
+  let ios = Pc_extpst.Dynamic.insert t.pst (to_point iv) in
   Hashtbl.replace t.ivals (Ival.id iv) iv;
-  Pc_extpst.Dynamic.insert t.pst (to_point iv)
+  ios
 
 let delete t ~id =
+  durable_txn t @@ fun () ->
   match Pc_extpst.Dynamic.delete t.pst ~id with
   | Some ios ->
       Hashtbl.remove t.ivals id;
@@ -75,3 +105,16 @@ let check_invariants t =
 let storage_pages t = Pc_extpst.Dynamic.storage_pages t.pst
 let total_ios t = Pc_extpst.Dynamic.total_ios t.pst
 let reset_io_stats t = Pc_extpst.Dynamic.reset_io_stats t.pst
+
+let wal t = Pc_extpst.Dynamic.wal t.pst
+
+(* Logical recovery from the last committed interval table (see
+   {!Pc_extpst.Dynamic.recover}); fresh journal, fresh pages. *)
+let recover ~b (r : Pc_pagestore.Wal.recovered) =
+  let b, ivs =
+    match r.Pc_pagestore.Wal.r_meta with
+    | None -> (b, [])
+    | Some snapshot ->
+        (Marshal.from_string snapshot 0 : int * Ival.t list)
+  in
+  create ~durability:(Pc_pagestore.Wal.create ()) ~b ivs

@@ -21,9 +21,19 @@ val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   b:int ->
   Ival.t list ->
   t
+
+(** [wal t] is the journal of the underlying structure, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the store from the interval table carried by
+    the crash image's last commit record (logical logging, as
+    {!Pc_extpst.Dynamic.recover}); [b] sizes the empty store when
+    nothing was committed. The result journals into a fresh Wal. *)
+val recover : b:int -> Pc_pagestore.Wal.recovered -> t
 
 val size : t -> int
 

@@ -34,6 +34,7 @@ val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   mode:mode ->
   b:int ->
   Ival.t list ->
@@ -73,3 +74,19 @@ val check_invariants : t -> unit
 val storage_pages : t -> int
 val io_stats : t -> Pc_pagestore.Io_stats.t
 val reset_io_stats : t -> unit
+
+(** {1 Durability}
+
+    [durability] enrolls the pager in a write-ahead journal; the whole
+    build then runs as one transaction (all-or-nothing under a crash)
+    and {!recover} rebuilds the structure from a crash image alone —
+    recovered pages plus the scalar state carried by the commit record.
+    [snapshot] / [of_snapshot] split recovery for owners that embed this
+    structure in a larger journaled unit. *)
+
+val wal : t -> Pc_pagestore.Wal.t option
+val recover : ?mode:mode -> b:int -> Pc_pagestore.Wal.recovered -> t
+val snapshot : t -> string
+
+val of_snapshot :
+  Pc_pagestore.Wal.recovered -> idx:int -> snapshot:string -> t

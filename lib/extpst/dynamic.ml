@@ -71,6 +71,11 @@ type t = {
   mutable updates_since_build : int;
   mutable global_rebuilds : int;
   mutable sub_rebuilds : int;
+  mutable heap_stale : bool;
+      (* a low-y insert landed at a region whose x-side child is missing
+         while the other side is populated, lowering its [min_y] below
+         the sibling subtree's points; the heap ordering the query's
+         descent pruning relies on is broken until the next rebuild *)
   applied : (int, int) Hashtbl.t; (* point id -> region idx *)
   pending : (int, int) Hashtbl.t; (* point id -> block idx (buffered Ins) *)
 }
@@ -289,6 +294,7 @@ let rebuild_all t pts =
   t.size <- List.length pts;
   t.size_at_build <- t.size;
   t.updates_since_build <- 0;
+  t.heap_stale <- false;
   if Array.length t.regions = 0 then begin
     t.layout <- None;
     t.blocks <- [||]
@@ -346,7 +352,31 @@ let rebuild_all t pts =
       t.blocks
   end
 
-let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
+let to_list t =
+  let dels = Hashtbl.create 16 in
+  let ins = ref [] in
+  Array.iter
+    (fun (blk : block) ->
+      List.iter
+        (function
+          | Ins p -> ins := p :: !ins
+          | Del { id } -> Hashtbl.replace dels id ())
+        blk.buffer)
+    t.blocks;
+  let applied = Array.to_list t.regions |> List.concat_map (fun r -> r.pts) in
+  List.filter (fun (p : Point.t) -> not (Hashtbl.mem dels p.id)) applied @ !ins
+
+(* The durability layer logs this structure logically: the commit record
+   carries the live point set (the mirror is in-memory state rebuilt at
+   recovery), while the page writes themselves are still journaled so a
+   transaction's I/O is atomic and write amplification is measurable. *)
+let snapshot t =
+  Marshal.to_string (t.b, List.sort Point.compare_id (to_list t)) []
+
+let durable_txn t f =
+  Wal.with_txn (Pager.wal t.pager) ~meta:(fun () -> snapshot t) f
+
+let create ?(cache_capacity = 0) ?pool ?obs ?durability ~b pts =
   if b < 2 then invalid_arg "Dynamic.create: b < 2";
   let descs_max = (1 lsl block_height b) - 1 in
   let u_cap = max 1 (b - descs_max) in
@@ -364,9 +394,12 @@ let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
       b;
       cap = region_capacity b;
       u_cap;
-      pager = Pager.create ~pool ?obs ~obs_name:"dynamic" ~page_capacity:b ();
+      pager =
+        Pager.create ~pool ?obs ?wal:durability ~obs_name:"dynamic"
+          ~page_capacity:b ();
       sub_pager =
-        Pager.create ~pool ?obs ~obs_name:"dynamic.sub" ~page_capacity:b ();
+        Pager.create ~pool ?obs ?wal:durability ~obs_name:"dynamic.sub"
+          ~page_capacity:b ();
       regions = [||];
       blocks = [||];
       layout = None;
@@ -375,14 +408,17 @@ let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
       updates_since_build = 0;
       global_rebuilds = 0;
       sub_rebuilds = 0;
+      heap_stale = false;
       applied = Hashtbl.create 1024;
       pending = Hashtbl.create 64;
     }
   in
-  Pc_obs.Obs.with_span obs ~kind:"build.dynamic" (fun () -> rebuild_all t pts);
+  Pc_obs.Obs.with_span obs ~kind:"build.dynamic" (fun () ->
+      durable_txn t (fun () -> rebuild_all t pts));
   t
 
 let obs t = Pager.obs t.pager
+let wal t = Pager.wal t.pager
 
 (* ------------------------------------------------------------------ *)
 (* Updates                                                            *)
@@ -467,7 +503,15 @@ let rec flush t (blk : block) =
                 else begin
                   let child = if p.Point.x <= r.split then r.left else r.right in
                   match child with
-                  | None -> apply_to r op
+                  | None ->
+                      (* Nowhere lower to go on this x side: the point
+                         stays here and drags [min_y] under the other
+                         subtree's points. Schedule a rebuild before the
+                         enclosing update returns. *)
+                      (match (r.left, r.right) with
+                      | None, None -> ()
+                      | _ -> t.heap_stale <- true);
+                      apply_to r op
                   | Some c ->
                       if Skeletal_layout.same_block layout c.idx blk.members.(0)
                       then place c
@@ -508,7 +552,8 @@ let rec flush t (blk : block) =
         !pushed_blocks
 
 let maybe_global_rebuild t =
-  if t.updates_since_build >= max t.b (t.size_at_build / 2) then begin
+  if t.heap_stale || t.updates_since_build >= max t.b (t.size_at_build / 2)
+  then begin
     let pts =
       Array.to_list t.regions |> List.concat_map (fun r -> r.pts)
     in
@@ -549,6 +594,7 @@ let insert t (p : Point.t) =
   @@ fun () ->
   let (), ios =
     with_ios t (fun () ->
+        durable_txn t @@ fun () ->
         if Array.length t.regions = 0 then begin
           rebuild_all t [ p ];
           t.global_rebuilds <- t.global_rebuilds + 1
@@ -583,6 +629,7 @@ let delete t ~id =
       (* Cancel a still-buffered insert in place. *)
       let (), ios =
         with_ios t (fun () ->
+            durable_txn t @@ fun () ->
             let blk = t.blocks.(bidx) in
             blk.buffer <-
               List.filter
@@ -598,6 +645,7 @@ let delete t ~id =
   | None, Some ridx ->
       let (), ios =
         with_ios t (fun () ->
+            durable_txn t @@ fun () ->
             let r = t.regions.(ridx) in
             charge_path_reads t r;
             let blk =
@@ -875,19 +923,6 @@ let pending_updates t =
 
 let rebuilds t = (t.global_rebuilds, t.sub_rebuilds)
 
-let to_list t =
-  let dels = Hashtbl.create 16 in
-  let ins = ref [] in
-  Array.iter
-    (fun (blk : block) ->
-      List.iter
-        (function
-          | Ins p -> ins := p :: !ins
-          | Del { id } -> Hashtbl.replace dels id ())
-        blk.buffer)
-    t.blocks;
-  let applied = Array.to_list t.regions |> List.concat_map (fun r -> r.pts) in
-  List.filter (fun (p : Point.t) -> not (Hashtbl.mem dels p.id)) applied @ !ins
 
 let check_invariants t =
   let fail msg = failwith ("Dynamic: " ^ msg) in
@@ -933,3 +968,14 @@ let check_invariants t =
             fail "second level out of sync"
       | None -> ())
     t.regions
+
+(* Logical recovery: rebuild from the last committed point set. The
+   recovered instance journals into a fresh Wal (the rebuilt pages share
+   nothing with the crashed image's journal base). *)
+let recover ~b (r : Wal.recovered) =
+  let b, pts =
+    match r.Wal.r_meta with
+    | None -> (b, [])
+    | Some snapshot -> (Marshal.from_string snapshot 0 : int * Point.t list)
+  in
+  create ~durability:(Wal.create ()) ~b pts

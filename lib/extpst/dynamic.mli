@@ -40,9 +40,23 @@ val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   b:int ->
   Point.t list ->
   t
+
+(** [wal t] is the journal both pagers are enrolled in, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the structure from a crash image's last
+    commit record. The structure is logged {e logically}: page writes
+    are journaled (each update is atomic, write amplification is the
+    usual 2x) but the commit record carries the live point set, and
+    recovery rebuilds the in-memory mirror from it — the skeletal-block
+    mirror is derived state. If nothing was committed the durable state
+    is empty; [b] sizes that fresh instance. The result journals into a
+    fresh Wal. *)
+val recover : b:int -> Pc_pagestore.Wal.recovered -> t
 
 (** [obs t] is the trace handle both pagers emit into, if any. Entry
     points open spans ([build.dynamic], [insert.dynamic],

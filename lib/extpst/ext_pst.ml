@@ -26,20 +26,50 @@ let capacity_schedule ~variant ~b =
   | Two_level -> Build.schedule_two_level ~b
   | Multilevel -> Build.schedule_multilevel ~b
 
-let create ?(cache_capacity = 0) ?pool ?obs ~variant ~b pts =
+let snapshot t =
+  Marshal.to_string
+    (t.variant, Pager.page_capacity t.pager, t.structure, t.size)
+    []
+
+let create ?(cache_capacity = 0) ?pool ?obs ?durability ~variant ~b pts =
   if b < 2 then invalid_arg "Ext_pst.create: b < 2";
   let pager =
-    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_pst" ~page_capacity:b ()
+    Pager.create ~cache_capacity ?pool ?obs ?wal:durability
+      ~obs_name:"ext_pst" ~page_capacity:b ()
   in
-  let structure =
-    match pts with
-    | [] -> None
-    | _ ->
-        Pc_obs.Obs.with_span obs ~kind:"build.2sided" @@ fun () ->
-        let caps, modes = capacity_schedule ~variant ~b in
-        Some (Build.build pager ~modes ~caps pts)
+  let result = ref None in
+  Wal.with_txn durability
+    ~meta:(fun () -> snapshot (Option.get !result))
+    (fun () ->
+      let structure =
+        match pts with
+        | [] -> None
+        | _ ->
+            Pc_obs.Obs.with_span obs ~kind:"build.2sided" @@ fun () ->
+            let caps, modes = capacity_schedule ~variant ~b in
+            Some (Build.build pager ~modes ~caps pts)
+      in
+      let t = { variant; pager; structure; size = List.length pts } in
+      result := Some t;
+      t)
+
+let wal t = Pager.wal t.pager
+
+let of_snapshot r ~idx ~snapshot =
+  let (variant, b, structure, size)
+        : variant * int * Types.structure option * int =
+    Marshal.from_string snapshot 0
   in
-  { variant; pager; structure; size = List.length pts }
+  let pager = Pager.attach_recovered r ~idx ~page_capacity:b () in
+  { variant; pager; structure; size }
+
+(* Static build is all-or-nothing: the whole construction is one journal
+   transaction, so a crash image either replays to the full structure or
+   to the empty one. *)
+let recover ?(variant = Multilevel) ~b (r : Wal.recovered) =
+  match r.Wal.r_meta with
+  | Some snapshot -> of_snapshot r ~idx:0 ~snapshot
+  | None -> create ~durability:(Wal.create ()) ~variant ~b []
 
 let variant t = t.variant
 let size t = t.size

@@ -41,10 +41,28 @@ val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   variant:variant ->
   b:int ->
   Point.t list ->
   t
+
+(** [wal t] is the journal the pager is enrolled in, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the structure from a crash image. The static
+    build is one journal transaction — all-or-nothing: either the full
+    structure replays from the recovered pages (scalars from the commit
+    record) or nothing was committed and the durable state is the empty
+    structure ([variant], [b] size that fallback). *)
+val recover : ?variant:variant -> b:int -> Pc_pagestore.Wal.recovered -> t
+
+(** [snapshot t] / [of_snapshot r ~idx ~snapshot] split {!recover} for
+    owners embedding this structure, as {!Pc_btree.Btree.of_snapshot}. *)
+val snapshot : t -> string
+
+val of_snapshot :
+  Pc_pagestore.Wal.recovered -> idx:int -> snapshot:string -> t
 
 val variant : t -> variant
 val size : t -> int

@@ -36,7 +36,7 @@ type bnode = {
   b_pts : Point.t array; (* subtree points, sorted by y then id *)
 }
 
-let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
+let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ~b pts =
   if b < 4 then invalid_arg "Ext_range.create: b < 4 (B+-tree fanout)";
   (* one frame budget covers the skeletal and y-index pagers; before the
      shared pool, passing [cache_capacity] to both silently doubled the
@@ -48,10 +48,12 @@ let create ?(cache_capacity = 0) ?pool ?obs ~b pts =
         Pc_bufferpool.Buffer_pool.create ~capacity:cache_capacity ()
   in
   let pager =
-    Pager.create ~pool ?obs ~obs_name:"ext_range" ~page_capacity:b ()
+    Pager.create ~pool ?obs ?wal:durability ~obs_name:"ext_range"
+      ~page_capacity:b ()
   in
   let index_pager =
-    Pager.create ~pool ?obs ~obs_name:"ext_range.yindex" ~page_capacity:b ()
+    Pager.create ~pool ?obs ?wal:durability ~obs_name:"ext_range.yindex"
+      ~page_capacity:b ()
   in
   Pc_obs.Obs.with_span obs ~kind:"build.rangetree" @@ fun () ->
   match pts with
@@ -393,3 +395,62 @@ let io_stats t =
 let reset_io_stats t =
   Pager.reset_stats t.pager;
   Pager.reset_stats t.index_pager
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t =
+  Marshal.to_string
+    ( Pager.page_capacity t.pager,
+      t.layout,
+      t.block_pages,
+      t.size,
+      t.height )
+    []
+
+(* One journal transaction for the whole build — all-or-nothing. The
+   inner y-index bulk loads run on the same journal and fold in. *)
+let create ?cache_capacity ?pool ?obs ?durability ~b pts =
+  let result = ref None in
+  Wal.with_txn durability
+    ~meta:(fun () -> snapshot (Option.get !result))
+    (fun () ->
+      let t = create_unjournaled ?cache_capacity ?pool ?obs ?durability ~b pts in
+      result := Some t;
+      t)
+
+let wal t = Pager.wal t.pager
+
+let recover ~b (r : Wal.recovered) =
+  match r.Wal.r_meta with
+  | None -> create ~durability:(Wal.create ()) ~b []
+  | Some snapshot ->
+      let (b, layout, block_pages, size, height)
+            : int * Skeletal_layout.t option * int array * int * int =
+        Marshal.from_string snapshot 0
+      in
+      let pool = Pc_bufferpool.Buffer_pool.create ~capacity:0 () in
+      (* creation order: skeletal pager enrolled first, y-index second *)
+      let index_pager =
+        Pager.attach_recovered r ~idx:1 ~pool ~obs_name:"ext_range.yindex"
+          ~page_capacity:b ()
+      in
+      (* Recovered skeletal pages embed y-index tree handles that still
+         point at the crashed instance's pager (a live-value stand-in
+         for what a real disk would store as a root page id): rebind
+         them to the recovered y-index pager while rehydrating. *)
+      let fixup cells =
+        Array.map
+          (function
+            | Desc ({ y_index = Some bt; _ } as d) ->
+                Desc
+                  { d with y_index = Some (Pc_btree.Btree.rebind bt index_pager) }
+            | c -> c)
+          cells
+      in
+      let pager =
+        Pager.attach_recovered r ~idx:0 ~pool ~obs_name:"ext_range" ~fixup
+          ~page_capacity:b ()
+      in
+      { pager; index_pager; layout; block_pages; size; height }

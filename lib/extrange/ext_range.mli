@@ -31,9 +31,20 @@ val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
+  ?durability:Pc_pagestore.Wal.t ->
   b:int ->
   Point.t list ->
   t
+
+(** [wal t] is the journal both pagers are enrolled in, if durable. *)
+val wal : t -> Pc_pagestore.Wal.t option
+
+(** [recover ~b r] rebuilds the structure from a crash image:
+    all-or-nothing (the build is one journal transaction). Skeletal and
+    y-index pages re-attach from the image; the y-index tree handles
+    embedded in skeletal descriptors are rebound to the recovered
+    y-index pager during rehydration. *)
+val recover : b:int -> Pc_pagestore.Wal.recovered -> t
 val size : t -> int
 val page_size : t -> int
 

@@ -18,6 +18,10 @@ type kind =
   | Write_back
   | Pin
   | Fault
+  | Retry
+  | Journal_write
+  | Checkpoint
+  | Corrupt
   | Span_begin
   | Span_end
 
@@ -40,6 +44,10 @@ let kind_name = function
   | Write_back -> "write_back"
   | Pin -> "pin"
   | Fault -> "fault"
+  | Retry -> "retry"
+  | Journal_write -> "journal_write"
+  | Checkpoint -> "checkpoint"
+  | Corrupt -> "corrupt"
   | Span_begin -> "span_begin"
   | Span_end -> "span_end"
 
@@ -53,6 +61,10 @@ let kind_of_name = function
   | "write_back" -> Some Write_back
   | "pin" -> Some Pin
   | "fault" -> Some Fault
+  | "retry" -> Some Retry
+  | "journal_write" -> Some Journal_write
+  | "checkpoint" -> Some Checkpoint
+  | "corrupt" -> Some Corrupt
   | "span_begin" -> Some Span_begin
   | "span_end" -> Some Span_end
   | _ -> None
@@ -395,7 +407,10 @@ let replay_channel ic =
                 t_write_backs = acc.t_write_backs + 1;
                 t_writes = acc.t_writes + 1;
               }
-        | Pin | Fault -> go (lineno + 1) acc
+        | Journal_write | Checkpoint ->
+            (* durability writes are device writes, mirroring Io_stats *)
+            go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
+        | Pin | Fault | Retry | Corrupt -> go (lineno + 1) acc
         | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
         | Span_end -> go (lineno + 1) acc)
   in
@@ -509,9 +524,10 @@ module Profile = struct
                   a.a_count <- a.a_count + 1;
                   a.a_total <- a.a_total + top.os_ios;
                   Histogram.add a.a_histo top.os_ios)
-          | Read | Write | Write_back ->
+          | Read | Write | Write_back | Journal_write | Checkpoint ->
               List.iter (fun os -> os.os_ios <- os.os_ios + 1) !stack
-          | Alloc | Free | Cache_hit | Evict | Pin | Fault -> ());
+          | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Corrupt
+            -> ());
           go (lineno + 1)
     in
     go 1;

@@ -32,6 +32,18 @@ type kind =
       (** a device error injected by a {!Pc_pagestore.Fault_plan} — one
           event per failed transfer attempt, tagged with the page, so a
           trace shows exactly where the fault landed *)
+  | Retry
+      (** a transient read burst the pager absorbed in place: one event
+          per burst, after the failed attempts' [Fault] events *)
+  | Journal_write
+      (** a page journaled at commit by the durability layer
+          ({!Pc_pagestore.Wal}); a device write, counted as such by
+          {!replay_channel} *)
+  | Checkpoint
+      (** a superblock write truncating the journal; a device write *)
+  | Corrupt
+      (** a checksum mismatch quarantined in degraded mode — reads of
+          this page now return nothing and results are marked partial *)
   | Span_begin
   | Span_end
 

@@ -6,6 +6,7 @@ type t = {
   mutable frees : int;
   mutable evictions : int;
   mutable write_backs : int;
+  mutable retries : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     frees = 0;
     evictions = 0;
     write_backs = 0;
+    retries = 0;
   }
 
 let reset t =
@@ -26,7 +28,8 @@ let reset t =
   t.allocs <- 0;
   t.frees <- 0;
   t.evictions <- 0;
-  t.write_backs <- 0
+  t.write_backs <- 0;
+  t.retries <- 0
 
 let total t = t.reads + t.writes
 
@@ -39,6 +42,7 @@ let snapshot t =
     frees = t.frees;
     evictions = t.evictions;
     write_backs = t.write_backs;
+    retries = t.retries;
   }
 
 let diff ~after ~before =
@@ -50,13 +54,15 @@ let diff ~after ~before =
     frees = after.frees - before.frees;
     evictions = after.evictions - before.evictions;
     write_backs = after.write_backs - before.write_backs;
+    retries = after.retries - before.retries;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "{reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; evictions=%d; \
      write_backs=%d}"
-    t.reads t.writes t.cache_hits t.allocs t.frees t.evictions t.write_backs
+    t.reads t.writes t.cache_hits t.allocs t.frees t.evictions t.write_backs;
+  if t.retries > 0 then Format.fprintf ppf " retries=%d" t.retries
 
 let to_args t =
   [
@@ -68,6 +74,7 @@ let to_args t =
     ("evictions", t.evictions);
     ("write_backs", t.write_backs);
   ]
+  @ (if t.retries > 0 then [ ("retries", t.retries) ] else [])
 
 let to_json t =
   "{"
@@ -108,4 +115,7 @@ let of_json s =
   let* frees = json_int_field s "frees" in
   let* evictions = json_int_field s "evictions" in
   let* write_backs = json_int_field s "write_backs" in
-  Some { reads; writes; cache_hits; allocs; frees; evictions; write_backs }
+  let retries = Option.value (json_int_field s "retries") ~default:0 in
+  Some
+    { reads; writes; cache_hits; allocs; frees; evictions; write_backs;
+      retries }

@@ -10,7 +10,14 @@
     evictor may be another pager drawing on the same budget), and
     [write_backs] counts deferred writes charged at eviction or flush time
     when the pool runs in write-back mode. Write-backs are also included
-    in [writes], so {!total} remains the paper's I/O cost. *)
+    in [writes], so {!total} remains the paper's I/O cost.
+
+    [retries] counts transient read failures the pager absorbed by
+    retrying in place (see {!Pc_pagestore.Fault_plan.Transient}); each
+    retried attempt is also charged as a read, so [retries] measures
+    redundant transfers, not extra cost. It is zero — and omitted from
+    {!to_args} / {!to_json}, keeping fault-free output byte-identical —
+    unless a fault plan injected transient faults. *)
 
 type t = {
   mutable reads : int;
@@ -20,6 +27,7 @@ type t = {
   mutable frees : int;
   mutable evictions : int;
   mutable write_backs : int;
+  mutable retries : int;
 }
 
 val create : unit -> t

@@ -2,16 +2,39 @@ open Pc_bufferpool
 
 exception Io_fault of { page : int; op : string }
 exception Torn_write of { page : int; kept : int; len : int }
+exception Corrupt_page of { page : int }
 exception Page_overflow of { page : int; len : int; capacity : int }
 exception Frame_mutated of { page : int }
 
-type 'a slot = Live of 'a array | Freed
+(* [Damaged] only appears on pagers rebuilt by {!attach_recovered}: a
+   page whose checksum failed even after journal redo. Reading it is a
+   [Corrupt_page] (or a quarantined skip in degraded mode); overwriting
+   it heals it. *)
+type 'a slot = Live of 'a array | Freed | Damaged
 
 (* A cached page frame. [shadow] is a pristine copy kept only when the
    pool runs in validation mode; it lets the pager detect callers that
    mutate an array returned by {!read} instead of going through
    {!write}. *)
 type 'a frame = { mutable data : 'a array; mutable shadow : 'a array option }
+
+(* Durability state of a pager enrolled in a {!Wal}: the checksum side
+   table (committed content only), the quarantine set for degraded
+   reads, and the open transaction's first-touch undo log. *)
+type 'a dur = {
+  wal : Wal.t;
+  widx : int; (* enrollment index inside [wal] *)
+  crcs : (int, int64) Hashtbl.t;
+  quarantined : (int, unit) Hashtbl.t;
+  undo : (int, 'a slot_opt) Hashtbl.t;
+  mutable in_txn : bool;
+  mutable undo_next_id : int;
+  mutable undo_live : int;
+  mutable degraded : bool;
+  mutable partial : bool; (* sticky: a quarantined page was skipped *)
+}
+
+and 'a slot_opt = 'a slot option
 
 type 'a t = {
   page_capacity : int;
@@ -27,6 +50,8 @@ type 'a t = {
   obs : Pc_obs.Obs.t option;
   obs_src : Pc_obs.Obs.source option;
   name : string; (* the [obs_name]; labels this pager's exported metrics *)
+  mutable dur : 'a dur option;
+  retry_histo : Pc_obs.Histogram.t; (* transient burst lengths absorbed *)
 }
 
 (* The ambient plan: structures create pagers internally (often two per
@@ -41,8 +66,8 @@ let set_ambient_fault_plan p = ambient_plan := Some p
 let clear_ambient_fault_plan () = ambient_plan := None
 let ambient_fault_plan () = !ambient_plan
 
-let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
-    () =
+let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager")
+    ~page_capacity () =
   if page_capacity <= 0 then invalid_arg "Pager.create: page_capacity <= 0";
   let pool =
     match pool with
@@ -67,6 +92,8 @@ let create ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ~page_capacity
     obs;
     obs_src;
     name = obs_name;
+    dur = None;
+    retry_histo = Pc_obs.Histogram.create ();
   }
 
 let page_capacity t = t.page_capacity
@@ -94,9 +121,13 @@ let check_fault t ~op ~page =
 
 let fault_ev t ~page = ev t Pc_obs.Obs.Fault ~page
 
-(* A guarded device read. Transient bursts charge each failed attempt
-   as a real read I/O — a retried transfer is still a transfer — so a
-   read that succeeds after [f] failures costs [f + 1] reads. *)
+(* A guarded device read. Transient bursts are retried *inside the
+   pager* up to the plan's budget; each failed attempt is charged as a
+   real read I/O — a retried transfer is still a transfer — so a read
+   that succeeds after [f] failures costs [f + 1] reads. The retries the
+   pager absorbed are counted in [Io_stats.retries], folded into the
+   per-pager retry histogram, and emitted as one [Retry] event per
+   burst (after the attempts' [Fault] events). *)
 let guard_read t ~op ~page =
   match t.plan with
   | None -> ()
@@ -113,6 +144,12 @@ let guard_read t ~op ~page =
             t.stats.reads <- t.stats.reads + 1;
             fault_ev t ~page
           done;
+          let absorbed = min fails retries in
+          if absorbed > 0 then begin
+            t.stats.retries <- t.stats.retries + absorbed;
+            Pc_obs.Histogram.add t.retry_histo absorbed;
+            ev t Pc_obs.Obs.Retry ~page
+          end;
           if fails > retries then raise (Io_fault { page; op }))
 
 (* A guarded device write of [records]. A torn write transfers only the
@@ -147,6 +184,127 @@ let ensure_capacity t id =
     Array.blit t.slots 0 slots 0 len;
     t.slots <- slots
   end
+
+(* --- durability layer (see wal.ml and DESIGN.md §12) ---------------- *)
+
+(* One guarded durability write (journal record, in-place apply or
+   superblock), charged like any device write but reported as an
+   outcome: the [Wal] decides what a tear or denial means at each
+   commit phase. *)
+let dev_write_outcome t ~page ~kind =
+  let charge () =
+    t.stats.writes <- t.stats.writes + 1;
+    ev t kind ~page
+  in
+  match t.plan with
+  | None ->
+      charge ();
+      Wal.W_ok
+  | Some p -> (
+      match Fault_plan.decide p ~write:true with
+      | Fault_plan.Proceed | Fault_plan.Transient_burst _ ->
+          charge ();
+          Wal.W_ok
+      | Fault_plan.Deny ->
+          fault_ev t ~page;
+          Wal.W_deny
+      | Fault_plan.Tear ->
+          charge ();
+          fault_ev t ~page;
+          Wal.W_torn)
+
+let enroll t wal ~idx ~seed_crcs =
+  let d =
+    {
+      wal;
+      widx = idx;
+      crcs = seed_crcs;
+      quarantined = Hashtbl.create 4;
+      undo = Hashtbl.create 16;
+      in_txn = false;
+      undo_next_id = 0;
+      undo_live = 0;
+      degraded = false;
+      partial = false;
+    }
+  in
+  t.dur <- Some d;
+  Wal.enroll wal
+    {
+      pt_idx = idx;
+      pt_touched =
+        (fun () ->
+          if d.in_txn then
+            Hashtbl.fold (fun k _ acc -> k :: acc) d.undo []
+            |> List.sort compare
+          else []);
+      pt_snapshot =
+        (fun page ->
+          if page < 0 || page >= Array.length t.slots then None
+          else
+            match t.slots.(page) with
+            | Some (Live records) ->
+                Some (Obj.magic (Array.copy records) : Obj.t array)
+            | Some Freed | Some Damaged | None -> None);
+      pt_journal_write =
+        (fun page -> dev_write_outcome t ~page ~kind:Pc_obs.Obs.Journal_write);
+      pt_apply_write =
+        (fun page -> dev_write_outcome t ~page ~kind:Pc_obs.Obs.Write);
+      pt_super_write =
+        (fun () -> dev_write_outcome t ~page:(-1) ~kind:Pc_obs.Obs.Checkpoint);
+      pt_set_crc =
+        (fun page crc ->
+          if page >= 0 && page < Array.length t.slots then
+            match t.slots.(page) with
+            | Some (Live _) -> Hashtbl.replace d.crcs page crc
+            | _ -> Hashtbl.remove d.crcs page);
+      pt_rollback =
+        (fun () ->
+          if d.in_txn then begin
+            Hashtbl.iter
+              (fun page pre ->
+                if page < Array.length t.slots then t.slots.(page) <- pre;
+                Hashtbl.remove t.frames page;
+                Buffer_pool.forget t.client page)
+              d.undo;
+            t.next_id <- d.undo_next_id;
+            t.live <- d.undo_live;
+            Hashtbl.reset d.undo;
+            d.in_txn <- false
+          end);
+      pt_commit_clear =
+        (fun () ->
+          Hashtbl.reset d.undo;
+          d.in_txn <- false);
+      pt_next_id = (fun () -> t.next_id);
+      pt_io_fault = (fun ~page ~op -> Io_fault { page; op });
+      pt_torn = (fun ~page ~len -> Torn_write { page; kept = len / 2; len });
+    }
+
+(* Every mutation of a durable pager must sit inside a [Wal.with_txn]:
+   the device write is deferred to commit, so an unjournaled write can
+   never reach the disk. First touch saves the pre-image for rollback;
+   rewriting a page also lifts its quarantine (the new content will be
+   checksummed at commit). *)
+let touch_txn t id =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      if Wal.txn_depth d.wal = 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Pager(%s): durable pager mutated outside Wal.with_txn" t.name);
+      if not d.in_txn then begin
+        d.in_txn <- true;
+        d.undo_next_id <- t.next_id;
+        d.undo_live <- t.live
+      end;
+      if not (Hashtbl.mem d.undo id) then
+        Hashtbl.add d.undo id
+          (if id < Array.length t.slots then t.slots.(id) else None);
+      Hashtbl.remove d.quarantined id
+
+let durable t = t.dur <> None
 
 let check_len t ~page records =
   let len = Array.length records in
@@ -211,6 +369,7 @@ let alloc t records =
   let id = t.next_id in
   check_len t ~page:id records;
   check_fault t ~op:"alloc" ~page:id;
+  touch_txn t id;
   ensure_capacity t id;
   t.slots.(id) <- Some (Live records);
   t.next_id <- id + 1;
@@ -218,7 +377,8 @@ let alloc t records =
   t.stats.allocs <- t.stats.allocs + 1;
   ev t Pc_obs.Obs.Alloc ~page:id;
   cache_insert t id records;
-  charge_write t id ~op:"alloc" ~records ~buffered:(Hashtbl.mem t.frames id);
+  if not (durable t) then
+    charge_write t id ~op:"alloc" ~records ~buffered:(Hashtbl.mem t.frames id);
   id
 
 let alloc_empty t = alloc t [||]
@@ -228,8 +388,48 @@ let get_slot t id op =
     invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id);
   match t.slots.(id) with
   | Some (Live records) -> records
+  | Some Damaged -> raise (Corrupt_page { page = id })
   | Some Freed -> invalid_arg (Printf.sprintf "Pager.%s: page %d was freed" op id)
   | None -> invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id)
+
+(* Like {!get_slot} but tolerant of [Damaged]: overwriting (or freeing)
+   a damaged page is how it heals. *)
+let check_writable t id op =
+  if id < 0 || id >= t.next_id then
+    invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id);
+  match t.slots.(id) with
+  | Some (Live _) | Some Damaged -> ()
+  | Some Freed -> invalid_arg (Printf.sprintf "Pager.%s: page %d was freed" op id)
+  | None -> invalid_arg (Printf.sprintf "Pager.%s: unknown page %d" op id)
+
+(* Checksum verdict for a device read off a durable pager. Committed
+   content must match the side table; pages touched by the open
+   transaction are exempt (their checksum is computed at commit). *)
+let read_verdict t id records =
+  match t.dur with
+  | None -> `Ok
+  | Some d -> (
+      if d.in_txn && Hashtbl.mem d.undo id then `Ok
+      else
+        match Hashtbl.find_opt d.crcs id with
+        | Some crc
+          when Checksum.payload (Some (Obj.magic records : Obj.t array)) <> crc
+          ->
+            `Corrupt
+        | _ -> `Ok)
+
+(* A read that checksums wrong (or hits a [Damaged] slot) never returns
+   garbage: it raises [Corrupt_page], or — in degraded mode — the page
+   is quarantined, the result is marked partial, and the caller gets an
+   empty page to skip. *)
+let corrupt_read t id =
+  match t.dur with
+  | Some d when d.degraded ->
+      Hashtbl.replace d.quarantined id ();
+      d.partial <- true;
+      ev t Pc_obs.Obs.Corrupt ~page:id;
+      [||]
+  | _ -> raise (Corrupt_page { page = id })
 
 let read t id =
   sync t;
@@ -241,19 +441,40 @@ let read t id =
       ev t Pc_obs.Obs.Cache_hit ~page:id;
       Buffer_pool.touch t.client id;
       fr.data
-  | None ->
-      let records = get_slot t id "read" in
-      guard_read t ~op:"read" ~page:id;
-      t.stats.reads <- t.stats.reads + 1;
-      ev t Pc_obs.Obs.Read ~page:id;
-      cache_insert t id records;
-      records
+  | None -> (
+      match t.dur with
+      | Some d when Hashtbl.mem d.quarantined id ->
+          (* known bad: skipped without another device transfer *)
+          d.partial <- true;
+          [||]
+      | _ -> (
+          if id < 0 || id >= t.next_id then
+            invalid_arg (Printf.sprintf "Pager.read: unknown page %d" id);
+          match t.slots.(id) with
+          | Some Freed ->
+              invalid_arg (Printf.sprintf "Pager.read: page %d was freed" id)
+          | None -> invalid_arg (Printf.sprintf "Pager.read: unknown page %d" id)
+          | Some Damaged ->
+              guard_read t ~op:"read" ~page:id;
+              t.stats.reads <- t.stats.reads + 1;
+              ev t Pc_obs.Obs.Read ~page:id;
+              corrupt_read t id
+          | Some (Live records) -> (
+              guard_read t ~op:"read" ~page:id;
+              t.stats.reads <- t.stats.reads + 1;
+              ev t Pc_obs.Obs.Read ~page:id;
+              match read_verdict t id records with
+              | `Corrupt -> corrupt_read t id
+              | `Ok ->
+                  cache_insert t id records;
+                  records)))
 
 let write t id records =
   sync t;
   check_len t ~page:id records;
   check_fault t ~op:"write" ~page:id;
-  ignore (get_slot t id "write");
+  check_writable t id "write";
+  touch_txn t id;
   t.slots.(id) <- Some (Live records);
   (match Hashtbl.find_opt t.frames id with
   | Some fr ->
@@ -262,11 +483,13 @@ let write t id records =
       refresh_shadow t fr;
       Buffer_pool.touch t.client id
   | None -> cache_insert t id records);
-  charge_write t id ~op:"write" ~records ~buffered:(Hashtbl.mem t.frames id)
+  if not (durable t) then
+    charge_write t id ~op:"write" ~records ~buffered:(Hashtbl.mem t.frames id)
 
 let free t id =
   sync t;
-  ignore (get_slot t id "free");
+  check_writable t id "free";
+  touch_txn t id;
   t.slots.(id) <- Some Freed;
   t.live <- t.live - 1;
   t.stats.frees <- t.stats.frees + 1;
@@ -345,7 +568,16 @@ let advise_willneed t ids =
   if Buffer_pool.capacity t.pool > 0 then
     List.iter
       (fun id ->
-        if not (Hashtbl.mem t.frames id) then begin
+        let skip =
+          (* prefetching a damaged or quarantined page is pointless;
+             the verifying read path will deal with it if asked *)
+          match t.dur with
+          | Some d ->
+              Hashtbl.mem d.quarantined id
+              || (id >= 0 && id < t.next_id && t.slots.(id) = Some Damaged)
+          | None -> false
+        in
+        if (not skip) && not (Hashtbl.mem t.frames id) then begin
           let records = get_slot t id "advise_willneed" in
           guard_read t ~op:"advise_willneed" ~page:id;
           t.stats.reads <- t.stats.reads + 1;
@@ -353,6 +585,86 @@ let advise_willneed t ids =
           cache_insert ~hint:`Hot t id records
         end)
       ids
+
+(* ------------------------------------------------------------------ *)
+(* Durability: creation, recovery, degraded reads                     *)
+(* ------------------------------------------------------------------ *)
+
+let create ?cache_capacity ?pool ?obs ?obs_name ?wal ~page_capacity () =
+  let t = create_raw ?cache_capacity ?pool ?obs ?obs_name ~page_capacity () in
+  (match wal with
+  | None -> ()
+  | Some w ->
+      enroll t w ~idx:(Wal.next_part_idx w) ~seed_crcs:(Hashtbl.create 64));
+  t
+
+let wal t = Option.map (fun d -> d.wal) t.dur
+let wal_index t = Option.map (fun d -> d.widx) t.dur
+
+let attach_recovered (r : Wal.recovered) ~idx ?cache_capacity ?pool ?obs
+    ?obs_name ?fixup ~page_capacity () =
+  let t = create_raw ?cache_capacity ?pool ?obs ?obs_name ~page_capacity () in
+  let crcs = Hashtbl.create 64 in
+  let rehydrate arr =
+    match fixup with None -> arr | Some f -> f arr
+  in
+  List.iter
+    (fun (page, payload, ok) ->
+      ensure_capacity t page;
+      t.next_id <- max t.next_id (page + 1);
+      match payload with
+      | Some arr when ok ->
+          let arr = rehydrate (Obj.magic (Array.copy arr) : 'a array) in
+          t.slots.(page) <- Some (Live arr);
+          t.live <- t.live + 1;
+          Hashtbl.replace crcs page
+            (Checksum.payload (Some (Obj.magic arr : Obj.t array)))
+      | Some _ ->
+          (* checksum failed even after redo: quarantinable, never
+             silently readable *)
+          t.slots.(page) <- Some Damaged;
+          t.live <- t.live + 1
+      | None -> t.slots.(page) <- Some Freed)
+    (Wal.recovered_slots r ~idx);
+  t.next_id <- max t.next_id (Wal.recovered_next_id r ~idx);
+  enroll t r.Wal.r_wal ~idx ~seed_crcs:crcs;
+  t
+
+let set_degraded t on =
+  match t.dur with
+  | None -> invalid_arg "Pager.set_degraded: pager has no durability layer"
+  | Some d -> d.degraded <- on
+
+let degraded t = match t.dur with Some d -> d.degraded | None -> false
+
+let consume_partial t =
+  match t.dur with
+  | Some d ->
+      let p = d.partial in
+      d.partial <- false;
+      p
+  | None -> false
+
+let quarantined_pages t =
+  match t.dur with
+  | Some d ->
+      Hashtbl.fold (fun k () acc -> k :: acc) d.quarantined []
+      |> List.sort compare
+  | None -> []
+
+(* Test hook: rot the stored checksum so the next uncached read of
+   [page] detects corruption. *)
+let corrupt_page t page =
+  match t.dur with
+  | None -> invalid_arg "Pager.corrupt_page: pager has no durability layer"
+  | Some d ->
+      check_writable t page "corrupt_page";
+      let old = Option.value (Hashtbl.find_opt d.crcs page) ~default:0L in
+      Hashtbl.replace d.crcs page (Checksum.spoil old);
+      Hashtbl.remove t.frames page;
+      Buffer_pool.forget t.client page
+
+let retry_histogram t = t.retry_histo
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                     *)
@@ -374,4 +686,16 @@ let export_metrics t m =
       set
         ("pathcache_pager_io_" ^ k)
         "Cumulative I/O counter snapshot (see Io_stats)." v)
-    (Io_stats.to_args t.stats)
+    (Io_stats.to_args t.stats);
+  if Pc_obs.Histogram.count t.retry_histo > 0 then
+    List.iter
+      (fun (k, v) ->
+        set
+          ("pathcache_pager_retry_burst_" ^ k)
+          "Transient read bursts absorbed in-pager (attempts per burst)." v)
+      [
+        ("count", Pc_obs.Histogram.count t.retry_histo);
+        ("p50", Pc_obs.Histogram.p50 t.retry_histo);
+        ("p99", Pc_obs.Histogram.p99 t.retry_histo);
+        ("max", Pc_obs.Histogram.max_value t.retry_histo);
+      ]

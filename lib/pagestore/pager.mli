@@ -33,6 +33,13 @@ exception Torn_write of { page : int; kept : int; len : int }
     prefix {e is} what later reads of [page] will see — exactly the
     partial-write hazard a real disk presents. *)
 
+exception Corrupt_page of { page : int }
+(** Raised when a page read fails its checksum (or hits a page that
+    recovery marked damaged) on a pager with a durability layer: the
+    pager never silently returns garbage. In degraded mode (see
+    {!set_degraded}) the page is quarantined instead and reads of it
+    return an empty page while {!consume_partial} reports the skip. *)
+
 exception Page_overflow of { page : int; len : int; capacity : int }
 (** Raised when a page is written with more records than it can hold. *)
 
@@ -53,12 +60,52 @@ exception Frame_mutated of { page : int }
     default), tracing code is a no-op and I/O counts are byte-identical
     to an uninstrumented pager. A pager carrying an [obs] handle cannot
     be persisted with {!Persist} (the sink holds closures), mirroring the
-    fault-hook restriction. *)
+    fault-hook restriction.
+
+    [wal] enrolls the pager in a write-ahead journal (see {!Wal} and
+    DESIGN.md §12): every mutation must then happen inside
+    {!Wal.with_txn}, reads verify page checksums, and the whole
+    structure becomes crash-recoverable. A durable pager also holds
+    closures and cannot be persisted with {!Persist}. Without [wal]
+    nothing changes — I/O counts are byte-identical to older trees. *)
 val create :
   ?cache_capacity:int ->
   ?pool:Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
   ?obs_name:string ->
+  ?wal:Wal.t ->
+  page_capacity:int ->
+  unit ->
+  'a t
+
+(** [wal t] is the journal this pager is enrolled in, if any;
+    [wal_index t] its enrollment index (pagers are re-attached by index
+    at recovery). *)
+val wal : 'a t -> Wal.t option
+
+val wal_index : 'a t -> int option
+
+(** [attach_recovered r ~idx ~page_capacity ()] rebuilds the pager with
+    enrollment index [idx] from a {!Wal.recover} result: recovered pages
+    become live (with their checksums seeded), freed pages stay freed,
+    and pages whose checksum failed even after redo become {e damaged} —
+    readable only as {!Corrupt_page} or a degraded skip. The pager is
+    enrolled in [r.r_wal]; attach a structure's pagers in the same order
+    they were created.
+
+    [fixup] rehydrates each intact page before installation — the hook a
+    structure uses to rebind embedded handles (e.g. a sub-tree's pager,
+    which on a real disk would be serialized as a root page id) to the
+    recovered pagers. It must be value-preserving up to such handles, and
+    checksums are re-seeded from its output. *)
+val attach_recovered :
+  Wal.recovered ->
+  idx:int ->
+  ?cache_capacity:int ->
+  ?pool:Buffer_pool.t ->
+  ?obs:Pc_obs.Obs.t ->
+  ?obs_name:string ->
+  ?fixup:('a array -> 'a array) ->
   page_capacity:int ->
   unit ->
   'a t
@@ -181,6 +228,34 @@ val advise_normal : 'a t -> unit
 (** [advise_willneed t ids] prefetches the given pages into the pool (one
     read I/O per non-resident page), admitting them hot. *)
 val advise_willneed : 'a t -> int list -> unit
+
+(** {1 Degraded reads}
+
+    Opt-in quarantine for corrupt pages: with [set_degraded t true], a
+    checksum mismatch no longer raises — the page joins the quarantine
+    set, reads of it return an empty page (so read-only queries skip the
+    lost records), and the partial-result marker sticks until consumed.
+    Requires a durability layer. *)
+
+val set_degraded : 'a t -> bool -> unit
+val degraded : 'a t -> bool
+
+(** [consume_partial t] reports whether any read since the last call was
+    served from the quarantine (i.e. results may be partial), and clears
+    the marker. Structures surface this through their query stats. *)
+val consume_partial : 'a t -> bool
+
+val quarantined_pages : 'a t -> int list
+
+(** [corrupt_page t id] rots page [id]'s stored checksum and drops its
+    cached frame, so the next read detects corruption — the test hook
+    behind the {!Corrupt_page} demonstrations. *)
+val corrupt_page : 'a t -> int -> unit
+
+(** Distribution of transient read-burst lengths absorbed in-pager (see
+    {!Io_stats.t.retries}); empty unless a {!Fault_plan.Transient} plan
+    fired. *)
+val retry_histogram : 'a t -> Pc_obs.Histogram.t
 
 (** {1 Metrics export} *)
 

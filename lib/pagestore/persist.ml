@@ -1,6 +1,48 @@
-let format_version = 1
+let format_version = 2
+
+exception Corrupt of { path : string; offset : int; reason : string }
+
+(* Payload integrity is checked per chunk, so a corruption report can
+   name the offending file offset, not just "something changed". *)
+let chunk_size = 4096
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { path; offset; reason } ->
+        Some
+          (Printf.sprintf "Persist.Corrupt(%s at byte %d: %s)" path offset
+             reason)
+    | _ -> None)
+
+let chunk_sums payload =
+  let len = Bytes.length payload in
+  let n = (len + chunk_size - 1) / chunk_size in
+  Array.init n (fun i ->
+      let pos = i * chunk_size in
+      Checksum.bytes payload ~pos ~len:(min chunk_size (len - pos)))
+
+let output_int64 oc (v : int64) =
+  for byte = 7 downto 0 do
+    output_char oc
+      (Char.chr
+         (Int64.to_int
+            (Int64.logand (Int64.shift_right_logical v (8 * byte)) 0xFFL)))
+  done
+
+let input_int64 ic =
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (input_char ic)))
+  done;
+  !v
 
 let save ~magic path v =
+  let payload =
+    try Marshal.to_bytes v []
+    with Invalid_argument _ ->
+      invalid_arg
+        "Persist.save: value contains closures (clear fault hooks first)"
+  in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -9,26 +51,72 @@ let save ~magic path v =
       output_binary_int oc format_version;
       output_binary_int oc (String.length magic);
       output_string oc magic;
-      try Marshal.to_channel oc v []
-      with Invalid_argument _ ->
-        invalid_arg
-          "Persist.save: value contains closures (clear fault hooks first)")
+      output_binary_int oc (Bytes.length payload);
+      Array.iter (output_int64 oc) (chunk_sums payload);
+      output_bytes oc payload)
 
 let load ~magic path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let header = really_input_string ic 6 in
+      let corrupt reason =
+        raise (Corrupt { path; offset = pos_in ic; reason })
+      in
+      let header =
+        try really_input_string ic 6
+        with End_of_file -> corrupt "truncated before the file header"
+      in
       if header <> "PCACHE" then failwith "Persist.load: not a pathcaching file";
-      let version = input_binary_int ic in
-      if version <> format_version then
-        failwith
-          (Printf.sprintf "Persist.load: format version %d, expected %d"
-             version format_version);
-      let mlen = input_binary_int ic in
-      let file_magic = really_input_string ic mlen in
-      if file_magic <> magic then
-        failwith
-          (Printf.sprintf "Persist.load: magic %S, expected %S" file_magic magic);
-      Marshal.from_channel ic)
+      match
+        let version = input_binary_int ic in
+        if version <> format_version then
+          failwith
+            (Printf.sprintf "Persist.load: format version %d, expected %d"
+               version format_version);
+        let mlen = input_binary_int ic in
+        let file_magic = really_input_string ic mlen in
+        if file_magic <> magic then
+          failwith
+            (Printf.sprintf "Persist.load: magic %S, expected %S" file_magic
+               magic);
+        let plen = input_binary_int ic in
+        let sums =
+          Array.init ((plen + chunk_size - 1) / chunk_size) (fun _ ->
+              input_int64 ic)
+        in
+        (plen, sums)
+      with
+      | exception End_of_file -> corrupt "truncated inside the header"
+      | plen, sums ->
+          let payload_start = pos_in ic in
+          let payload = Bytes.create plen in
+          (try really_input ic payload 0 plen
+           with End_of_file ->
+             raise
+               (Corrupt
+                  {
+                    path;
+                    offset = in_channel_length ic;
+                    reason =
+                      Printf.sprintf "truncated: %d payload bytes expected, %d present"
+                        plen
+                        (in_channel_length ic - payload_start);
+                  }));
+          Array.iteri
+            (fun i expect ->
+              let pos = i * chunk_size in
+              let len = min chunk_size (plen - pos) in
+              if Checksum.bytes payload ~pos ~len <> expect then
+                raise
+                  (Corrupt
+                     {
+                       path;
+                       offset = payload_start + pos;
+                       reason =
+                         Printf.sprintf "checksum mismatch in bytes %d-%d"
+                           (payload_start + pos)
+                           (payload_start + pos + len - 1);
+                     }))
+            sums;
+          Marshal.from_bytes payload 0)

@@ -13,8 +13,19 @@
     binary-incompatible code is undefined — keep saved files paired with
     the binary that wrote them.
 
+    The payload is guarded by its length and per-4KiB-chunk checksums,
+    so a truncated or bit-flipped file raises a typed {!Corrupt} naming
+    the offending byte offset instead of handing undefined bytes to
+    [Marshal].
+
     Structures holding an installed fault-injection hook cannot be saved
     (closures are not serializable); {!Pager.clear_fault} first. *)
+
+exception Corrupt of { path : string; offset : int; reason : string }
+(** The file's integrity envelope failed: truncation ([offset] is where
+    the data ran out) or a checksum mismatch ([offset] is the first byte
+    of the failing 4KiB chunk). Distinct from [Failure], which reports a
+    well-formed file of the wrong kind (bad magic or version). *)
 
 (** [save ~magic path v] writes [v] to [path]. Raises [Sys_error] on I/O
     failure and [Invalid_argument] if [v] contains closures (e.g. an
@@ -23,6 +34,7 @@ val save : magic:string -> string -> 'a -> unit
 
 (** [load ~magic path] reads a value previously written with the same
     [magic]. Raises [Failure] if the file's magic or format version does
-    not match. Type safety is the caller's responsibility: annotate the
+    not match, and {!Corrupt} if the payload envelope does (truncation,
+    bit flip). Type safety is the caller's responsibility: annotate the
     result with the type that was saved. *)
 val load : magic:string -> string -> 'a

@@ -56,10 +56,12 @@ let store_srcs pager entries =
   Blocked_list.store pager
     (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
 
-let create ?(cache_capacity = 0) ?pool ?obs ~mode ~b pts =
+let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ~mode ~b
+    pts =
   if b < 2 then invalid_arg "Ext_pst3.create: b < 2";
   let pager =
-    Pager.create ~cache_capacity ?pool ?obs ~obs_name:"ext_pst3" ~page_capacity:b ()
+    Pager.create ~cache_capacity ?pool ?obs ?wal:durability
+      ~obs_name:"ext_pst3" ~page_capacity:b ()
   in
   Pc_obs.Obs.with_span obs ~kind:"build.3sided" @@ fun () ->
   match pts with
@@ -695,3 +697,37 @@ let query_count t ~xl ~xr ~yb =
 let storage_pages t = Pager.pages_in_use t.pager
 let io_stats t = Pager.stats t.pager
 let reset_io_stats t = Pager.reset_stats t.pager
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t = Marshal.to_string (t.mode, Pager.page_capacity t.pager, t.layout, t.block_pages, t.seg_len, t.size) []
+
+(* The static build is one journal transaction — all-or-nothing under a
+   crash. *)
+let create ?cache_capacity ?pool ?obs ?durability ~mode ~b pts =
+  let result = ref None in
+  Wal.with_txn durability
+    ~meta:(fun () -> snapshot (Option.get !result))
+    (fun () ->
+      let t =
+        create_unjournaled ?cache_capacity ?pool ?obs ?durability ~mode ~b
+          pts
+      in
+      result := Some t;
+      t)
+
+let wal t = Pager.wal t.pager
+
+let of_snapshot r ~idx ~snapshot =
+  let (mode, b, layout, block_pages, seg_len, size) : mode * int * Skeletal_layout.t option * int array * int * int =
+    Marshal.from_string snapshot 0
+  in
+  let pager = Pager.attach_recovered r ~idx ~page_capacity:b () in
+  { mode; pager; layout; block_pages; seg_len; size }
+
+let recover ?(mode = Cached) ~b (r : Wal.recovered) =
+  match r.Wal.r_meta with
+  | Some snapshot -> of_snapshot r ~idx:0 ~snapshot
+  | None -> create ~durability:(Wal.create ()) ~mode ~b []

@@ -95,7 +95,7 @@ let test_shrinker_deterministic_golden () =
   let shrink () =
     let small = Shrink.minimize fails (Array.copy ops) in
     Repro.to_string
-      { target = Subject.Dynamic; seed; b = 8; fault = None; ops = small }
+      { target = Subject.Dynamic; seed; b = 8; fault = None; crash = false; ops = small }
   in
   let first = shrink () in
   let second = shrink () in
@@ -111,6 +111,7 @@ let test_repro_round_trip () =
       seed = 5;
       b = 16;
       fault = Some (Pc_pagestore.Fault_plan.Transient { every = 4; fails = 1; retries = 2 });
+      crash = false;
       ops;
     }
   in

@@ -17,6 +17,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("persist", Test_persist.suite);
       ("robustness", Test_robustness.suite);
+      ("durability", Test_durability.suite);
       ("obs", Test_obs.suite);
       ("costmodel", Test_costmodel.suite);
       ("check", Test_check.suite);

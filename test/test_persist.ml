@@ -96,6 +96,69 @@ let test_not_a_pcache_file () =
    with Failure _ -> ());
   Sys.remove path
 
+(* ----- envelope integrity: byte flips and truncation ----- *)
+
+let write_all path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let read_all path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  Bytes.unsafe_to_string b
+
+let test_byte_flip_detected () =
+  let path = tmp "pc_test_flip.bin" in
+  Persist.save ~magic:"flip" path (List.init 500 (fun i -> (i, i * i)));
+  let original = read_all path in
+  let len = String.length original in
+  (* Flip one byte at several positions through the payload: every flip
+     must surface as [Corrupt] with an offset inside the file. *)
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string original in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      write_all path b;
+      try
+        let (_ : (int * int) list) = Persist.load ~magic:"flip" path in
+        Alcotest.fail
+          (Printf.sprintf "flip at byte %d/%d went undetected" pos len)
+      with Persist.Corrupt { path = p; offset; reason = _ } ->
+        Alcotest.(check string) "corrupt names the file" path p;
+        Alcotest.(check bool) "offset inside the file" true
+          (offset >= 0 && offset <= len))
+    [ len - 1; len / 2; (len / 2) + 1; len - (len / 4) ];
+  (* The pristine bytes still load. *)
+  write_all path (Bytes.of_string original);
+  let (_ : (int * int) list) = Persist.load ~magic:"flip" path in
+  Sys.remove path
+
+let test_truncation_detected () =
+  let path = tmp "pc_test_trunc.bin" in
+  Persist.save ~magic:"trunc" path (List.init 500 (fun i -> (i, i + 7)));
+  let original = read_all path in
+  let len = String.length original in
+  List.iter
+    (fun keep ->
+      write_all path (Bytes.of_string (String.sub original 0 keep));
+      try
+        let (_ : (int * int) list) = Persist.load ~magic:"trunc" path in
+        Alcotest.fail
+          (Printf.sprintf "truncation to %d/%d bytes went undetected" keep len)
+      with
+      | Persist.Corrupt { offset; _ } ->
+          Alcotest.(check bool) "offset points at the cut" true
+            (offset >= 0 && offset <= len)
+      | Failure _ ->
+          (* cuts inside the fixed header fail the header check instead *)
+          Alcotest.(check bool) "header-level cut" true (keep < 64))
+    [ len - 1; len - (len / 3); len / 2; 40; 10 ];
+  Sys.remove path
+
 let test_fault_hook_rejected () =
   let pager : int Pager.t = Pager.create ~page_capacity:4 () in
   ignore (Pager.alloc pager [| 1 |]);
@@ -120,5 +183,7 @@ let suite =
     ("dynamic roundtrip + pending buffers", `Quick, test_roundtrip_dynamic);
     ("magic mismatch rejected", `Quick, test_magic_mismatch);
     ("junk file rejected", `Quick, test_not_a_pcache_file);
+    ("byte flip detected", `Quick, test_byte_flip_detected);
+    ("truncation detected", `Quick, test_truncation_detected);
     ("fault hook rejected, clean pager ok", `Quick, test_fault_hook_rejected);
   ]
