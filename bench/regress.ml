@@ -28,6 +28,18 @@ let () = Metrics.attach metrics obs
 
 let global = Cost_model.Conformance.summary ()
 
+(* per-query wall-clock samples (µs) for the cell being measured; each
+   experiment wraps its query in [timeq] and [cell] drains the buffer.
+   Wall-clock rides in the baseline as a reported column only — the
+   gate never compares it (machine-dependent). *)
+let times_us = ref []
+
+let timeq f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  times_us := ((Unix.gettimeofday () -. t0) *. 1e6) :: !times_us;
+  r
+
 (* fold one cell's verdicts into a baseline entry *)
 let cell ~experiment ~structure ~n ~b verdicts =
   let histo = Histogram.create () in
@@ -38,7 +50,10 @@ let cell ~experiment ~structure ~n ~b verdicts =
       Cost_model.Conformance.record summary v;
       Cost_model.Conformance.record global v)
     verdicts;
-  Bench_gate.entry_of_verdicts ~experiment ~structure ~histo ~summary ~n ~b
+  let times = !times_us in
+  times_us := [];
+  Bench_gate.entry_of_verdicts ~times_us:times ~experiment ~structure ~histo
+    ~summary ~n ~b ()
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                          *)
@@ -57,7 +72,7 @@ let r1_btree () =
         let width = [| 10; 100; 1000 |].(i mod 3) in
         let lo = Rng.int rng (n * 7) in
         Pager.reset_stats (Btree.pager bt);
-        let res = Btree.range bt ~lo ~hi:(lo + width) in
+        let res = timeq (fun () -> Btree.range bt ~lo ~hi:(lo + width)) in
         let measured = Io_stats.total (Pager.stats (Btree.pager bt)) in
         Btree.conformance bt ~t_out:(List.length res) ~measured)
   in
@@ -73,7 +88,7 @@ let r2_pst2 () =
       let verdicts =
         List.map
           (fun (xl, yb) ->
-            let res, st = Ext_pst.query t ~xl ~yb in
+            let res, st = timeq (fun () -> Ext_pst.query t ~xl ~yb) in
             Ext_pst.conformance t ~t_out:(List.length res)
               ~measured:(Query_stats.total st))
           (deep_corners 15)
@@ -94,7 +109,7 @@ let r3_pst3 () =
             let xl = Rng.int qrng universe in
             let xr = min (universe - 1) (xl + (universe / 50)) in
             let yb = universe - 4000 in
-            let res, st = Ext_pst3.query t ~xl ~xr ~yb in
+            let res, st = timeq (fun () -> Ext_pst3.query t ~xl ~xr ~yb) in
             Ext_pst3.conformance t ~t_out:(List.length res)
               ~measured:(Query_stats.total st))
       in
@@ -107,7 +122,7 @@ let stab_verdicts (type s) ~(stab : s -> int -> Ival.t list * Query_stats.t)
   let qrng = Rng.create (seed + 2) in
   List.init 15 (fun _ ->
       let q = Rng.int qrng universe in
-      let res, st = stab t q in
+      let res, st = timeq (fun () -> stab t q) in
       conf t ~t_out:(List.length res) ~measured:(Query_stats.total st))
 
 let r4_segtree () =
@@ -147,7 +162,7 @@ let r6_range2d () =
         let x1 = Rng.int qrng universe and y1 = Rng.int qrng universe in
         let x2 = min (universe - 1) (x1 + (universe / 40)) in
         let y2 = min (universe - 1) (y1 + (universe / 40)) in
-        let res, st = Ext_range.query t ~x1 ~x2 ~y1 ~y2 in
+        let res, st = timeq (fun () -> Ext_range.query t ~x1 ~x2 ~y1 ~y2) in
         Ext_range.conformance t ~t_out:(List.length res)
           ~measured:(Query_stats.total st))
   in
@@ -187,7 +202,7 @@ let r8_class_index () =
     List.init 12 (fun _ ->
         let cls = Printf.sprintf "c%d" (1 + Rng.int qrng (classes - 1)) in
         let key_at_least = universe - Rng.int qrng (universe / 4) in
-        let res, st = Class_index.query t ~cls ~key_at_least in
+        let res, st = timeq (fun () -> Class_index.query t ~cls ~key_at_least) in
         Class_index.conformance t ~t_out:(List.length res)
           ~measured:(Query_stats.total st))
   in
@@ -210,7 +225,7 @@ let r9_dynamic () =
   let verdicts =
     List.map
       (fun (xl, yb) ->
-        let res, st = Dynamic_pst.query t ~xl ~yb in
+        let res, st = timeq (fun () -> Dynamic_pst.query t ~xl ~yb) in
         Dynamic_pst.conformance t ~t_out:(List.length res)
           ~measured:(Query_stats.total st))
       (deep_corners 15)
@@ -250,6 +265,8 @@ let d1_durability () =
       max_ios = List.fold_left max 0 samples;
       worst_ratio = worst;
       within;
+      mean_us = 0.;
+      p99_us = 0.;
     }
   in
   let rng = Rng.create (seed + 5) in
@@ -318,13 +335,14 @@ let run_all () =
 (* ------------------------------------------------------------------ *)
 
 let print_table entries =
-  Printf.printf "%-4s %-14s %-12s %8s %4s %7s %7s %5s %5s %7s %s\n" "exp"
-    "structure" "theorem" "n" "b" "mean" "p99" "max" "q" "worst" "ok";
+  Printf.printf "%-4s %-14s %-12s %8s %4s %7s %7s %5s %5s %7s %8s %s\n" "exp"
+    "structure" "theorem" "n" "b" "mean" "p99" "max" "q" "worst" "mean_us" "ok";
   List.iter
     (fun (e : Bench_gate.entry) ->
-      Printf.printf "%-4s %-14s %-12s %8d %4d %7.2f %7d %5d %5d %7.2f %s\n"
+      Printf.printf
+        "%-4s %-14s %-12s %8d %4d %7.2f %7d %5d %5d %7.2f %8.1f %s\n"
         e.experiment e.structure e.theorem e.n e.b e.mean_ios e.p99_ios
-        e.max_ios e.queries e.worst_ratio
+        e.max_ios e.queries e.worst_ratio e.mean_us
         (if e.within then "yes" else "VIOLATION"))
     entries
 

@@ -42,6 +42,38 @@ let make_pool cache policy =
   if cache > 0 then Some (Buffer_pool.create ~policy ~capacity:cache ())
   else None
 
+(* ----- storage backend ----- *)
+
+let backend_arg =
+  Arg.(value & opt (enum [ ("sim", `Sim); ("file", `File) ]) `Sim
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Storage backend: $(b,sim) keeps pages in the in-memory \
+                 simulator (exact I/O counts, the default); $(b,file) \
+                 stores binary pages and a durable journal on disk under \
+                 $(b,--data-dir) (same I/O counts, real wall-clock). \
+                 Supported by $(b,btree) and $(b,pst3).")
+
+let data_dir_arg =
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"PATH"
+         ~doc:"Directory for the file backend's pages and journal \
+               (created if missing). Requires $(b,--backend file).")
+
+(* Validate the backend/data-dir combo up front so unsupported requests
+   fail with one clear message instead of a deep exception. *)
+let resolve_backend ~cmd ~file_supported backend data_dir =
+  match (backend, data_dir) with
+  | `Sim, None -> Ok None
+  | `Sim, Some _ -> Error "--data-dir is only meaningful with --backend file"
+  | `File, None -> Error "--backend file requires --data-dir PATH"
+  | `File, Some dir ->
+      if file_supported then Ok (Some dir)
+      else
+        Error
+          (Printf.sprintf
+             "%s does not support --backend file (only btree and pst3 \
+              store pages on disk; rerun with --backend sim)"
+             cmd)
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write an event trace: $(i,FILE).json gets the Chrome \
@@ -155,7 +187,7 @@ let variant_arg =
   Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
          ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
 
-let run_pst n b seed k dist variant cache policy trace metrics_file =
+let run_pst_sim n b seed k dist variant cache policy trace metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
   let pool = make_pool cache policy in
@@ -184,11 +216,20 @@ let run_pst n b seed k dist variant cache policy trace metrics_file =
   finish_obs trace obs;
   finish_metrics metrics_file m pool
 
+let run_pst n b seed k dist variant cache policy backend data_dir trace
+    metrics_file =
+  match resolve_backend ~cmd:"pst" ~file_supported:false backend data_dir with
+  | Error msg -> `Error (false, msg)
+  | Ok _ ->
+      `Ok (run_pst_sim n b seed k dist variant cache policy trace metrics_file)
+
 let pst_cmd =
   let doc = "Build a 2-sided external PST and run random corner queries." in
   Cmd.v (Cmd.info "pst" ~doc)
-    Term.(const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-          $ variant_arg $ cache_arg $ policy_arg $ trace_arg $ metrics_arg)
+    Term.(ret
+            (const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
+             $ variant_arg $ cache_arg $ policy_arg $ backend_arg
+             $ data_dir_arg $ trace_arg $ metrics_arg))
 
 (* ----- pst3 (3-sided) ----- *)
 
@@ -196,16 +237,24 @@ let width_arg =
   Arg.(value & opt int 100_000 & info [ "width" ] ~docv:"W"
          ~doc:"Approximate x-width of 3-sided queries.")
 
-let run_pst3 n b seed k dist width trace metrics_file =
+let run_pst3_on n b seed k dist width dir trace metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
   let obs, m = make_obs trace metrics_file in
   (* only the cached structure is traced: one handle per run keeps the
-     span stream a single coherent tree *)
-  let cached = Ext_pst3.create ?obs ~mode:Ext_pst3.Cached ~b pts in
+     span stream a single coherent tree; with the file backend it is also
+     the one whose pages go to disk (the baseline twin stays simulated) *)
+  let cached =
+    match dir with
+    | None -> Ext_pst3.create ?obs ~mode:Ext_pst3.Cached ~b pts
+    | Some dir -> Ext_pst3.create_file ?obs ~dir ~mode:Ext_pst3.Cached ~b pts
+  in
   let base = Ext_pst3.create ~mode:Ext_pst3.Baseline ~b pts in
-  Printf.printf "3-sided PST over %d points: cached=%d pages, baseline=%d pages\n%!"
-    n (Ext_pst3.storage_pages cached) (Ext_pst3.storage_pages base);
+  Printf.printf "3-sided PST over %d points: cached=%d pages, baseline=%d pages%s\n%!"
+    n (Ext_pst3.storage_pages cached) (Ext_pst3.storage_pages base)
+    (match dir with
+    | None -> ""
+    | Some dir -> Printf.sprintf " (cached pages on disk under %s)" dir);
   let histo = make_histo () in
   List.iter
     (fun (xl, xr, yb) ->
@@ -223,14 +272,22 @@ let run_pst3 n b seed k dist width trace metrics_file =
         (if v.Cost_model.Conformance.within then "" else " VIOLATION"))
     (Workload.three_sided rng ~k ~universe ~width);
   report_histo histo;
+  Ext_pst3.close cached;
   finish_obs trace obs;
   finish_metrics metrics_file m None
+
+let run_pst3 n b seed k dist width backend data_dir trace metrics_file =
+  match resolve_backend ~cmd:"pst3" ~file_supported:true backend data_dir with
+  | Error msg -> `Error (false, msg)
+  | Ok dir -> `Ok (run_pst3_on n b seed k dist width dir trace metrics_file)
 
 let pst3_cmd =
   let doc = "Build 3-sided external PSTs (cached and baseline) and compare." in
   Cmd.v (Cmd.info "pst3" ~doc)
-    Term.(const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-          $ width_arg $ trace_arg $ metrics_arg)
+    Term.(ret
+            (const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
+             $ width_arg $ backend_arg $ data_dir_arg $ trace_arg
+             $ metrics_arg))
 
 (* ----- stab (interval structures) ----- *)
 
@@ -243,7 +300,7 @@ let cached_arg =
   Arg.(value & opt bool true & info [ "cached" ] ~docv:"BOOL"
          ~doc:"Use path caches (false = naive baseline).")
 
-let run_stab n b seed k structure cached trace metrics_file =
+let run_stab_sim n b seed k structure cached trace metrics_file =
   let rng = Rng.create seed in
   let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
   let qs = Workload.stab_queries rng ~k ~universe in
@@ -286,11 +343,19 @@ let run_stab n b seed k structure cached trace metrics_file =
   finish_obs trace obs;
   finish_metrics metrics_file m None
 
+let run_stab n b seed k structure cached backend data_dir trace metrics_file =
+  match resolve_backend ~cmd:"stab" ~file_supported:false backend data_dir with
+  | Error msg -> `Error (false, msg)
+  | Ok _ ->
+      `Ok (run_stab_sim n b seed k structure cached trace metrics_file)
+
 let stab_cmd =
   let doc = "Build an interval structure and run stabbing queries." in
   Cmd.v (Cmd.info "stab" ~doc)
-    Term.(const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg $ structure_arg
-          $ cached_arg $ trace_arg $ metrics_arg)
+    Term.(ret
+            (const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg
+             $ structure_arg $ cached_arg $ backend_arg $ data_dir_arg
+             $ trace_arg $ metrics_arg))
 
 (* ----- btree ----- *)
 
@@ -306,15 +371,24 @@ let span_arg =
   Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
          ~doc:"Width of 1-D range queries.")
 
-let run_btree n b seed k span cache policy durability trace metrics_file =
+let run_btree_on n b seed k span cache policy durability dir trace
+    metrics_file =
   let rng = Rng.create seed in
   let entries = List.init n (fun i -> (i, i)) in
   let pool = make_pool cache policy in
   let obs, m = make_obs trace metrics_file in
-  let wal = if durability then Some (Pc_pagestore.Wal.create ()) else None in
-  let t = Btree.bulk_load_in ?pool ?obs ?durability:wal ~b entries in
+  let t =
+    match dir with
+    | Some dir -> Btree.bulk_load_file ?obs ~dir ~b entries
+    | None ->
+        let wal =
+          if durability then Some (Pc_pagestore.Wal.create ()) else None
+        in
+        Btree.bulk_load_in ?pool ?obs ?durability:wal ~b entries
+  in
+  let wal = Btree.wal t in
   Option.iter Buffer_pool.reset_stats pool;
-  Printf.printf "B+-tree over %d keys: height=%d pages=%d%s\n%!" n
+  Printf.printf "B+-tree over %d keys: height=%d pages=%d%s%s\n%!" n
     (Btree.height t) (Btree.pages_used t)
     (match wal with
     | Some w ->
@@ -322,6 +396,9 @@ let run_btree n b seed k span cache policy durability trace metrics_file =
                          journal records pending)"
           (Pager.stats (Btree.pager t)).Io_stats.writes
           (Pc_pagestore.Wal.journal_len w)
+    | None -> "")
+    (match dir with
+    | Some dir -> Printf.sprintf " (pages on disk under %s)" dir
     | None -> "");
   let histo = make_histo () in
   for _ = 1 to k do
@@ -338,14 +415,31 @@ let run_btree n b seed k span cache policy durability trace metrics_file =
   report_histo histo;
   report_pool pool;
   Option.iter (fun m -> Pager.export_metrics (Btree.pager t) m) m;
+  Btree.close t;
   finish_obs trace obs;
   finish_metrics metrics_file m pool
+
+let run_btree n b seed k span cache policy durability backend data_dir trace
+    metrics_file =
+  match resolve_backend ~cmd:"btree" ~file_supported:true backend data_dir with
+  | Error msg -> `Error (false, msg)
+  | Ok (Some _) when cache > 0 ->
+      `Error
+        (false,
+         "--cache attaches a write-back buffer pool, which the file \
+          backend does not support; drop --cache or use --backend sim")
+  | Ok dir ->
+      `Ok
+        (run_btree_on n b seed k span cache policy durability dir trace
+           metrics_file)
 
 let btree_cmd =
   let doc = "Bulk-load an external B+-tree and run range queries." in
   Cmd.v (Cmd.info "btree" ~doc)
-    Term.(const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg $ span_arg
-          $ cache_arg $ policy_arg $ durability_arg $ trace_arg $ metrics_arg)
+    Term.(ret
+            (const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg
+             $ span_arg $ cache_arg $ policy_arg $ durability_arg
+             $ backend_arg $ data_dir_arg $ trace_arg $ metrics_arg))
 
 (* ----- replay ----- *)
 
@@ -416,9 +510,54 @@ let run_check file =
 
 (* ----- recover ----- *)
 
-let run_recover target_name nops b seed at torn =
+(* File-backend recovery: no simulated crash points — the directory's
+   bytes are whatever the crash (or kill -9) left behind, and recovery
+   reads exactly that. *)
+let run_recover_file target_name b dir =
+  let finish name size pages check close =
+    check ();
+    close ();
+    Printf.printf "%s: recovered from %s: size=%d pages=%d\n" name dir size
+      pages;
+    `Ok ()
+  in
+  match target_name with
+  | "btree" ->
+      let t = Btree.recover_file ~dir ~b () in
+      finish "btree" (Btree.size t)
+        (Btree.pages_used t)
+        (fun () -> Btree.check_invariants t)
+        (fun () -> Btree.close t)
+  | "pst3" ->
+      let t = Ext_pst3.recover_file ~dir ~b () in
+      finish "pst3" (Ext_pst3.size t)
+        (Ext_pst3.storage_pages t)
+        (fun () -> Ext_pst3.check_invariants t)
+        (fun () -> Ext_pst3.close t)
+  | other ->
+      `Error
+        (false,
+         Printf.sprintf
+           "file-backend recovery supports btree and pst3, not %s" other)
+
+let run_recover target_name nops b seed at torn backend data_dir =
   let module S = Pc_check.Subject in
   let module W = Pc_pagestore.Wal in
+  match resolve_backend ~cmd:"recover" ~file_supported:true backend data_dir
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok (Some dir) -> (
+      if at <> None || torn then
+        `Error
+          (false,
+           "--at/--torn simulate crash points on the sim backend; the file \
+            backend recovers from whatever bytes --data-dir holds")
+      else
+        try run_recover_file target_name b dir with
+        | Invalid_argument msg | Failure msg -> `Error (false, msg)
+        | Pc_blockdev.Block_device.Device_error { dev; op; reason; _ } ->
+            `Error (false, Printf.sprintf "%s: %s: %s" dev op reason))
+  | Ok None -> (
   match S.of_name target_name with
   | None ->
       `Error
@@ -463,7 +602,7 @@ let run_recover target_name nops b seed at torn =
             | [] -> ()
             | d -> Format.printf "damaged pages: %d@." (List.length d));
             `Ok ()
-          end)
+          end))
 
 let recover_cmd =
   let doc =
@@ -494,7 +633,7 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(ret
             (const run_recover $ target_arg $ ops_arg $ b_arg $ seed_arg
-             $ at_arg $ torn_arg))
+             $ at_arg $ torn_arg $ backend_arg $ data_dir_arg))
 
 let check_cmd =
   let doc =

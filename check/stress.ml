@@ -37,7 +37,8 @@ let () =
       ("--out", Arg.Set_string out, "DIR  where to write .repro files");
       ( "--crash",
         Arg.Set crash,
-        "  crash-point sweep only: power-fail at every I/O and verify \
+        "  crash-point sweep only: power-fail at every I/O (sim backend) \
+         and at every journal frame boundary (file backend) and verify \
          recovery" );
     ]
   in
@@ -85,6 +86,29 @@ let () =
                  Format.printf "  shrunk %d -> %d ops, wrote %s@."
                    (Array.length workload) (Array.length small) path)
            Subject.all
+       done
+     with Exit -> ());
+    (* File-backend sweep: the same discipline against real bytes in a
+       temp directory — the journal is cut at every frame boundary and
+       torn mid-frame (including the final sector), and each image is
+       recovered from the directory alone. *)
+    (try
+       for seed = 0 to min (!seeds - 1) 3 do
+         if out_of_time () then raise Exit;
+         incr runs;
+         let root =
+           Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Printf.sprintf "pc-stress-crash-%d-%d" (Unix.getpid ()) seed)
+         in
+         let rep =
+           Crash_file.sweep ~b:!b ~root ~n:(min crash_ops 12) ~seed ()
+         in
+         if Crash_file.passed rep then ()
+         else begin
+           incr failures;
+           Format.printf "FAIL seed=%d %a@." seed Crash_file.pp_report rep
+         end
        done
      with Exit -> ());
     Format.printf "stress --crash: %d sweeps, %d failure(s)%s@." !runs

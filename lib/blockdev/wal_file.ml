@@ -1,0 +1,176 @@
+let magic = "PCJR"
+let wal_path ~dir = Filename.concat dir "wal.log"
+let super_path ~dir = Filename.concat dir "super"
+
+type t = {
+  t_dir : string;
+  mutable fd : Unix.file_descr;
+  mutable torn_tail : int option;
+      (* offset of a deliberately half-written record; the next append
+         truncates back to it first *)
+  mutable closed : bool;
+}
+
+let oserr fn what =
+  try fn ()
+  with Unix.Unix_error (e, f, _) ->
+    raise
+      (Block_device.Device_error
+         {
+           dev = "wal";
+           op = what;
+           page = -1;
+           reason = f ^ ": " ^ Unix.error_message e;
+         })
+
+let really_write fd b pos len =
+  let off = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write fd b !off !remaining in
+    off := !off + n;
+    remaining := !remaining - n
+  done
+
+let fsync_dir dir =
+  oserr
+    (fun () ->
+      let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+      Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd))
+    "fsync-dir"
+
+let open_dir ~dir =
+  oserr (fun () -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755) "mkdir";
+  let fd =
+    oserr
+      (fun () ->
+        Unix.openfile (wal_path ~dir) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644)
+      "open"
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { t_dir = dir; fd; torn_tail = None; closed = false }
+
+let dir t = t.t_dir
+
+let check t op =
+  if t.closed then
+    raise
+      (Block_device.Device_error
+         { dev = "wal"; op; page = -1; reason = "store closed" })
+
+let frame payload =
+  let plen = Bytes.length payload in
+  let b = Bytes.create (16 + plen) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int plen);
+  Bytes.set_int64_le b 8 (Page_codec.crc64 payload ~pos:0 ~len:plen);
+  Bytes.blit payload 0 b 16 plen;
+  b
+
+let heal t =
+  match t.torn_tail with
+  | None -> ()
+  | Some off ->
+      oserr (fun () -> Unix.ftruncate t.fd off) "truncate";
+      ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+      t.torn_tail <- None
+
+let append t payload =
+  check t "append";
+  heal t;
+  let b = frame payload in
+  oserr (fun () -> really_write t.fd b 0 (Bytes.length b)) "append"
+
+let append_torn t payload =
+  check t "append_torn";
+  heal t;
+  let off = oserr (fun () -> Unix.lseek t.fd 0 Unix.SEEK_CUR) "seek" in
+  let b = frame payload in
+  let half = Bytes.length b / 2 in
+  oserr (fun () -> really_write t.fd b 0 half) "append_torn";
+  t.torn_tail <- Some off
+
+let sync t =
+  check t "sync";
+  oserr (fun () -> Unix.fsync t.fd) "sync"
+
+let write_super t payload =
+  check t "write_super";
+  let tmp = Filename.concat t.t_dir "super.tmp" in
+  oserr
+    (fun () ->
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = frame payload in
+          really_write fd b 0 (Bytes.length b);
+          Unix.fsync fd))
+    "write_super";
+  oserr (fun () -> Unix.rename tmp (super_path ~dir:t.t_dir)) "rename-super";
+  fsync_dir t.t_dir;
+  (* the superblock supersedes the journal: truncate it *)
+  t.torn_tail <- None;
+  oserr (fun () -> Unix.ftruncate t.fd 0) "truncate";
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  oserr (fun () -> Unix.fsync t.fd) "sync"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    oserr (fun () -> Unix.close t.fd) "close"
+  end
+
+(* --- read-only scan -------------------------------------------------- *)
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    Some
+      (oserr
+         (fun () ->
+           let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+           Fun.protect
+             ~finally:(fun () -> Unix.close fd)
+             (fun () ->
+               let len = (Unix.fstat fd).Unix.st_size in
+               let b = Bytes.create len in
+               let off = ref 0 in
+               while !off < len do
+                 let n = Unix.read fd b !off (len - !off) in
+                 if n = 0 then raise End_of_file;
+                 off := !off + n
+               done;
+               b))
+         "read")
+
+let scan_one b off =
+  let len = Bytes.length b in
+  if off + 16 > len then None
+  else if Bytes.sub_string b off 4 <> magic then None
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le b (off + 4)) in
+    if plen < 0 || off + 16 + plen > len then None
+    else
+      let payload = Bytes.sub b (off + 16) plen in
+      if Page_codec.crc64 payload ~pos:0 ~len:plen <> Bytes.get_int64_le b (off + 8)
+      then None
+      else Some (payload, off + 16 + plen)
+
+let read ~dir =
+  let journal =
+    match read_file (wal_path ~dir) with
+    | None -> []
+    | Some b ->
+        let rec go acc off =
+          match scan_one b off with
+          | None -> List.rev acc
+          | Some (p, next) -> go (p :: acc) next
+        in
+        go [] 0
+  in
+  let super =
+    match read_file (super_path ~dir) with
+    | None -> None
+    | Some b -> ( match scan_one b 0 with None -> None | Some (p, _) -> Some p)
+  in
+  (journal, super)

@@ -26,6 +26,7 @@ type t = {
   mutable root : int;
   mutable size : int;
   mutable height : int;
+  store : Disk_store.t option; (* open file-backed home, for [close] *)
 }
 
 let max_payload t = Pager.page_capacity t.pager - 1
@@ -93,7 +94,7 @@ let durable_txn t f = Wal.with_txn (Pager.wal t.pager) ~meta:(fun () -> snapshot
 let create pager =
   if Pager.page_capacity pager < 4 then
     invalid_arg "Btree.create: page capacity must be >= 4";
-  let t = { pager; root = -1; size = 0; height = 1 } in
+  let t = { pager; root = -1; size = 0; height = 1; store = None } in
   durable_txn t (fun () ->
       t.root <- alloc_node t (LeafN { next = -1; kvs = [||] }));
   t
@@ -573,7 +574,9 @@ let bulk_load pager entries =
     | _ -> ()
   in
   check_sorted entries;
-  let t = { pager; root = -1; size = List.length entries; height = 1 } in
+  let t =
+    { pager; root = -1; size = List.length entries; height = 1; store = None }
+  in
   let cap = max_payload t in
   durable_txn t @@ fun () ->
   match entries with
@@ -697,7 +700,7 @@ let of_snapshot r ~idx ~snapshot =
     Marshal.from_string snapshot 0
   in
   let pager = Pager.attach_recovered r ~idx ~page_capacity:b () in
-  { pager; root; size; height }
+  { pager; root; size; height; store = None }
 
 let recover ~b (r : Wal.recovered) =
   match r.Wal.r_meta with
@@ -705,3 +708,139 @@ let recover ~b (r : Wal.recovered) =
   | None ->
       (* nothing ever committed: the durable state is an empty tree *)
       bulk_load_in ~durability:(Wal.create ()) ~b []
+
+(* ------------------------------------------------------------------ *)
+(* Binary page layout and file backing                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Codec = Pc_blockdev.Page_codec
+
+(* One byte of tag, then the cell's fields as little-endian i64s (plus
+   the one-byte leaf flag on [Meta]); 25 bytes at most ([Branch]). *)
+let codec : cell Codec.t =
+  {
+    Codec.name = "btree-cell";
+    kind = 3;
+    enc =
+      (fun buf -> function
+        | Meta { leaf; next } ->
+            Codec.put_u8 buf 0;
+            Codec.put_u8 buf (if leaf then 1 else 0);
+            Codec.put_int buf next
+        | Kv { key; value } ->
+            Codec.put_u8 buf 1;
+            Codec.put_int buf key;
+            Codec.put_int buf value
+        | Branch { sep_key; sep_value; child } ->
+            Codec.put_u8 buf 2;
+            Codec.put_int buf sep_key;
+            Codec.put_int buf sep_value;
+            Codec.put_int buf child);
+    dec =
+      (fun b pos ->
+        let int = Codec.get_int ~page:(-1) b in
+        match Codec.get_u8 ~page:(-1) b pos with
+        | 0 -> (
+            match Codec.get_u8 ~page:(-1) b (pos + 1) with
+            | (0 | 1) as lf ->
+                (Meta { leaf = lf = 1; next = int (pos + 2) }, pos + 10)
+            | n ->
+                raise
+                  (Codec.Corrupt_page
+                     {
+                       page = -1;
+                       reason = Printf.sprintf "bad leaf flag %d" n;
+                     }))
+        | 1 -> (Kv { key = int (pos + 1); value = int (pos + 9) }, pos + 17)
+        | 2 ->
+            ( Branch
+                {
+                  sep_key = int (pos + 1);
+                  sep_value = int (pos + 9);
+                  child = int (pos + 17);
+                },
+              pos + 25 )
+        | n ->
+            raise
+              (Codec.Corrupt_page
+                 {
+                   page = -1;
+                   reason = Printf.sprintf "unknown btree cell tag %d" n;
+                 }));
+  }
+
+let page_bytes ~b = Codec.page_size ~max_cell_bytes:25 ~capacity:b
+
+let close t =
+  match t.store with
+  | None -> ()
+  | Some ds ->
+      Option.iter
+        (fun d -> d.Pc_blockdev.Block_device.flush ())
+        (Pager.device t.pager);
+      Disk_store.close ds
+
+(* Open a directory as a tree's home: devices for the pages, the wal
+   store for the journal. The store is attached before any pager exists
+   so enrollment can insist on binary backends. *)
+let open_store ?mmap ~dir ~b () =
+  let ds = Disk_store.open_dir ~dir in
+  let dev = Disk_store.device ?mmap ds ~idx:0 ~page_bytes:(page_bytes ~b) in
+  (ds, { Pager.dev; codec })
+
+let create_file ?cache_capacity ?obs ?mmap ~dir ~b () =
+  let ds, backend = open_store ?mmap ~dir ~b () in
+  let wal = Wal.create () in
+  Wal.attach_store wal (Disk_store.wal_store ds);
+  let pager =
+    Pager.create ?cache_capacity ?obs ~wal ~backend ~obs_name:"btree"
+      ~page_capacity:b ()
+  in
+  { (create pager) with store = Some ds }
+
+let bulk_load_file ?cache_capacity ?obs ?mmap ~dir ~b entries =
+  let ds, backend = open_store ?mmap ~dir ~b () in
+  let wal = Wal.create () in
+  Wal.attach_store wal (Disk_store.wal_store ds);
+  let pager =
+    Pager.create ?cache_capacity ?obs ~wal ~backend ~obs_name:"btree"
+      ~page_capacity:b ()
+  in
+  { (bulk_load pager entries) with store = Some ds }
+
+let recover_file ?cache_capacity ?mmap ~dir ~b () =
+  let image =
+    Disk_store.load_image ~dir
+      ~parts:[ Disk_store.part codec ~idx:0 ~page_bytes:(page_bytes ~b) ]
+  in
+  let r = Wal.recover image in
+  let ds, backend = open_store ?mmap ~dir ~b () in
+  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ds);
+  let t =
+    match r.Wal.r_meta with
+    | Some snapshot ->
+        let (b', root, size, height) : int * int * int * int =
+          Marshal.from_string snapshot 0
+        in
+        if b' <> b then
+          invalid_arg
+            (Printf.sprintf
+               "Btree.recover_file: %s holds a tree with b=%d, not b=%d" dir b'
+               b);
+        let pager =
+          Pager.attach_recovered r ~idx:0 ?cache_capacity ~backend
+            ~page_capacity:b ()
+        in
+        { pager; root; size; height; store = Some ds }
+    | None ->
+        (* nothing ever committed: an empty durable tree in this dir *)
+        let pager =
+          Pager.create ?cache_capacity ~wal:r.Wal.r_wal ~backend
+            ~obs_name:"btree" ~page_capacity:b ()
+        in
+        { (create pager) with store = Some ds }
+  in
+  (* redo results were just rewritten onto the device: sync them and
+     stamp a fresh superblock so the directory is clean again *)
+  Wal.store_checkpoint r.Wal.r_wal;
+  t

@@ -92,6 +92,59 @@ val snapshot : t -> string
     root page id). *)
 val rebind : t -> cell Pager.t -> t
 
+(** {1 File backing}
+
+    The same tree, stored for real: pages encode through {!codec} into a
+    {!Pc_blockdev.File_dev} under [dir] ([pages-0.dat]), the journal
+    becomes durable file appends with an fsync at each commit, and
+    {!recover_file} rebuilds the tree from the directory's bytes alone.
+    I/O counts are byte-identical to the simulator backend; wall-clock
+    time becomes real. See DESIGN.md §13. *)
+
+(** The binary cell codec (header kind 3): a tag byte then little-endian
+    i64 fields, 25 bytes at most per cell. *)
+val codec : cell Pc_blockdev.Page_codec.t
+
+(** [page_bytes ~b] is the on-disk page size for fanout [b] (512-byte
+    sector multiple). *)
+val page_bytes : b:int -> int
+
+(** [create_file ~dir ~b ()] / [bulk_load_file ~dir ~b entries] are
+    {!create_in} / {!bulk_load_in} with every page on disk under [dir]
+    and the journal durable. [mmap] serves reads from a shared mapping.
+    The tree is always durable (the file backend without a journal would
+    not survive a crash anyway). *)
+val create_file :
+  ?cache_capacity:int ->
+  ?obs:Pc_obs.Obs.t ->
+  ?mmap:bool ->
+  dir:string ->
+  b:int ->
+  unit ->
+  t
+
+val bulk_load_file :
+  ?cache_capacity:int ->
+  ?obs:Pc_obs.Obs.t ->
+  ?mmap:bool ->
+  dir:string ->
+  b:int ->
+  (int * int) list ->
+  t
+
+(** [recover_file ~dir ~b ()] recovers from the directory's on-disk
+    image: page bytes that fail their checksum are damage, journal
+    transactions that are torn or uncommitted are discarded, complete
+    ones are redone — then the redo result is written back, synced, and
+    a fresh superblock stamped. Raises [Invalid_argument] if the
+    directory holds a tree with a different [b]. *)
+val recover_file :
+  ?cache_capacity:int -> ?mmap:bool -> dir:string -> b:int -> unit -> t
+
+(** [close t] syncs and closes the underlying files ([create_file] /
+    [bulk_load_file] / [recover_file] trees); no-op otherwise. *)
+val close : t -> unit
+
 (** [obs t] is the trace handle of the backing pager, if any. Entry
     points ([find], [range], [insert], [delete], [bulk_load]) open
     spans ([btree.find], ...) on it automatically. *)

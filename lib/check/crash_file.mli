@@ -1,0 +1,33 @@
+(** Crash-point sweep against the real file backend (DESIGN.md §13).
+
+    The {!Crash} sweep simulates power loss on a recorded effect log;
+    this one does it to actual bytes. A file-backed B-tree runs a tagged
+    workload under [root], the directory artefacts are snapshotted after
+    every commit, and every reachable crash state — pages and superblock
+    of the previous operation plus any journal-frame prefix of the next,
+    cut cleanly or torn mid-frame (including the torn final sector) — is
+    materialized into a fresh directory and recovered from its bytes
+    alone. Each image must recover idempotently, reproduce exactly the
+    committed operation prefix, and be a recovery fixed point after
+    reattachment. *)
+
+type failure = {
+  f_op : int;  (** operation whose commit the crash interrupted *)
+  f_cut : int;  (** wal.log length of the crash image, in bytes *)
+  f_torn : bool;  (** the image ends in a half-written journal frame *)
+  f_reason : string;
+}
+
+type report = {
+  r_points : int;  (** crash images materialized and recovered *)
+  r_failures : failure list;
+}
+
+val passed : report -> bool
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** [sweep ~root ~n ~seed ()] runs an [n]-operation workload (inserts
+    and deletes drawn from [seed]) in [root] and sweeps every crash
+    image. [root] is created if missing and removed afterwards. *)
+val sweep : ?b:int -> root:string -> n:int -> seed:int -> unit -> report

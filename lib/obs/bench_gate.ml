@@ -18,13 +18,30 @@ type entry = {
   max_ios : int;
   worst_ratio : float;
   within : bool;
+  mean_us : float;
+  p99_us : float;
 }
 
 type baseline = { seed : int; entries : entry list }
 
-let schema = "pathcache-bench-baseline-v1"
+let schema = "pathcache-bench-baseline-v2"
 
-let entry_of_verdicts ~experiment ~structure ~histo ~summary ~n ~b =
+(* v1 files lack the wall-clock fields; they parse with zeros, and the
+   gate never compares wall-clock anyway *)
+let schema_v1 = "pathcache-bench-baseline-v1"
+
+let wall_stats = function
+  | [] -> (0., 0.)
+  | times ->
+      let sorted = List.sort compare times in
+      let len = List.length sorted in
+      let mean = List.fold_left ( +. ) 0. sorted /. float_of_int len in
+      let p99 = List.nth sorted (min (len - 1) (99 * len / 100)) in
+      (mean, p99)
+
+let entry_of_verdicts ?(times_us = []) ~experiment ~structure ~histo ~summary
+    ~n ~b () =
+  let mean_us, p99_us = wall_stats times_us in
   {
     experiment;
     structure = Cost_model.name structure;
@@ -38,6 +55,8 @@ let entry_of_verdicts ~experiment ~structure ~histo ~summary ~n ~b =
     max_ios = Histogram.max_value histo;
     worst_ratio = Cost_model.Conformance.worst_ratio summary;
     within = Cost_model.Conformance.all_within summary;
+    mean_us;
+    p99_us;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -57,9 +76,10 @@ let escape s =
 
 let entry_json e =
   Printf.sprintf
-    "{\"experiment\":\"%s\",\"structure\":\"%s\",\"theorem\":\"%s\",\"n\":%d,\"b\":%d,\"queries\":%d,\"mean_ios\":%.4f,\"p50_ios\":%d,\"p99_ios\":%d,\"max_ios\":%d,\"worst_ratio\":%.4f,\"within\":%b}"
+    "{\"experiment\":\"%s\",\"structure\":\"%s\",\"theorem\":\"%s\",\"n\":%d,\"b\":%d,\"queries\":%d,\"mean_ios\":%.4f,\"p50_ios\":%d,\"p99_ios\":%d,\"max_ios\":%d,\"worst_ratio\":%.4f,\"within\":%b,\"mean_us\":%.1f,\"p99_us\":%.1f}"
     (escape e.experiment) (escape e.structure) (escape e.theorem) e.n e.b
     e.queries e.mean_ios e.p50_ios e.p99_ios e.max_ios e.worst_ratio e.within
+    e.mean_us e.p99_us
 
 let to_json b =
   let buf = Buffer.create 4096 in
@@ -159,6 +179,9 @@ let parse_entry lineno line =
     let* max_ios = int_field line "max_ios" in
     let* worst_ratio = num_field line "worst_ratio" in
     let* within = bool_field line "within" in
+    (* wall-clock fields arrived with schema v2; absent means a v1 file *)
+    let mean_us = Option.value ~default:0. (num_field line "mean_us") in
+    let p99_us = Option.value ~default:0. (num_field line "p99_us") in
     Some
       {
         experiment;
@@ -173,6 +196,8 @@ let parse_entry lineno line =
         max_ios;
         worst_ratio;
         within;
+        mean_us;
+        p99_us;
       }
   in
   match entry with
@@ -181,8 +206,12 @@ let parse_entry lineno line =
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
-  if not (List.exists (fun l -> find_pat l schema <> None) lines) then
-    Error (Printf.sprintf "baseline schema is not %S" schema)
+  if
+    not
+      (List.exists
+         (fun l -> find_pat l schema <> None || find_pat l schema_v1 <> None)
+         lines)
+  then Error (Printf.sprintf "baseline schema is not %S (or v1)" schema)
   else
     let seed =
       List.find_map (fun l -> int_field l "seed") lines |> Option.value ~default:0

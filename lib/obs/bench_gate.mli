@@ -27,20 +27,30 @@ type entry = {
   max_ios : int;
   worst_ratio : float;  (** worst measured/predicted over the queries *)
   within : bool;  (** all queries within the bound *)
+  mean_us : float;
+      (** mean wall-clock per query, µs — {e reported, never gated}:
+          wall-clock is machine-dependent, so {!diff} ignores it *)
+  p99_us : float;  (** p99 wall-clock per query, µs (reported only) *)
 }
 
 type baseline = { seed : int; entries : entry list }
 
-(** Current schema tag, embedded in every file. *)
+(** Current schema tag, embedded in every file. v2 added the wall-clock
+    columns; {!of_string} still accepts v1 files (wall-clock zero). *)
 val schema : string
 
+(** [times_us] are per-query wall-clock samples (µs), folded into the
+    entry's [mean_us]/[p99_us]; omitted means no wall-clock was
+    measured. *)
 val entry_of_verdicts :
+  ?times_us:float list ->
   experiment:string ->
   structure:Cost_model.structure ->
   histo:Histogram.t ->
   summary:Cost_model.Conformance.summary ->
   n:int ->
   b:int ->
+  unit ->
   entry
 
 val to_json : baseline -> string

@@ -54,3 +54,5 @@ let scan_prefix_from pager t ~from ~keep =
 let scan_prefix pager t ~keep = scan_prefix_from pager t ~from:0 ~keep
 
 let free pager t = Array.iter (Pager.free pager) t.pages
+let to_ids t = (Array.copy t.pages, t.len)
+let of_ids (pages, len) = { pages = Array.copy pages; len }

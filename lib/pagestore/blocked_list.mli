@@ -53,3 +53,12 @@ val scan_prefix_from :
 
 (** [free pager t] releases all pages of the list. *)
 val free : 'a Pager.t -> 'a t -> unit
+
+(** {1 Serialization view}
+
+    A blocked list is nothing but page ids plus a length; these two
+    functions expose that flat shape so page codecs can write a list
+    embedded in a cell to disk and read it back. *)
+
+val to_ids : 'a t -> int array * int
+val of_ids : int array * int -> 'a t

@@ -1,0 +1,166 @@
+(* Byte layout of journal-record and superblock payloads as they appear
+   inside [Pc_blockdev.Wal_file] frames (DESIGN.md §13). This is the
+   bridge between [Wal]'s in-memory effect log and a real directory on
+   disk: [Wal] builds these payloads at commit time, [Disk_store] parses
+   them back into a [Wal.image] at recovery.
+
+   Journal record:
+     u8  flags        bit0 = page image follows, bit1 = commit follows,
+                      bit2 = the page was freed by this transaction
+     i64 txn | i64 pidx | i64 page
+     [flags&1]  u32 len, len bytes  — the encoded page image
+     [flags&2]  commit blob
+   Commit blob:
+     u32 meta_len, meta bytes | i64 tag | u32 npairs | (i64 idx, i64 next)*
+   Superblock payload:
+     u8 present (0 = no commit yet) | [present] commit blob
+
+   Parsers are total: any malformed payload returns [None] rather than
+   raising — a half-written or damaged record is simply not a record. *)
+
+type commit = { dc_meta : string; dc_tag : int; dc_next : (int * int) list }
+
+type jrec = {
+  dj_txn : int;
+  dj_pidx : int;
+  dj_page : int;
+  dj_image : bytes option;
+  dj_freed : bool;
+  dj_commit : commit option;
+}
+
+let put_int buf v =
+  let v = Int64.of_int v in
+  for byte = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * byte)) 0xFFL)))
+  done
+
+let put_u32 buf v =
+  for byte = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * byte)) land 0xFF))
+  done
+
+let put_commit buf c =
+  put_u32 buf (String.length c.dc_meta);
+  Buffer.add_string buf c.dc_meta;
+  put_int buf c.dc_tag;
+  put_u32 buf (List.length c.dc_next);
+  List.iter
+    (fun (idx, next) ->
+      put_int buf idx;
+      put_int buf next)
+    c.dc_next
+
+let build_jrec r =
+  let buf = Buffer.create 256 in
+  let flags =
+    (if r.dj_image = None then 0 else 1)
+    lor (if r.dj_commit = None then 0 else 2)
+    lor if r.dj_freed then 4 else 0
+  in
+  Buffer.add_char buf (Char.chr flags);
+  put_int buf r.dj_txn;
+  put_int buf r.dj_pidx;
+  put_int buf r.dj_page;
+  (match r.dj_image with
+  | None -> ()
+  | Some b ->
+      put_u32 buf (Bytes.length b);
+      Buffer.add_bytes buf b);
+  (match r.dj_commit with None -> () | Some c -> put_commit buf c);
+  Buffer.to_bytes buf
+
+let build_super c =
+  let buf = Buffer.create 64 in
+  (match c with
+  | None -> Buffer.add_char buf '\000'
+  | Some c ->
+      Buffer.add_char buf '\001';
+      put_commit buf c);
+  Buffer.to_bytes buf
+
+(* --- parsing --------------------------------------------------------- *)
+
+exception Short
+
+let need b pos n = if pos < 0 || pos + n > Bytes.length b then raise Short
+
+let get_int b pos =
+  need b pos 8;
+  (Int64.to_int (Bytes.get_int64_le b pos), pos + 8)
+
+let get_u32 b pos =
+  need b pos 4;
+  let v = Int32.to_int (Bytes.get_int32_le b pos) in
+  if v < 0 then raise Short;
+  (v, pos + 4)
+
+let get_u8 b pos =
+  need b pos 1;
+  (Char.code (Bytes.get b pos), pos + 1)
+
+let get_commit b pos =
+  let mlen, pos = get_u32 b pos in
+  need b pos mlen;
+  let meta = Bytes.sub_string b pos mlen in
+  let pos = pos + mlen in
+  let tag, pos = get_int b pos in
+  let n, pos = get_u32 b pos in
+  let pos = ref pos in
+  let next =
+    List.init n (fun _ ->
+        let idx, p = get_int b !pos in
+        let nx, p = get_int b p in
+        pos := p;
+        (idx, nx))
+  in
+  ({ dc_meta = meta; dc_tag = tag; dc_next = next }, !pos)
+
+let parse_jrec b =
+  match
+    let flags, pos = get_u8 b 0 in
+    let txn, pos = get_int b pos in
+    let pidx, pos = get_int b pos in
+    let page, pos = get_int b pos in
+    let image, pos =
+      if flags land 1 = 0 then (None, pos)
+      else begin
+        let len, pos = get_u32 b pos in
+        need b pos len;
+        (Some (Bytes.sub b pos len), pos + len)
+      end
+    in
+    let commit, pos =
+      if flags land 2 = 0 then (None, pos)
+      else
+        let c, pos = get_commit b pos in
+        (Some c, pos)
+    in
+    if pos <> Bytes.length b then raise Short;
+    {
+      dj_txn = txn;
+      dj_pidx = pidx;
+      dj_page = page;
+      dj_image = image;
+      dj_freed = flags land 4 <> 0;
+      dj_commit = commit;
+    }
+  with
+  | r -> Some r
+  | exception Short -> None
+
+let parse_super b =
+  match
+    let present, pos = get_u8 b 0 in
+    if present = 0 then (
+      if pos <> Bytes.length b then raise Short;
+      None)
+    else
+      let c, pos = get_commit b pos in
+      if pos <> Bytes.length b then raise Short;
+      Some c
+  with
+  | c -> Some c
+  | exception Short -> None

@@ -1,0 +1,21 @@
+(** Byte layout of WAL journal-record and superblock payloads as stored
+    in [Pc_blockdev.Wal_file] frames (DESIGN.md §13). [Wal] builds these
+    at commit; [Disk_store] parses them back at recovery. Parsers are
+    total — malformed bytes yield [None], never an exception or a
+    garbage value. *)
+
+type commit = { dc_meta : string; dc_tag : int; dc_next : (int * int) list }
+
+type jrec = {
+  dj_txn : int;
+  dj_pidx : int;
+  dj_page : int;  (** [-1] on a pure-commit record *)
+  dj_image : bytes option;  (** the encoded page image being journaled *)
+  dj_freed : bool;  (** the transaction freed this page *)
+  dj_commit : commit option;  (** present on a transaction's last record *)
+}
+
+val build_jrec : jrec -> bytes
+val build_super : commit option -> bytes
+val parse_jrec : bytes -> jrec option
+val parse_super : bytes -> commit option option

@@ -1,4 +1,6 @@
 open Pc_bufferpool
+module Bdev = Pc_blockdev.Block_device
+module Codec = Pc_blockdev.Page_codec
 
 exception Io_fault of { page : int; op : string }
 exception Torn_write of { page : int; kept : int; len : int }
@@ -36,6 +38,13 @@ type 'a dur = {
 
 and 'a slot_opt = 'a slot option
 
+(* A block-device backend: pages round-trip through [codec] to raw
+   bytes on [dev]. The slots array stays as an in-memory mirror (WAL
+   snapshots, rollback and invariants need it), but read misses decode
+   off the device and every charged write lands on it encoded — so the
+   sim's I/O counts are untouched while the bytes become real. *)
+type 'a backend = { dev : Bdev.t; codec : 'a Codec.t }
+
 type 'a t = {
   page_capacity : int;
   mutable slots : 'a slot option array;
@@ -51,6 +60,7 @@ type 'a t = {
   obs_src : Pc_obs.Obs.source option;
   name : string; (* the [obs_name]; labels this pager's exported metrics *)
   mutable dur : 'a dur option;
+  bin : 'a backend option;
   retry_histo : Pc_obs.Histogram.t; (* transient burst lengths absorbed *)
 }
 
@@ -66,7 +76,7 @@ let set_ambient_fault_plan p = ambient_plan := Some p
 let clear_ambient_fault_plan () = ambient_plan := None
 let ambient_fault_plan () = !ambient_plan
 
-let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager")
+let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ?backend
     ~page_capacity () =
   if page_capacity <= 0 then invalid_arg "Pager.create: page_capacity <= 0";
   let pool =
@@ -77,6 +87,16 @@ let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager")
            I/O counts to the old built-in LRU *)
         Buffer_pool.create ~policy:Replacement.Lru ~capacity:cache_capacity ()
   in
+  (match backend with
+  | Some _ when Buffer_pool.write_back_mode pool ->
+      (* write-back defers device writes past commit points; the binary
+         path insists the device always holds what was charged *)
+      invalid_arg
+        (Printf.sprintf
+           "Pager(%s): a block-device backend does not support write-back \
+            pools"
+           obs_name)
+  | _ -> ());
   let obs_src = Option.map (fun o -> Pc_obs.Obs.register o ~name:obs_name) obs in
   {
     page_capacity;
@@ -93,10 +113,57 @@ let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager")
     obs_src;
     name = obs_name;
     dur = None;
+    bin = backend;
     retry_histo = Pc_obs.Histogram.create ();
   }
 
 let page_capacity t = t.page_capacity
+let device t = Option.map (fun b -> b.dev) t.bin
+
+(* --- binary backend helpers ----------------------------------------- *)
+
+let encode_page b ~page records =
+  Codec.encode b.codec ~page_bytes:b.dev.Bdev.page_bytes ~page records
+
+(* The charged device write, materialized: encode the page and put it on
+   the device (whole, or the first half of its sectors for a tear). *)
+let dev_put t ~page records =
+  match t.bin with
+  | None -> ()
+  | Some b -> b.dev.Bdev.write_page page (encode_page b ~page records)
+
+let dev_put_torn t ~page records =
+  match t.bin with
+  | None -> ()
+  | Some b ->
+      let nsec = b.dev.Bdev.page_bytes / b.dev.Bdev.sector_bytes in
+      b.dev.Bdev.write_sectors page (encode_page b ~page records) (nsec / 2)
+
+let dev_trim t ~page =
+  match t.bin with None -> () | Some b -> b.dev.Bdev.trim page
+
+(* A durable pager defers in-place device writes to the commit's apply
+   step, so for a page the open transaction has already touched the
+   device still holds the pre-transaction image — the slots mirror is
+   the only truth until commit. *)
+let dirty_in_open_txn t id =
+  match t.dur with
+  | Some d -> d.in_txn && Hashtbl.mem d.undo id
+  | None -> false
+
+(* A device read: fetch and decode the page's bytes. [None] = the bytes
+   do not decode (torn sector, bit rot, trimmed page) — never garbage.
+   Without a backend the mirror IS the storage and is returned as-is;
+   pages dirtied by the open transaction are served from the mirror too
+   (their device image is stale until the commit applies it). *)
+let dev_fetch t id mirror =
+  match t.bin with
+  | None -> Some mirror
+  | Some _ when dirty_in_open_txn t id -> Some mirror
+  | Some b -> (
+      match Codec.decode b.codec ~page:id (b.dev.Bdev.read_page id) with
+      | cells -> Some cells
+      | exception (Codec.Corrupt_page _ | Bdev.Device_error _) -> None)
 let cache_capacity t = Buffer_pool.capacity t.pool
 let pool t = t.pool
 let obs t = t.obs
@@ -170,6 +237,9 @@ let guard_write t ~op ~page records =
           let len = Array.length records in
           let kept = len / 2 in
           t.slots.(page) <- Some (Live (Array.sub records 0 kept));
+          (* on a device the tear is at sector granularity: half the
+             page's sectors transfer, later reads fail the checksum *)
+          dev_put_torn t ~page records;
           Hashtbl.remove t.frames page;
           Buffer_pool.forget t.client page;
           t.stats.writes <- t.stats.writes + 1;
@@ -191,7 +261,9 @@ let ensure_capacity t id =
    superblock), charged like any device write but reported as an
    outcome: the [Wal] decides what a tear or denial means at each
    commit phase. *)
-let dev_write_outcome t ~page ~kind =
+let nop () = ()
+
+let dev_write_outcome t ~page ~kind ?(on_ok = nop) ?(on_torn = nop) () =
   let charge () =
     t.stats.writes <- t.stats.writes + 1;
     ev t kind ~page
@@ -199,17 +271,20 @@ let dev_write_outcome t ~page ~kind =
   match t.plan with
   | None ->
       charge ();
+      on_ok ();
       Wal.W_ok
   | Some p -> (
       match Fault_plan.decide p ~write:true with
       | Fault_plan.Proceed | Fault_plan.Transient_burst _ ->
           charge ();
+          on_ok ();
           Wal.W_ok
       | Fault_plan.Deny ->
           fault_ev t ~page;
           Wal.W_deny
       | Fault_plan.Tear ->
           charge ();
+          on_torn ();
           fault_ev t ~page;
           Wal.W_torn)
 
@@ -247,11 +322,31 @@ let enroll t wal ~idx ~seed_crcs =
                 Some (Obj.magic (Array.copy records) : Obj.t array)
             | Some Freed | Some Damaged | None -> None);
       pt_journal_write =
-        (fun page -> dev_write_outcome t ~page ~kind:Pc_obs.Obs.Journal_write);
+        (* the journal bytes themselves are appended by the Wal's store;
+           this is only the charge and the fault decision *)
+        (fun page -> dev_write_outcome t ~page ~kind:Pc_obs.Obs.Journal_write ());
       pt_apply_write =
-        (fun page -> dev_write_outcome t ~page ~kind:Pc_obs.Obs.Write);
+        (fun page ->
+          (* the in-place apply is the write that reaches the page's own
+             device location: committed content, freed pages trimmed *)
+          let content () =
+            if page < 0 || page >= Array.length t.slots then None
+            else t.slots.(page)
+          in
+          let on_ok () =
+            match content () with
+            | Some (Live records) -> dev_put t ~page records
+            | Some Freed -> dev_trim t ~page
+            | Some Damaged | None -> ()
+          in
+          let on_torn () =
+            match content () with
+            | Some (Live records) -> dev_put_torn t ~page records
+            | Some Freed | Some Damaged | None -> ()
+          in
+          dev_write_outcome t ~page ~kind:Pc_obs.Obs.Write ~on_ok ~on_torn ());
       pt_super_write =
-        (fun () -> dev_write_outcome t ~page:(-1) ~kind:Pc_obs.Obs.Checkpoint);
+        (fun () -> dev_write_outcome t ~page:(-1) ~kind:Pc_obs.Obs.Checkpoint ());
       pt_set_crc =
         (fun page crc ->
           if page >= 0 && page < Array.length t.slots then
@@ -279,6 +374,18 @@ let enroll t wal ~idx ~seed_crcs =
       pt_next_id = (fun () -> t.next_id);
       pt_io_fault = (fun ~page ~op -> Io_fault { page; op });
       pt_torn = (fun ~page ~len -> Torn_write { page; kept = len / 2; len });
+      pt_encode =
+        Option.map
+          (fun b page ->
+            if page < 0 || page >= Array.length t.slots then None
+            else
+              match t.slots.(page) with
+              | Some (Live records) -> Some (encode_page b ~page records)
+              | Some Freed | Some Damaged | None -> None)
+          t.bin;
+      pt_sync =
+        (fun () ->
+          match t.bin with Some b -> b.dev.Bdev.flush () | None -> ());
     }
 
 (* Every mutation of a durable pager must sit inside a [Wal.with_txn]:
@@ -361,7 +468,8 @@ let charge_write t id ~op ~records ~buffered =
   else begin
     guard_write t ~op ~page:id records;
     t.stats.writes <- t.stats.writes + 1;
-    ev t Pc_obs.Obs.Write ~page:id
+    ev t Pc_obs.Obs.Write ~page:id;
+    dev_put t ~page:id records
   end
 
 let alloc t records =
@@ -463,11 +571,14 @@ let read t id =
               guard_read t ~op:"read" ~page:id;
               t.stats.reads <- t.stats.reads + 1;
               ev t Pc_obs.Obs.Read ~page:id;
-              match read_verdict t id records with
-              | `Corrupt -> corrupt_read t id
-              | `Ok ->
-                  cache_insert t id records;
-                  records)))
+              match dev_fetch t id records with
+              | None -> corrupt_read t id
+              | Some records -> (
+                  match read_verdict t id records with
+                  | `Corrupt -> corrupt_read t id
+                  | `Ok ->
+                      cache_insert t id records;
+                      records))))
 
 let write t id records =
   sync t;
@@ -496,7 +607,9 @@ let free t id =
   ev t Pc_obs.Obs.Free ~page:id;
   (* a freed page's dirty data is discarded, never written back *)
   Hashtbl.remove t.frames id;
-  Buffer_pool.forget t.client id
+  Buffer_pool.forget t.client id;
+  (* durable pagers defer the trim to the commit's in-place apply *)
+  if not (durable t) then dev_trim t ~page:id
 
 let pages_in_use t = t.live
 
@@ -546,7 +659,8 @@ let flush t =
   | _ -> ());
   let n = Buffer_pool.flush_client t.client in
   t.stats.writes <- t.stats.writes + n;
-  t.stats.write_backs <- t.stats.write_backs + n
+  t.stats.write_backs <- t.stats.write_backs + n;
+  (match t.bin with Some b -> b.dev.Bdev.flush () | None -> ())
 
 let pin t id =
   if Buffer_pool.capacity t.pool > 0 then begin
@@ -582,7 +696,9 @@ let advise_willneed t ids =
           guard_read t ~op:"advise_willneed" ~page:id;
           t.stats.reads <- t.stats.reads + 1;
           ev t Pc_obs.Obs.Read ~page:id;
-          cache_insert ~hint:`Hot t id records
+          match dev_fetch t id records with
+          | Some records -> cache_insert ~hint:`Hot t id records
+          | None -> () (* undecodable: let the verifying read handle it *)
         end)
       ids
 
@@ -590,8 +706,11 @@ let advise_willneed t ids =
 (* Durability: creation, recovery, degraded reads                     *)
 (* ------------------------------------------------------------------ *)
 
-let create ?cache_capacity ?pool ?obs ?obs_name ?wal ~page_capacity () =
-  let t = create_raw ?cache_capacity ?pool ?obs ?obs_name ~page_capacity () in
+let create ?cache_capacity ?pool ?obs ?obs_name ?wal ?backend ~page_capacity ()
+    =
+  let t =
+    create_raw ?cache_capacity ?pool ?obs ?obs_name ?backend ~page_capacity ()
+  in
   (match wal with
   | None -> ()
   | Some w ->
@@ -602,8 +721,10 @@ let wal t = Option.map (fun d -> d.wal) t.dur
 let wal_index t = Option.map (fun d -> d.widx) t.dur
 
 let attach_recovered (r : Wal.recovered) ~idx ?cache_capacity ?pool ?obs
-    ?obs_name ?fixup ~page_capacity () =
-  let t = create_raw ?cache_capacity ?pool ?obs ?obs_name ~page_capacity () in
+    ?obs_name ?fixup ?backend ~page_capacity () =
+  let t =
+    create_raw ?cache_capacity ?pool ?obs ?obs_name ?backend ~page_capacity ()
+  in
   let crcs = Hashtbl.create 64 in
   let rehydrate arr =
     match fixup with None -> arr | Some f -> f arr
@@ -618,13 +739,18 @@ let attach_recovered (r : Wal.recovered) ~idx ?cache_capacity ?pool ?obs
           t.slots.(page) <- Some (Live arr);
           t.live <- t.live + 1;
           Hashtbl.replace crcs page
-            (Checksum.payload (Some (Obj.magic arr : Obj.t array)))
+            (Checksum.payload (Some (Obj.magic arr : Obj.t array)));
+          (* materialize the journal redo on the device: recovery's
+             answer must be readable from the bytes alone next time *)
+          dev_put t ~page arr
       | Some _ ->
           (* checksum failed even after redo: quarantinable, never
-             silently readable *)
+             silently readable (the device keeps the corrupt bytes) *)
           t.slots.(page) <- Some Damaged;
           t.live <- t.live + 1
-      | None -> t.slots.(page) <- Some Freed)
+      | None ->
+          t.slots.(page) <- Some Freed;
+          dev_trim t ~page)
     (Wal.recovered_slots r ~idx);
   t.next_id <- max t.next_id (Wal.recovered_next_id r ~idx);
   enroll t r.Wal.r_wal ~idx ~seed_crcs:crcs;

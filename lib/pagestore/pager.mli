@@ -48,6 +48,21 @@ exception Frame_mutated of { page : int }
     cached page array was mutated in place instead of going through
     {!write} — the aliasing hazard of {!read}'s zero-copy return. *)
 
+(** A binary storage backend: pages round-trip through
+    [codec] ({!Pc_blockdev.Page_codec}) to raw bytes on [dev]
+    ({!Pc_blockdev.Block_device}) — an in-memory byte store or a real
+    file. Accounting, caching and fault injection are unchanged (the
+    device is dumb), so I/O {e counts} are byte-identical with and
+    without a backend; what changes is that a read miss really decodes
+    the device's bytes (a torn sector or flipped byte surfaces as
+    {!Corrupt_page}, never garbage) and every charged write really
+    lands encoded on the device. Write-back pools are not supported —
+    the binary path insists the device always holds what was charged. *)
+type 'a backend = {
+  dev : Pc_blockdev.Block_device.t;
+  codec : 'a Pc_blockdev.Page_codec.t;
+}
+
 (** [create ~page_capacity ()] makes an empty device. [cache_capacity]
     (default [0]) sizes a private LRU buffer pool in pages; [0] disables
     caching so every access costs exactly one I/O. [pool] overrides the
@@ -74,9 +89,13 @@ val create :
   ?obs:Pc_obs.Obs.t ->
   ?obs_name:string ->
   ?wal:Wal.t ->
+  ?backend:'a backend ->
   page_capacity:int ->
   unit ->
   'a t
+
+(** [device t] is the block device under the pager's backend, if any. *)
+val device : 'a t -> Pc_blockdev.Block_device.t option
 
 (** [wal t] is the journal this pager is enrolled in, if any;
     [wal_index t] its enrollment index (pagers are re-attached by index
@@ -106,6 +125,7 @@ val attach_recovered :
   ?obs:Pc_obs.Obs.t ->
   ?obs_name:string ->
   ?fixup:('a array -> 'a array) ->
+  ?backend:'a backend ->
   page_capacity:int ->
   unit ->
   'a t

@@ -73,6 +73,22 @@ type participant = {
   pt_next_id : unit -> int;
   pt_io_fault : page:int -> op:string -> exn;
   pt_torn : page:int -> len:int -> exn;
+  pt_encode : (int -> bytes option) option;
+      (* binary page image of the page's current content; [Some] only on
+         pagers with a block-device backend *)
+  pt_sync : unit -> unit;  (* durability barrier on the pager's device *)
+}
+
+(* Byte sink for a journal that is also durable on real files: appends
+   go to wal.log, [st_sync] is the fsync at the commit point, [st_super]
+   atomically replaces the superblock and truncates the journal. The
+   closures keep pagestore free of any dependency on how the files are
+   managed. *)
+type store = {
+  st_append : bytes -> unit;
+  st_append_torn : bytes -> unit;
+  st_sync : unit -> unit;
+  st_super : bytes -> unit;
 }
 
 type t = {
@@ -89,6 +105,7 @@ type t = {
   (* the checkpointed state a recovered journal starts from *)
   base : (int * int, payload * int64) Hashtbl.t;
   mutable base_commit : commit option;
+  mutable store : store option;  (* durable byte sink, if any *)
 }
 
 let create ?(checkpoint_every = 64) () =
@@ -107,6 +124,7 @@ let create ?(checkpoint_every = 64) () =
     unclean = [];
     base = Hashtbl.create 64;
     base_commit = None;
+    store = None;
   }
 
 let next_part_idx t = List.length t.parts
@@ -114,7 +132,35 @@ let next_part_idx t = List.length t.parts
 let enroll t p =
   if List.exists (fun q -> q.pt_idx = p.pt_idx) t.parts then
     invalid_arg "Wal.enroll: participant index already taken";
+  if t.store <> None && p.pt_encode = None then
+    invalid_arg
+      "Wal.enroll: journal has a disk store; every pager must have a \
+       block-device backend";
   t.parts <- t.parts @ [ p ]
+
+let attach_store t s =
+  if t.store <> None then invalid_arg "Wal.attach_store: store already attached";
+  if List.exists (fun p -> p.pt_encode = None) t.parts then
+    invalid_arg
+      "Wal.attach_store: an enrolled pager has no block-device backend";
+  t.store <- Some s
+
+(* Commit metadata as the superblock's byte payload. *)
+let super_bytes c =
+  Disk_format.build_super
+    (Option.map
+       (fun c ->
+         { Disk_format.dc_meta = c.c_meta; dc_tag = c.c_tag; dc_next = c.c_next })
+       c)
+
+(* Sync every device and stamp a fresh superblock — used after a
+   recovery has rewritten the on-disk pages, so the files are clean. *)
+let store_checkpoint t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      List.iter (fun p -> p.pt_sync ()) t.parts;
+      s.st_super (super_bytes t.last_commit)
 
 let txn_depth t = t.txn_depth
 let set_tag t i = t.tag <- i
@@ -162,7 +208,14 @@ let maybe_checkpoint t =
         match p0.pt_super_write () with
         | W_ok ->
             push t (E_super { s_commit = t.last_commit });
-            t.journal_len <- 0
+            t.journal_len <- 0;
+            (match t.store with
+            | None -> ()
+            | Some s ->
+                (* devices must be durable before the superblock
+                   obsoletes the journal that could redo them *)
+                List.iter (fun p -> p.pt_sync ()) t.parts;
+                s.st_super (super_bytes t.last_commit))
         | W_torn | W_deny -> ())
 
 let commit t ~meta =
@@ -177,6 +230,28 @@ let commit t ~meta =
       c_tag = t.tag;
       c_next = List.map (fun p -> (p.pt_idx, p.pt_next_id ())) t.parts;
     }
+  in
+  let jrec_bytes p r =
+    Disk_format.build_jrec
+      {
+        Disk_format.dj_txn = r.j_txn;
+        dj_pidx = r.j_pidx;
+        dj_page = r.j_page;
+        dj_image =
+          (if r.j_page < 0 then None
+           else
+             match p.pt_encode with None -> None | Some enc -> enc r.j_page);
+        dj_freed = r.j_page >= 0 && r.j_payload = None;
+        dj_commit =
+          Option.map
+            (fun c ->
+              {
+                Disk_format.dc_meta = c.c_meta;
+                dc_tag = c.c_tag;
+                dc_next = c.c_next;
+              })
+            r.j_commit;
+      }
   in
   let journal_one ~txn ~commit:jc (p, page) =
     let payload = p.pt_snapshot page in
@@ -194,7 +269,14 @@ let commit t ~meta =
     match p.pt_journal_write page with
     | W_ok ->
         push t (E_journal rec_ok);
-        t.journal_len <- t.journal_len + 1
+        t.journal_len <- t.journal_len + 1;
+        (match t.store with
+        | None -> ()
+        | Some s ->
+            s.st_append (jrec_bytes p rec_ok);
+            (* the fsync that makes the transaction durable rides on the
+               record that carries the commit *)
+            if jc <> None then s.st_sync ())
     | W_torn ->
         (* a torn journal record reaches the disk unreadable: its
            checksum fails at recovery, so the transaction is incomplete
@@ -203,6 +285,9 @@ let commit t ~meta =
           (E_journal
              { rec_ok with j_crc = Checksum.spoil crc; j_commit = None });
         t.journal_len <- t.journal_len + 1;
+        (match t.store with
+        | None -> ()
+        | Some s -> s.st_append_torn (jrec_bytes p rec_ok));
         rollback_all t;
         raise (p.pt_torn ~page ~len:(payload_len payload))
     | W_deny ->
@@ -338,6 +423,44 @@ let image_at ?(torn = false) t ~ios:k =
   { im_pages = pages; im_journal = List.rev !journal; im_super = !super }
 
 let crash t = image_at t ~ios:t.n_effects
+
+(* Reconstruct an image from artefacts parsed off real files
+   ([Disk_store.load_image]). Pages and journal records arrive already
+   decoded with a validity bit from their byte checksums; an invalid one
+   gets a spoiled structural fingerprint, so [recover] treats it exactly
+   as the in-memory model treats a torn record or page. *)
+type disk_jrec = {
+  dk_txn : int;
+  dk_pidx : int;
+  dk_page : int;
+  dk_payload : payload;
+  dk_ok : bool;
+  dk_commit : commit option;
+}
+
+let image_of_disk ~pages ~journal ~super =
+  let im_pages = Hashtbl.create 64 in
+  List.iter
+    (fun (key, (payload, ok)) ->
+      let fp = Checksum.payload payload in
+      Hashtbl.replace im_pages key
+        (payload, if ok then fp else Checksum.spoil fp))
+    pages;
+  let im_journal =
+    List.map
+      (fun d ->
+        let fp = Checksum.payload d.dk_payload in
+        {
+          j_txn = d.dk_txn;
+          j_pidx = d.dk_pidx;
+          j_page = d.dk_page;
+          j_payload = d.dk_payload;
+          j_crc = (if d.dk_ok then fp else Checksum.spoil fp);
+          j_commit = d.dk_commit;
+        })
+      journal
+  in
+  { im_pages; im_journal; im_super = super }
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                           *)

@@ -86,6 +86,35 @@ type recovered = {
     {!Pager.attach_recovered} to rebuild each pager from the result. *)
 val recover : image -> recovered
 
+(** {1 Durable byte store}
+
+    With a store attached the journal is also durable on real files:
+    every journal record is appended (framed) to [wal.log] via
+    [st_append], the record that carries the commit is followed by an
+    [st_sync] (the fsync that makes the transaction durable — and the
+    only fsync on the commit path), and a checkpoint writes the
+    superblock through [st_super], which also truncates the journal.
+    [st_append_torn] mirrors a torn journal write: only half the frame
+    reaches the file. Wire it to [Pc_blockdev.Wal_file] through
+    {!Disk_store.wal_store}. *)
+
+type store = {
+  st_append : bytes -> unit;
+  st_append_torn : bytes -> unit;
+  st_sync : unit -> unit;
+  st_super : bytes -> unit;
+}
+
+(** [attach_store t s] makes the journal durable. Every pager enrolled
+    (now or later) must have a block-device backend — journal records
+    need page images. *)
+val attach_store : t -> store -> unit
+
+(** Fsync every participant's device and stamp a fresh superblock —
+    call after a recovery has rewritten the on-disk pages, so the
+    directory is clean (journal truncated). No-op without a store. *)
+val store_checkpoint : t -> unit
+
 (** Structural equality of two recovery results — page contents (by
     checksum), metadata, tag, damage list and I/O bill. The idempotence
     property is [recovered_equal (recover i) (recover i)] for every
@@ -111,10 +140,31 @@ type participant = {
   pt_next_id : unit -> int;
   pt_io_fault : page:int -> op:string -> exn;
   pt_torn : page:int -> len:int -> exn;
+  pt_encode : (int -> bytes option) option;
+  pt_sync : unit -> unit;
 }
 
 val next_part_idx : t -> int
 val enroll : t -> participant -> unit
+
+(* Image reconstruction from real files, for [Disk_store.load_image]. *)
+
+type commit = { c_meta : string; c_tag : int; c_next : (int * int) list }
+
+type disk_jrec = {
+  dk_txn : int;
+  dk_pidx : int;
+  dk_page : int;
+  dk_payload : Obj.t array option;
+  dk_ok : bool;  (* byte checksum held and the payload decoded *)
+  dk_commit : commit option;
+}
+
+val image_of_disk :
+  pages:((int * int) * (Obj.t array option * bool)) list ->
+  journal:disk_jrec list ->
+  super:commit option ->
+  image
 
 val recovered_slots :
   recovered -> idx:int -> (int * Obj.t array option * bool) list

@@ -44,6 +44,7 @@ type t = {
   block_pages : int array;
   seg_len : int;
   size : int;
+  store : Disk_store.t option; (* open file-backed home, for [close] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -56,11 +57,11 @@ let store_srcs pager entries =
   Blocked_list.store pager
     (List.map (fun (p, src, src_total) -> Src { p; src; src_total }) entries)
 
-let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ~mode ~b
-    pts =
+let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ?backend
+    ~mode ~b pts =
   if b < 2 then invalid_arg "Ext_pst3.create: b < 2";
   let pager =
-    Pager.create ~cache_capacity ?pool ?obs ?wal:durability
+    Pager.create ~cache_capacity ?pool ?obs ?wal:durability ?backend
       ~obs_name:"ext_pst3" ~page_capacity:b ()
   in
   Pc_obs.Obs.with_span obs ~kind:"build.3sided" @@ fun () ->
@@ -73,6 +74,7 @@ let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ~mode ~b
         block_pages = [||];
         seg_len = 1;
         size = 0;
+        store = None;
       }
   | _ ->
       let seg_len = max 1 (Num_util.ilog2 (max 2 b)) in
@@ -205,6 +207,7 @@ let create_unjournaled ?(cache_capacity = 0) ?pool ?obs ?durability ~mode ~b
         block_pages;
         seg_len;
         size = List.length pts;
+        store = None;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -587,10 +590,13 @@ let check_invariants t =
         if List.sort compare (List.map key xa) <> List.sort compare (List.map key ys)
         then fail "node %d: x_asc_list holds different points" i;
         if d.n_pts <= b then begin
-          if not (d.x_list == d.y_list) then
+          (* sharing = same underlying pages; compare ids, not handles
+             (decoding a page through a binary backend rebuilds the
+             list records, losing physical identity) *)
+          if Blocked_list.to_ids d.x_list <> Blocked_list.to_ids d.y_list then
             fail "node %d: single-page x_list not shared" i;
-          if not (d.x_asc_list == d.y_list) then
-            fail "node %d: single-page x_asc_list not shared" i
+          if Blocked_list.to_ids d.x_asc_list <> Blocked_list.to_ids d.y_list
+          then fail "node %d: single-page x_asc_list not shared" i
         end
         else begin
           check_sorted "x_list" Point.compare_x_desc xs;
@@ -706,28 +712,210 @@ let snapshot t = Marshal.to_string (t.mode, Pager.page_capacity t.pager, t.layou
 
 (* The static build is one journal transaction — all-or-nothing under a
    crash. *)
-let create ?cache_capacity ?pool ?obs ?durability ~mode ~b pts =
+let create ?cache_capacity ?pool ?obs ?durability ?backend ~mode ~b pts =
   let result = ref None in
   Wal.with_txn durability
     ~meta:(fun () -> snapshot (Option.get !result))
     (fun () ->
       let t =
-        create_unjournaled ?cache_capacity ?pool ?obs ?durability ~mode ~b
-          pts
+        create_unjournaled ?cache_capacity ?pool ?obs ?durability ?backend
+          ~mode ~b pts
       in
       result := Some t;
       t)
 
 let wal t = Pager.wal t.pager
 
-let of_snapshot r ~idx ~snapshot =
+let of_snapshot ?backend r ~idx ~snapshot =
   let (mode, b, layout, block_pages, seg_len, size) : mode * int * Skeletal_layout.t option * int array * int * int =
     Marshal.from_string snapshot 0
   in
-  let pager = Pager.attach_recovered r ~idx ~page_capacity:b () in
-  { mode; pager; layout; block_pages; seg_len; size }
+  let pager = Pager.attach_recovered r ~idx ?backend ~page_capacity:b () in
+  { mode; pager; layout; block_pages; seg_len; size; store = None }
 
-let recover ?(mode = Cached) ~b (r : Wal.recovered) =
+let recover ?(mode = Cached) ?backend ~b (r : Wal.recovered) =
   match r.Wal.r_meta with
-  | Some snapshot -> of_snapshot r ~idx:0 ~snapshot
-  | None -> create ~durability:(Wal.create ()) ~mode ~b []
+  | Some snapshot -> of_snapshot ?backend r ~idx:0 ~snapshot
+  | None -> create ~durability:(Wal.create ()) ?backend ~mode ~b []
+
+(* ------------------------------------------------------------------ *)
+(* File backing: binary cell codec                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Codec = Pc_blockdev.Page_codec
+
+(* Cells embed blocked lists, which are nothing but page ids plus a
+   length — exactly what a real disk-resident region descriptor would
+   hold. Layout per list: i64 element count, i64 page count, then the
+   page ids. *)
+let enc_list buf l =
+  let ids, len = Blocked_list.to_ids l in
+  Codec.put_int buf len;
+  Codec.put_int buf (Array.length ids);
+  Array.iter (Codec.put_int buf) ids
+
+let dec_list b pos =
+  let g = Codec.get_int ~page:(-1) b in
+  let len = g pos in
+  let npages = g (pos + 8) in
+  if len < 0 || npages < 0 || npages > (Bytes.length b - pos) / 8 then
+    raise
+      (Codec.Corrupt_page
+         {
+           page = -1;
+           reason =
+             Printf.sprintf "blocked list claims %d elements in %d pages" len
+               npages;
+         });
+  let ids = Array.init npages (fun i -> g (pos + 16 + (8 * i))) in
+  (Blocked_list.of_ids (ids, len), pos + 16 + (8 * npages))
+
+let enc_point buf (p : Point.t) =
+  Codec.put_int buf p.x;
+  Codec.put_int buf p.y;
+  Codec.put_int buf p.id
+
+let dec_point b pos =
+  let g = Codec.get_int ~page:(-1) b in
+  (Point.make ~x:(g pos) ~y:(g (pos + 8)) ~id:(g (pos + 16)), pos + 24)
+
+let codec : cell Codec.t =
+  {
+    Codec.name = "ext-pst3-cell";
+    kind = 4;
+    enc =
+      (fun buf -> function
+        | Pt p ->
+            Codec.put_u8 buf 0;
+            enc_point buf p
+        | Src { p; src; src_total } ->
+            Codec.put_u8 buf 1;
+            enc_point buf p;
+            Codec.put_int buf src;
+            Codec.put_int buf src_total
+        | Desc d ->
+            Codec.put_u8 buf 2;
+            List.iter (Codec.put_int buf)
+              [
+                d.node; d.depth; d.split; d.min_y; d.min_x; d.max_x; d.left;
+                d.right; d.left_min_y; d.right_min_y; d.n_pts;
+              ];
+            List.iter (enc_list buf)
+              [
+                d.y_list; d.x_list; d.x_asc_list; d.a_list; d.a_asc_list;
+                d.sr_list; d.sl_list;
+              ]);
+    dec =
+      (fun b pos ->
+        match Codec.get_u8 ~page:(-1) b pos with
+        | 0 ->
+            let p, pos = dec_point b (pos + 1) in
+            (Pt p, pos)
+        | 1 ->
+            let p, pos = dec_point b (pos + 1) in
+            let g = Codec.get_int ~page:(-1) b in
+            (Src { p; src = g pos; src_total = g (pos + 8) }, pos + 16)
+        | 2 ->
+            let g = Codec.get_int ~page:(-1) b in
+            let pos = pos + 1 in
+            let s i = g (pos + (8 * i)) in
+            let pos = pos + (11 * 8) in
+            let y_list, pos = dec_list b pos in
+            let x_list, pos = dec_list b pos in
+            let x_asc_list, pos = dec_list b pos in
+            let a_list, pos = dec_list b pos in
+            let a_asc_list, pos = dec_list b pos in
+            let sr_list, pos = dec_list b pos in
+            let sl_list, pos = dec_list b pos in
+            ( Desc
+                {
+                  node = s 0;
+                  depth = s 1;
+                  split = s 2;
+                  min_y = s 3;
+                  min_x = s 4;
+                  max_x = s 5;
+                  left = s 6;
+                  right = s 7;
+                  left_min_y = s 8;
+                  right_min_y = s 9;
+                  n_pts = s 10;
+                  y_list;
+                  x_list;
+                  x_asc_list;
+                  a_list;
+                  a_asc_list;
+                  sr_list;
+                  sl_list;
+                },
+              pos )
+        | tag ->
+            raise
+              (Codec.Corrupt_page
+                 {
+                   page = -1;
+                   reason = Printf.sprintf "unknown ext_pst3 cell tag %d" tag;
+                 }));
+  }
+
+(* Worst cell: a descriptor whose seven lists each span the segment
+   window (a-lists hold up to [seg_len] pages; the others at most one
+   page plus slack). A page packs up to [b] descriptors (skeletal
+   blocks), so size for all-descriptor pages. *)
+let page_bytes ~b =
+  let lg = max 1 (Num_util.ilog2 (max 2 b)) in
+  let max_list_bytes = 16 + (8 * (lg + 2)) in
+  let max_cell_bytes = 1 + (11 * 8) + (7 * max_list_bytes) in
+  Codec.page_size ~max_cell_bytes ~capacity:b
+
+let close t =
+  match t.store with
+  | None -> ()
+  | Some ds ->
+      Option.iter
+        (fun d -> d.Pc_blockdev.Block_device.flush ())
+        (Pager.device t.pager);
+      Disk_store.close ds
+
+let open_store ?mmap ~dir ~b () =
+  let ds = Disk_store.open_dir ~dir in
+  let dev = Disk_store.device ?mmap ds ~idx:0 ~page_bytes:(page_bytes ~b) in
+  (ds, { Pager.dev; codec })
+
+let create_file ?cache_capacity ?obs ?mmap ~dir ~mode ~b pts =
+  let ds, backend = open_store ?mmap ~dir ~b () in
+  let wal = Wal.create () in
+  Wal.attach_store wal (Disk_store.wal_store ds);
+  let t =
+    create ?cache_capacity ?obs ~durability:wal ~backend ~mode ~b pts
+  in
+  { t with store = Some ds }
+
+let recover_file ?cache_capacity ?mmap ?(mode = Cached) ~dir ~b () =
+  let image =
+    Disk_store.load_image ~dir
+      ~parts:[ Disk_store.part codec ~idx:0 ~page_bytes:(page_bytes ~b) ]
+  in
+  let r = Wal.recover image in
+  let ds, backend = open_store ?mmap ~dir ~b () in
+  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ds);
+  let t =
+    match r.Wal.r_meta with
+    | Some snapshot ->
+        let t = of_snapshot ~backend r ~idx:0 ~snapshot in
+        let b' = Pager.page_capacity t.pager in
+        if b' <> b then
+          invalid_arg
+            (Printf.sprintf
+               "Ext_pst3.recover_file: %s holds a structure with b=%d, not \
+                b=%d"
+               dir b' b);
+        t
+    | None ->
+        (* nothing ever committed: an empty durable structure here *)
+        create ?cache_capacity ~durability:r.Wal.r_wal ~backend ~mode ~b []
+  in
+  (* redo results were just rewritten onto the device: sync them and
+     stamp a fresh superblock so the directory is clean again *)
+  Wal.store_checkpoint r.Wal.r_wal;
+  { t with store = Some ds }

@@ -35,11 +35,17 @@ val pp_mode : Format.formatter -> mode -> unit
 
 type t
 
+(** The page payload (abstract): region descriptors, points, and tagged
+    cache entries. Exposed only so a {!codec}-typed backend can be
+    passed to {!create}. *)
+type cell
+
 val create :
   ?cache_capacity:int ->
   ?pool:Pc_bufferpool.Buffer_pool.t ->
   ?obs:Pc_obs.Obs.t ->
   ?durability:Pc_pagestore.Wal.t ->
+  ?backend:cell Pc_pagestore.Pager.backend ->
   mode:mode ->
   b:int ->
   Point.t list ->
@@ -93,8 +99,60 @@ val reset_io_stats : t -> unit
     structure in a larger journaled unit. *)
 
 val wal : t -> Pc_pagestore.Wal.t option
-val recover : ?mode:mode -> b:int -> Pc_pagestore.Wal.recovered -> t
+
+val recover :
+  ?mode:mode ->
+  ?backend:cell Pc_pagestore.Pager.backend ->
+  b:int ->
+  Pc_pagestore.Wal.recovered ->
+  t
+
 val snapshot : t -> string
 
 val of_snapshot :
-  Pc_pagestore.Wal.recovered -> idx:int -> snapshot:string -> t
+  ?backend:cell Pc_pagestore.Pager.backend ->
+  Pc_pagestore.Wal.recovered ->
+  idx:int ->
+  snapshot:string ->
+  t
+
+(** {1 File backing}
+
+    The 2-D witness of the binary storage path (DESIGN.md §13): the same
+    structure with every page encoded through {!codec} onto a
+    {!Pc_blockdev.File_dev} under a directory, the build journaled as one
+    durable transaction, and {!recover_file} rebuilding from the
+    directory's bytes alone. I/O counts are byte-identical to the
+    simulator backend. *)
+
+(** The binary cell codec (header kind 4). Embedded blocked lists are
+    stored flat as element count + page ids. *)
+val codec : cell Pc_blockdev.Page_codec.t
+
+(** [page_bytes ~b] is the on-disk page size for capacity [b] (512-byte
+    sector multiple), sized for a page full of region descriptors. *)
+val page_bytes : b:int -> int
+
+(** [create_file ~dir ~mode ~b pts] is {!create} with every page on disk
+    under [dir] and the build journaled durably. *)
+val create_file :
+  ?cache_capacity:int ->
+  ?obs:Pc_obs.Obs.t ->
+  ?mmap:bool ->
+  dir:string ->
+  mode:mode ->
+  b:int ->
+  Point.t list ->
+  t
+
+(** [recover_file ~dir ~b ()] recovers from the directory's on-disk
+    image (see {!Btree.recover_file} for the contract). Raises
+    [Invalid_argument] if the directory holds a structure with a
+    different [b]. *)
+val recover_file :
+  ?cache_capacity:int -> ?mmap:bool -> ?mode:mode -> dir:string -> b:int ->
+  unit -> t
+
+(** [close t] syncs and closes the underlying files (file-backed
+    structures); no-op otherwise. *)
+val close : t -> unit

@@ -257,6 +257,8 @@ let entry ?(experiment = "R1") ?(structure = "btree")
     max_ios = max;
     worst_ratio = ratio;
     within;
+    mean_us = 12.5;
+    p99_us = 40.;
   }
 
 let test_baseline_roundtrip () =

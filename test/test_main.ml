@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("costmodel", Test_costmodel.suite);
       ("check", Test_check.suite);
+      ("blockdev", Test_blockdev.suite);
     ]
