@@ -22,12 +22,21 @@
    Prints a table and writes BENCH_disk.json (CI uploads it as an
    artifact).
 
+   With --phases the bench runs E16 instead (EXPERIMENTS.md E16): the
+   same B-tree workload per cache size, but with a real clock on the
+   trace handle (null sink — phases are timed, nothing is serialized),
+   reporting where the file backend's wall time actually goes:
+   device reads and fsyncs vs codec decode vs checksum verification,
+   straight from the pager's per-phase histograms.
+
    Run with: dune exec bench/disk.exe
-             dune exec bench/disk.exe -- --fast *)
+             dune exec bench/disk.exe -- --fast
+             dune exec bench/disk.exe -- --phases [--fast] *)
 
 open Pathcaching
 
 let fast = Array.exists (( = ) "--fast") Sys.argv
+let phases_mode = Array.exists (( = ) "--phases") Sys.argv
 
 let out_file =
   let rec find = function
@@ -193,11 +202,98 @@ let pst3_rows () =
       })
     cache_sizes
 
+(* ---- E16: per-phase wall-time decomposition (--phases) --------------- *)
+
+(* Build + query a file-backed B-tree per cache size with a real clock on
+   the trace handle; the pager's phase histograms then say where the
+   wall time went. The build is journaled, so encode/write/fsync phases
+   come from it; the query stream contributes read/decode/checksum. *)
+
+type phase_row = {
+  p_cache : int;
+  p_queries : int;
+  p_phases : (string * (int * int)) list; (* phase -> (count, total ns) *)
+}
+
+let phase_columns =
+  [ "dev.read"; "dev.write"; "dev.fsync"; "codec.encode"; "codec.decode";
+    "checksum.verify" ]
+
+let phases_rows () =
+  let n = if fast then 20_000 else 100_000 in
+  let b = 64 in
+  let span = max 1 (n / 200) in
+  let nq = if fast then 200 else 1_000 in
+  let entries = List.init n (fun k -> (k, k)) in
+  let qrng = Rng.create 42 in
+  let queries = Array.init nq (fun _ -> Rng.int qrng (n - span)) in
+  let clock =
+    Obs.Clock.of_fn (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+  in
+  List.map
+    (fun cache ->
+      let obs = Obs.create ~clock () in
+      let dir = Filename.concat temp_root (Printf.sprintf "phases-%d" cache) in
+      let t = Btree.bulk_load_file ~cache_capacity:cache ~obs ~dir ~b entries in
+      let pager = Btree.pager t in
+      Pager.drop_cache pager;
+      Array.iter
+        (fun lo -> ignore (Btree.range t ~lo ~hi:(lo + span)))
+        queries;
+      let phases =
+        List.map
+          (fun (ph, h) -> (ph, (Histogram.count h, Histogram.total h)))
+          (Pager.phase_histograms pager)
+      in
+      Btree.close t;
+      { p_cache = cache; p_queries = nq; p_phases = phases })
+    cache_sizes
+
+let run_phases () =
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> rm_rf temp_root)
+      (fun () -> phases_rows ())
+  in
+  Printf.printf "E16: per-phase wall time, file-backed btree (%s)\n%-6s"
+    (if fast then "fast" else "full")
+    "cache";
+  List.iter (Printf.printf " %15s") phase_columns;
+  print_newline ();
+  let get r ph = Option.value ~default:(0, 0) (List.assoc_opt ph r.p_phases) in
+  List.iter
+    (fun r ->
+      Printf.printf "%-6d" r.p_cache;
+      List.iter
+        (fun ph ->
+          let _, ns = get r ph in
+          Printf.printf " %13.2fms" (float_of_int ns /. 1e6))
+        phase_columns;
+      print_newline ())
+    rows;
+  let oc = open_out out_file in
+  Printf.fprintf oc
+    "{\"schema\":\"pathcache-bench-phases-v1\",\"fast\":%b,\"rows\":[\n" fast;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "  {\"cache\":%d,\"queries\":%d,\"phases\":{"
+        r.p_cache r.p_queries;
+      List.iteri
+        (fun j (ph, (count, ns)) ->
+          Printf.fprintf oc "%s\"%s\":{\"count\":%d,\"total_ns\":%d}"
+            (if j = 0 then "" else ",")
+            ph count ns)
+        r.p_phases;
+      Printf.fprintf oc "}}%s\n"
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file
+
 (* ---- report ---------------------------------------------------------- *)
 
-let () =
-  rm_rf temp_root;
-  Unix.mkdir temp_root 0o755;
+let run_e15 () =
   let rows =
     Fun.protect
       ~finally:(fun () -> rm_rf temp_root)
@@ -230,3 +326,8 @@ let () =
   output_string oc "]}\n";
   close_out oc;
   Printf.printf "wrote %s\n" out_file
+
+let () =
+  rm_rf temp_root;
+  Unix.mkdir temp_root 0o755;
+  if phases_mode then run_phases () else run_e15 ()

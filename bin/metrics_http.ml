@@ -1,0 +1,102 @@
+(* Live Prometheus endpoint: a minimal HTTP/1.1 server over plain Unix
+   sockets serving the metrics registry of a file-backed B+-tree. The
+   tree is built (journaled, with a real clock on the trace handle) at
+   startup, so the registry already holds device, codec, wal and fsync
+   latency histograms; each scrape runs a batch of range queries first,
+   so the read-side histograms keep filling between polls.
+
+   One request per connection (Connection: close), no keep-alive, no
+   threads: a scrape is cheap and Prometheus polls serially. Routes:
+   GET /metrics (text exposition format), GET /healthz, GET /quit
+   (responds, then shuts down cleanly). *)
+
+open Pathcaching
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let prom_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let response ?(status = "200 OK")
+    ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* A private directory under the system temp dir when the caller did not
+   pin one; removed again on clean shutdown. *)
+let fresh_dir () =
+  let base = Filename.temp_file "pathcache-metrics" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let remove_dir dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let run ~port ~n ~b ~queries ~data_dir () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir, ephemeral =
+    match data_dir with Some d -> (d, false) | None -> (fresh_dir (), true)
+  in
+  let obs = Obs.create ~clock:(Obs.Clock.of_fn now_ns) () in
+  let m = Metrics.create () in
+  Metrics.attach m obs;
+  let t = Btree.bulk_load_file ~obs ~dir ~b (List.init n (fun i -> (i, i))) in
+  let rng = Rng.create 42 in
+  let span = max 1 (n / 100) in
+  let scrape () =
+    for _ = 1 to queries do
+      let lo = Rng.int rng (max 1 (n - span)) in
+      ignore (Btree.range t ~lo ~hi:(lo + span - 1))
+    done;
+    Pager.export_metrics (Btree.pager t) m;
+    Metrics.to_prometheus m
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 16;
+  Printf.printf
+    "serving %d-key B+-tree metrics on http://127.0.0.1:%d/metrics (GET \
+     /quit stops)\n%!"
+    n port;
+  let stop = ref false in
+  while not !stop do
+    let fd, _ = Unix.accept sock in
+    (try
+       let ic = Unix.in_channel_of_descr fd in
+       let oc = Unix.out_channel_of_descr fd in
+       let request_line = try input_line ic with End_of_file -> "" in
+       (* Drain the header block; every route is a bodyless GET. *)
+       (try
+          while String.trim (input_line ic) <> "" do
+            ()
+          done
+        with End_of_file -> ());
+       let path =
+         match String.split_on_char ' ' request_line with
+         | _meth :: p :: _ -> p
+         | _ -> "/"
+       in
+       let reply =
+         match path with
+         | "/metrics" -> response ~content_type:prom_content_type (scrape ())
+         | "/healthz" -> response "ok\n"
+         | "/quit" ->
+             stop := true;
+             response "shutting down\n"
+         | _ -> response ~status:"404 Not Found" "not found\n"
+       in
+       output_string oc reply;
+       flush oc
+     with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  Unix.close sock;
+  Btree.close t;
+  Obs.close obs;
+  if ephemeral then remove_dir dir

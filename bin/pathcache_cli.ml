@@ -88,16 +88,74 @@ let metrics_arg =
                registry listens on the event stream, so I/O counts stay \
                byte-identical with or without it.")
 
-(* The handle is [None] unless [--trace] or [--metrics] was given, so the
-   default run keeps the zero-overhead null path and byte-identical I/O
-   counts. A metrics registry taps the same handle via a teed sink. *)
-let make_obs trace metrics_file =
-  match (trace, metrics_file) with
-  | None, None -> (None, None)
+(* ----- wall clock and slow-op log ----- *)
+
+let clock_arg =
+  Arg.(value
+       & opt (enum [ ("off", `Off); ("real", `Real); ("mock", `Mock) ]) `Off
+       & info [ "clock" ] ~docv:"CLOCK"
+           ~doc:"Wall-clock stamping of the trace (DESIGN.md \xc2\xa79): \
+                 $(b,off) (the default; traces stay byte-identical to \
+                 untimed runs), $(b,real) (nanoseconds from the system \
+                 clock; also turns on device/codec/wal/checksum phase \
+                 timing), $(b,mock) (a deterministic counter advancing \
+                 1000ns per reading, for reproducible timed traces). \
+                 Timing never affects control flow or I/O counts.")
+
+let real_clock () =
+  Obs.Clock.of_fn (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+
+let clock_of_choice = function
+  | `Off -> None
+  | `Real -> Some (real_clock ())
+  | `Mock -> Some (Obs.Clock.mock ())
+
+let slow_log_arg =
+  Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+         ~doc:"Write a JSONL record for every span slower than \
+               $(b,--slow-ms), and for every cost-model violation, to \
+               $(i,FILE): label, wall time, I/Os and per-phase \
+               breakdown. Implies $(b,--clock real) unless a clock was \
+               given.")
+
+let slow_ms_arg =
+  Arg.(value & opt float 10. & info [ "slow-ms" ] ~docv:"MS"
+         ~doc:"Slow-span threshold for $(b,--slow-log), in milliseconds.")
+
+(* The handle is [None] unless [--trace], [--metrics], [--clock] or
+   [--slow-log] was given, so the default run keeps the zero-overhead
+   null path and byte-identical I/O counts. A metrics registry taps the
+   same handle via a teed sink, and the slow log tees on the same way. A
+   clock with no sink still matters: pagers fill their phase histograms
+   whenever the handle carries one. *)
+let make_obs ?(clock = `Off) ?slow_log ?(slow_ms = 10.) trace metrics_file =
+  let clock =
+    match (clock_of_choice clock, slow_log) with
+    | None, Some _ -> Some (real_clock ()) (* slow spans need wall time *)
+    | c, _ -> c
+  in
+  let slow =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        ( path,
+          oc,
+          Obs.Slow_log.create oc
+            ~threshold_ns:(int_of_float (slow_ms *. 1e6)) ))
+      slow_log
+  in
+  match (trace, metrics_file, slow, clock) with
+  | None, None, None, None -> (None, None, None)
   | _ ->
       let obs =
         match trace with Some f -> Obs.to_file f | None -> Obs.create ()
       in
+      Option.iter (Obs.set_clock obs) clock;
+      Option.iter
+        (fun (_, _, sl) ->
+          Obs.set_sink obs
+            (Obs.tee (Obs.current_sink obs) (Obs.Slow_log.sink sl)))
+        slow;
       let m =
         Option.map
           (fun _ ->
@@ -106,11 +164,29 @@ let make_obs trace metrics_file =
             m)
           metrics_file
       in
-      (Some obs, m)
+      (Some obs, m, slow)
+
+(* Conformance violations always reach the slow log, whatever their wall
+   time: a query that beat the threshold but broke its theorem bound is
+   exactly what the log is for. *)
+let note_violation slow ~label ~measured (v : Cost_model.Conformance.verdict) =
+  match slow with
+  | Some (_, _, sl) when not v.within ->
+      Obs.Slow_log.note_violation sl ~label ~measured ~predicted:v.predicted
+  | _ -> ()
 
 let finish_obs trace obs =
   Option.iter Obs.close obs;
   Option.iter (Printf.printf "trace written to %s\n") trace
+
+let finish_slow slow =
+  Option.iter
+    (fun (path, oc, sl) ->
+      Obs.Slow_log.close sl;
+      close_out oc;
+      Printf.printf "slow log written to %s (%d entries)\n" path
+        (Obs.Slow_log.logged sl))
+    slow
 
 let finish_metrics metrics_file m pool =
   match (metrics_file, m) with
@@ -187,11 +263,12 @@ let variant_arg =
   Arg.(value & opt variant_conv Ext_pst.Two_level & info [ "variant" ] ~docv:"V"
          ~doc:"PST variant: iko, basic, segmented, two-level, multilevel.")
 
-let run_pst_sim n b seed k dist variant cache policy trace metrics_file =
+let run_pst_sim n b seed k dist variant cache policy clock slow_log slow_ms
+    trace metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
   let pool = make_pool cache policy in
-  let obs, m = make_obs trace metrics_file in
+  let obs, m, slow = make_obs ~clock ?slow_log ~slow_ms trace metrics_file in
   let t = Ext_pst.create ?pool ?obs ~variant ~b pts in
   Option.iter Buffer_pool.reset_stats pool;
   Printf.printf "built %s over %d points: %d pages (%.2f x n/B)\n%!"
@@ -207,28 +284,33 @@ let run_pst_sim n b seed k dist variant cache policy trace metrics_file =
         Ext_pst.conformance t ~t_out:(List.length res)
           ~measured:(Query_stats.total st)
       in
-      pp_stats_line ~verdict
-        (Printf.sprintf "(%d,%d)" xl yb)
-        (List.length res) (Query_stats.total st) st)
+      let label = Printf.sprintf "(%d,%d)" xl yb in
+      note_violation slow ~label ~measured:(Query_stats.total st) verdict;
+      pp_stats_line ~verdict label (List.length res) (Query_stats.total st)
+        st)
     (Workload.two_sided_corners rng ~k ~universe);
   report_histo histo;
   report_pool pool;
   finish_obs trace obs;
+  finish_slow slow;
   finish_metrics metrics_file m pool
 
-let run_pst n b seed k dist variant cache policy backend data_dir trace
-    metrics_file =
+let run_pst n b seed k dist variant cache policy clock slow_log slow_ms
+    backend data_dir trace metrics_file =
   match resolve_backend ~cmd:"pst" ~file_supported:false backend data_dir with
   | Error msg -> `Error (false, msg)
   | Ok _ ->
-      `Ok (run_pst_sim n b seed k dist variant cache policy trace metrics_file)
+      `Ok
+        (run_pst_sim n b seed k dist variant cache policy clock slow_log
+           slow_ms trace metrics_file)
 
 let pst_cmd =
   let doc = "Build a 2-sided external PST and run random corner queries." in
   Cmd.v (Cmd.info "pst" ~doc)
     Term.(ret
             (const run_pst $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-             $ variant_arg $ cache_arg $ policy_arg $ backend_arg
+             $ variant_arg $ cache_arg $ policy_arg $ clock_arg
+             $ slow_log_arg $ slow_ms_arg $ backend_arg
              $ data_dir_arg $ trace_arg $ metrics_arg))
 
 (* ----- pst3 (3-sided) ----- *)
@@ -237,10 +319,11 @@ let width_arg =
   Arg.(value & opt int 100_000 & info [ "width" ] ~docv:"W"
          ~doc:"Approximate x-width of 3-sided queries.")
 
-let run_pst3_on n b seed k dist width dir trace metrics_file =
+let run_pst3_on n b seed k dist width clock slow_log slow_ms dir trace
+    metrics_file =
   let rng = Rng.create seed in
   let pts = Workload.points rng dist ~n ~universe in
-  let obs, m = make_obs trace metrics_file in
+  let obs, m, slow = make_obs ~clock ?slow_log ~slow_ms trace metrics_file in
   (* only the cached structure is traced: one handle per run keeps the
      span stream a single coherent tree; with the file backend it is also
      the one whose pages go to disk (the baseline twin stays simulated) *)
@@ -265,6 +348,9 @@ let run_pst3_on n b seed k dist width dir trace metrics_file =
         Ext_pst3.conformance cached ~t_out:(List.length res)
           ~measured:(Query_stats.total st)
       in
+      note_violation slow
+        ~label:(Printf.sprintf "(%d..%d,y>=%d)" xl xr yb)
+        ~measured:(Query_stats.total st) v;
       Printf.printf
         "(%d..%d, y>=%d) t=%-6d cached-io=%-4d baseline-io=%-4d ratio=%.2f%s\n"
         xl xr yb (List.length res) (Query_stats.total st)
@@ -274,20 +360,25 @@ let run_pst3_on n b seed k dist width dir trace metrics_file =
   report_histo histo;
   Ext_pst3.close cached;
   finish_obs trace obs;
+  finish_slow slow;
   finish_metrics metrics_file m None
 
-let run_pst3 n b seed k dist width backend data_dir trace metrics_file =
+let run_pst3 n b seed k dist width clock slow_log slow_ms backend data_dir
+    trace metrics_file =
   match resolve_backend ~cmd:"pst3" ~file_supported:true backend data_dir with
   | Error msg -> `Error (false, msg)
-  | Ok dir -> `Ok (run_pst3_on n b seed k dist width dir trace metrics_file)
+  | Ok dir ->
+      `Ok
+        (run_pst3_on n b seed k dist width clock slow_log slow_ms dir trace
+           metrics_file)
 
 let pst3_cmd =
   let doc = "Build 3-sided external PSTs (cached and baseline) and compare." in
   Cmd.v (Cmd.info "pst3" ~doc)
     Term.(ret
             (const run_pst3 $ n_arg $ b_arg $ seed_arg $ queries_arg $ dist_arg
-             $ width_arg $ backend_arg $ data_dir_arg $ trace_arg
-             $ metrics_arg))
+             $ width_arg $ clock_arg $ slow_log_arg $ slow_ms_arg
+             $ backend_arg $ data_dir_arg $ trace_arg $ metrics_arg))
 
 (* ----- stab (interval structures) ----- *)
 
@@ -300,11 +391,12 @@ let cached_arg =
   Arg.(value & opt bool true & info [ "cached" ] ~docv:"BOOL"
          ~doc:"Use path caches (false = naive baseline).")
 
-let run_stab_sim n b seed k structure cached trace metrics_file =
+let run_stab_sim n b seed k structure cached clock slow_log slow_ms trace
+    metrics_file =
   let rng = Rng.create seed in
   let ivs = Workload.intervals rng Workload.Mixed_ivals ~n ~universe in
   let qs = Workload.stab_queries rng ~k ~universe in
-  let obs, m = make_obs trace metrics_file in
+  let obs, m, slow = make_obs ~clock ?slow_log ~slow_ms trace metrics_file in
   let histo = make_histo () in
   let run_queries stab conf =
     List.iter
@@ -314,9 +406,10 @@ let run_stab_sim n b seed k structure cached trace metrics_file =
         let verdict =
           conf ~t_out:(List.length res) ~measured:(Query_stats.total st)
         in
-        pp_stats_line ~verdict
-          (Printf.sprintf "stab %d" q)
-          (List.length res) (Query_stats.total st) st)
+        let label = Printf.sprintf "stab %d" q in
+        note_violation slow ~label ~measured:(Query_stats.total st) verdict;
+        pp_stats_line ~verdict label (List.length res)
+          (Query_stats.total st) st)
       qs
   in
   (match structure with
@@ -341,20 +434,25 @@ let run_stab_sim n b seed k structure cached trace metrics_file =
       run_queries (Stabbing.stab t) (Stabbing.conformance t));
   report_histo histo;
   finish_obs trace obs;
+  finish_slow slow;
   finish_metrics metrics_file m None
 
-let run_stab n b seed k structure cached backend data_dir trace metrics_file =
+let run_stab n b seed k structure cached clock slow_log slow_ms backend
+    data_dir trace metrics_file =
   match resolve_backend ~cmd:"stab" ~file_supported:false backend data_dir with
   | Error msg -> `Error (false, msg)
   | Ok _ ->
-      `Ok (run_stab_sim n b seed k structure cached trace metrics_file)
+      `Ok
+        (run_stab_sim n b seed k structure cached clock slow_log slow_ms
+           trace metrics_file)
 
 let stab_cmd =
   let doc = "Build an interval structure and run stabbing queries." in
   Cmd.v (Cmd.info "stab" ~doc)
     Term.(ret
             (const run_stab $ n_arg $ b_arg $ seed_arg $ queries_arg
-             $ structure_arg $ cached_arg $ backend_arg $ data_dir_arg
+             $ structure_arg $ cached_arg $ clock_arg $ slow_log_arg
+             $ slow_ms_arg $ backend_arg $ data_dir_arg
              $ trace_arg $ metrics_arg))
 
 (* ----- btree ----- *)
@@ -371,12 +469,12 @@ let span_arg =
   Arg.(value & opt int 500 & info [ "span" ] ~docv:"SPAN"
          ~doc:"Width of 1-D range queries.")
 
-let run_btree_on n b seed k span cache policy durability dir trace
-    metrics_file =
+let run_btree_on n b seed k span cache policy durability clock slow_log
+    slow_ms dir trace metrics_file =
   let rng = Rng.create seed in
   let entries = List.init n (fun i -> (i, i)) in
   let pool = make_pool cache policy in
-  let obs, m = make_obs trace metrics_file in
+  let obs, m, slow = make_obs ~clock ?slow_log ~slow_ms trace metrics_file in
   let t =
     match dir with
     | Some dir -> Btree.bulk_load_file ?obs ~dir ~b entries
@@ -408,6 +506,9 @@ let run_btree_on n b seed k span cache policy durability dir trace
     let ios = Io_stats.total (Pager.stats (Btree.pager t)) in
     record_histo histo ios;
     let v = Btree.conformance t ~t_out:(List.length res) ~measured:ios in
+    note_violation slow
+      ~label:(Printf.sprintf "range [%d, %d)" lo (lo + span))
+      ~measured:ios v;
     Printf.printf "range [%d, %d): t=%-6d io=%-4d ratio=%.2f%s\n" lo (lo + span)
       (List.length res) ios v.Cost_model.Conformance.ratio
       (if v.Cost_model.Conformance.within then "" else " VIOLATION")
@@ -417,10 +518,11 @@ let run_btree_on n b seed k span cache policy durability dir trace
   Option.iter (fun m -> Pager.export_metrics (Btree.pager t) m) m;
   Btree.close t;
   finish_obs trace obs;
+  finish_slow slow;
   finish_metrics metrics_file m pool
 
-let run_btree n b seed k span cache policy durability backend data_dir trace
-    metrics_file =
+let run_btree n b seed k span cache policy durability clock slow_log slow_ms
+    backend data_dir trace metrics_file =
   match resolve_backend ~cmd:"btree" ~file_supported:true backend data_dir with
   | Error msg -> `Error (false, msg)
   | Ok (Some _) when cache > 0 ->
@@ -430,8 +532,8 @@ let run_btree n b seed k span cache policy durability backend data_dir trace
           backend does not support; drop --cache or use --backend sim")
   | Ok dir ->
       `Ok
-        (run_btree_on n b seed k span cache policy durability dir trace
-           metrics_file)
+        (run_btree_on n b seed k span cache policy durability clock slow_log
+           slow_ms dir trace metrics_file)
 
 let btree_cmd =
   let doc = "Bulk-load an external B+-tree and run range queries." in
@@ -439,6 +541,7 @@ let btree_cmd =
     Term.(ret
             (const run_btree $ n_arg $ b_arg $ seed_arg $ queries_arg
              $ span_arg $ cache_arg $ policy_arg $ durability_arg
+             $ clock_arg $ slow_log_arg $ slow_ms_arg
              $ backend_arg $ data_dir_arg $ trace_arg $ metrics_arg))
 
 (* ----- replay ----- *)
@@ -465,10 +568,23 @@ let replay_cmd =
 
 (* ----- profile ----- *)
 
-let run_profile file =
-  match Obs.Profile.of_file file with
-  | rows ->
-      Format.printf "%a@?" Obs.Profile.pp rows;
+let run_profile file flame =
+  match Obs.Profile.analyze_file file with
+  | a ->
+      Format.printf "%a@?" Obs.Profile.pp a.Obs.Profile.rows;
+      if a.Obs.Profile.has_wall then begin
+        (* Timed trace: add the wall-time decomposition — the per-phase
+           table and the heaviest chain under each root span. *)
+        Format.printf "@\n%a" Obs.Profile.pp_phases a.Obs.Profile.rows;
+        Format.printf "@\n%a@?" Obs.Profile.pp_critical a
+      end;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Obs.Profile.write_folded oc a;
+          close_out oc;
+          Printf.printf "folded stacks written to %s\n" path)
+        flame;
       `Ok ()
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
@@ -477,14 +593,58 @@ let profile_cmd =
   let doc =
     "Aggregate a JSONL trace (written with --trace FILE, non-.json \
      extension) into a per-span-label profile: count, total I/Os, mean \
-     and p99 I/Os per span. Exits non-zero on input that is not a \
-     well-formed trace."
+     and p99 I/Os per span. If the trace carries wall-clock stamps \
+     (--clock real or mock), also prints a per-phase wall-time breakdown \
+     (device/codec/wal/checksum/pool/other) and the critical path under \
+     each root span. Exits non-zero on input that is not a well-formed \
+     trace."
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
            ~doc:"JSONL trace file.")
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(ret (const run_profile $ file_arg))
+  let flame_arg =
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"OUT"
+           ~doc:"Also write collapsed stacks (one $(i,path;seq value) \
+                 line per frame, flamegraph.pl / speedscope format) to \
+                 $(i,OUT); values are wall nanoseconds for timed traces, \
+                 I/Os otherwise.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(ret (const run_profile $ file_arg $ flame_arg))
+
+(* ----- serve-metrics ----- *)
+
+let run_serve_metrics port n b queries data_dir =
+  match Metrics_http.run ~port ~n ~b ~queries ~data_dir () with
+  | () -> `Ok ()
+  | exception Unix.Unix_error (err, fn, _) ->
+      `Error
+        (false,
+         Printf.sprintf "serve-metrics: %s: %s" fn (Unix.error_message err))
+
+let serve_metrics_cmd =
+  let doc =
+    "Serve a live Prometheus endpoint (plain sockets, no dependencies): \
+     builds a journaled file-backed B+-tree with a real clock attached, \
+     then answers GET /metrics with the registry in text exposition \
+     format — I/O counters plus device/codec/wal latency histograms, \
+     including fsync durations from the build. Each scrape first runs a \
+     batch of range queries so read-side histograms keep filling. GET \
+     /healthz answers ok; GET /quit shuts the server down cleanly."
+  in
+  let port_arg =
+    Arg.(value & opt int 9464 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (loopback only).")
+  in
+  let qps_arg =
+    Arg.(value & opt int 32 & info [ "queries-per-scrape" ] ~docv:"K"
+           ~doc:"Random range queries run before each /metrics scrape.")
+  in
+  Cmd.v (Cmd.info "serve-metrics" ~doc)
+    Term.(ret
+            (const run_serve_metrics $ port_arg $ n_arg $ b_arg $ qps_arg
+             $ data_dir_arg))
 
 (* ----- check ----- *)
 
@@ -662,5 +822,6 @@ let () =
             replay_cmd;
             recover_cmd;
             profile_cmd;
+            serve_metrics_cmd;
             check_cmd;
           ]))

@@ -791,7 +791,7 @@ let open_store ?mmap ~dir ~b () =
 let create_file ?cache_capacity ?obs ?mmap ~dir ~b () =
   let ds, backend = open_store ?mmap ~dir ~b () in
   let wal = Wal.create () in
-  Wal.attach_store wal (Disk_store.wal_store ds);
+  Wal.attach_store wal (Disk_store.wal_store ?obs ds);
   let pager =
     Pager.create ?cache_capacity ?obs ~wal ~backend ~obs_name:"btree"
       ~page_capacity:b ()
@@ -801,21 +801,21 @@ let create_file ?cache_capacity ?obs ?mmap ~dir ~b () =
 let bulk_load_file ?cache_capacity ?obs ?mmap ~dir ~b entries =
   let ds, backend = open_store ?mmap ~dir ~b () in
   let wal = Wal.create () in
-  Wal.attach_store wal (Disk_store.wal_store ds);
+  Wal.attach_store wal (Disk_store.wal_store ?obs ds);
   let pager =
     Pager.create ?cache_capacity ?obs ~wal ~backend ~obs_name:"btree"
       ~page_capacity:b ()
   in
   { (bulk_load pager entries) with store = Some ds }
 
-let recover_file ?cache_capacity ?mmap ~dir ~b () =
+let recover_file ?cache_capacity ?obs ?mmap ~dir ~b () =
   let image =
     Disk_store.load_image ~dir
       ~parts:[ Disk_store.part codec ~idx:0 ~page_bytes:(page_bytes ~b) ]
   in
   let r = Wal.recover image in
   let ds, backend = open_store ?mmap ~dir ~b () in
-  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ds);
+  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ?obs ds);
   let t =
     match r.Wal.r_meta with
     | Some snapshot ->
@@ -828,14 +828,14 @@ let recover_file ?cache_capacity ?mmap ~dir ~b () =
                "Btree.recover_file: %s holds a tree with b=%d, not b=%d" dir b'
                b);
         let pager =
-          Pager.attach_recovered r ~idx:0 ?cache_capacity ~backend
-            ~page_capacity:b ()
+          Pager.attach_recovered r ~idx:0 ?cache_capacity ?obs ~backend
+            ~obs_name:"btree" ~page_capacity:b ()
         in
         { pager; root; size; height; store = Some ds }
     | None ->
         (* nothing ever committed: an empty durable tree in this dir *)
         let pager =
-          Pager.create ?cache_capacity ~wal:r.Wal.r_wal ~backend
+          Pager.create ?cache_capacity ?obs ~wal:r.Wal.r_wal ~backend
             ~obs_name:"btree" ~page_capacity:b ()
         in
         { (create pager) with store = Some ds }

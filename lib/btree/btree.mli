@@ -139,7 +139,13 @@ val bulk_load_file :
     a fresh superblock stamped. Raises [Invalid_argument] if the
     directory holds a tree with a different [b]. *)
 val recover_file :
-  ?cache_capacity:int -> ?mmap:bool -> dir:string -> b:int -> unit -> t
+  ?cache_capacity:int ->
+  ?obs:Pc_obs.Obs.t ->
+  ?mmap:bool ->
+  dir:string ->
+  b:int ->
+  unit ->
+  t
 
 (** [close t] syncs and closes the underlying files ([create_file] /
     [bulk_load_file] / [recover_file] trees); no-op otherwise. *)

@@ -143,15 +143,23 @@ let evict_one t =
   | Some k ->
       (match Hashtbl.find_opt t.frames k with
       | Some f ->
-          Hashtbl.remove t.frames k;
-          t.st.evictions <- t.st.evictions + 1;
-          if f.dirty then t.st.write_backs <- t.st.write_backs + 1;
           let p = Hashtbl.find t.owners f.f_owner in
-          p.p_evictions <- p.p_evictions + 1;
-          if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
-          p.p_drops <- f.f_page :: p.p_drops;
-          obs_emit p Pc_obs.Obs.Evict ~page:f.f_page;
-          if f.dirty then obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page
+          let work () =
+            Hashtbl.remove t.frames k;
+            t.st.evictions <- t.st.evictions + 1;
+            if f.dirty then t.st.write_backs <- t.st.write_backs + 1;
+            p.p_evictions <- p.p_evictions + 1;
+            if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
+            p.p_drops <- f.f_page :: p.p_drops;
+            obs_emit p Pc_obs.Obs.Evict ~page:f.f_page;
+            if f.dirty then obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page
+          in
+          (* timed as a pool.evict phase when the victim owner's handle
+             carries a clock; otherwise runs untouched *)
+          (match p.p_obs with
+          | Some src ->
+              Pc_obs.Obs.with_phase src ~phase:"pool.evict" ~page:f.f_page work
+          | None -> work ())
       | None -> ());
       true
 

@@ -33,6 +33,7 @@ let norm_labels labels =
 let find_family t name = List.find_opt (fun f -> f.f_name = name) t.families
 
 let get_instance t ~name ~help ~typ ~labels ~make =
+  if name = "" then invalid_arg "Metrics: empty metric name";
   let labels = norm_labels labels in
   let fam =
     match find_family t name with
@@ -130,6 +131,25 @@ let observe t ?source (e : Obs.event) =
                    "pathcache_span_errors_total")
           | _ -> ())
         e.Obs.args
+  | Obs.Phase ->
+      (* timed sections, not I/O events: they feed the latency
+         histograms instead of the event counter *)
+      let ns =
+        max 0 (Option.value ~default:0 (List.assoc_opt "ns" e.Obs.args))
+      in
+      Histogram.add
+        (histogram t ~help:"Phase durations in nanoseconds, by phase label."
+           ~labels:[ ("phase", e.Obs.label) ]
+           "pathcache_phase_duration_ns")
+        ns;
+      let lbl = e.Obs.label in
+      let n = String.length lbl in
+      if n >= 5 && String.sub lbl (n - 5) 5 = "fsync" then
+        Histogram.add
+          (histogram t ~help:"Fsync durations in nanoseconds, by source."
+             ~labels:[ ("source", src_name e.Obs.src) ]
+             "pathcache_fsync_duration_ns")
+          ns
   | kind ->
       inc
         (counter t ~help:"I/O events, by kind and pager source."
@@ -170,13 +190,26 @@ let label_str ?extra labels =
            labels)
     ^ "}"
 
+(* The exposition format escapes backslash and newline in HELP text
+   (quotes are legal there, unlike in label values). *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let to_prometheus t =
   let buf = Buffer.create 1024 in
   List.iter
     (fun f ->
       if f.f_help <> "" then
         Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+          (Printf.sprintf "# HELP %s %s\n" f.f_name (escape_help f.f_help));
       Buffer.add_string buf
         (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_type);
       List.iter

@@ -5,8 +5,42 @@
    - zero overhead when disabled — a pager whose [obs] is [None] or
      whose sink is the null sink must produce byte-identical I/O counts
      and indistinguishable wall-clock time;
-   - deterministic — events are stamped with a logical tick, never a
-     wall clock, so a fixed seed yields a fixed trace. *)
+   - deterministic — events are stamped with a logical tick; the wall
+     clock is opt-in ([Clock], off by default) and never feeds back
+     into control flow, so a fixed seed yields a fixed trace. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Clock = struct
+  (* The real clock is injected as a function so this library stays
+     stdlib-only (no Unix): callers pass e.g.
+     [fun () -> int_of_float (Unix.gettimeofday () *. 1e9)]. The mock
+     clock advances by a fixed step on every read, which makes every
+     wall_ns in a trace a deterministic function of the event order. *)
+  type t =
+    | Off
+    | Fn of (unit -> int)
+    | Mock of { mutable now : int; step : int }
+
+  let off = Off
+  let of_fn f = Fn f
+
+  let mock ?(start = 0) ?(step = 1000) () =
+    if step <= 0 then invalid_arg "Obs.Clock.mock: step <= 0";
+    Mock { now = start; step }
+
+  let enabled = function Off -> false | Fn _ | Mock _ -> true
+
+  let now = function
+    | Off -> 0
+    | Fn f -> f ()
+    | Mock m ->
+        let v = m.now in
+        m.now <- v + m.step;
+        v
+end
 
 type kind =
   | Read
@@ -22,6 +56,7 @@ type kind =
   | Journal_write
   | Checkpoint
   | Corrupt
+  | Phase
   | Span_begin
   | Span_end
 
@@ -32,6 +67,7 @@ type event = {
   page : int;
   label : string;
   args : (string * int) list;
+  wall_ns : int option;
 }
 
 let kind_name = function
@@ -48,6 +84,7 @@ let kind_name = function
   | Journal_write -> "journal_write"
   | Checkpoint -> "checkpoint"
   | Corrupt -> "corrupt"
+  | Phase -> "phase"
   | Span_begin -> "span_begin"
   | Span_end -> "span_end"
 
@@ -65,9 +102,27 @@ let kind_of_name = function
   | "journal_write" -> Some Journal_write
   | "checkpoint" -> Some Checkpoint
   | "corrupt" -> Some Corrupt
+  | "phase" -> Some Phase
   | "span_begin" -> Some Span_begin
   | "span_end" -> Some Span_end
   | _ -> None
+
+(* Phase labels are ["layer.op"]; the layer prefix names the attribution
+   category so a span's wall time decomposes into
+   device/codec/wal/checksum/pool/other. *)
+let phase_category label =
+  match String.index_opt label '.' with
+  | None -> "other"
+  | Some i -> (
+      match String.sub label 0 i with
+      | "dev" -> "device"
+      | "codec" -> "codec"
+      | "wal" -> "wal"
+      | "checksum" -> "checksum"
+      | "pool" -> "pool"
+      | _ -> "other")
+
+let phase_categories = [ "device"; "codec"; "wal"; "checksum"; "pool"; "other" ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission (hand-rolled: the formats are fixed and flat)        *)
@@ -98,29 +153,48 @@ let jsonl_line e =
     Printf.sprintf "{\"tick\":%d,\"kind\":\"%s\",\"src\":%d,\"page\":%d" e.tick
       (kind_name e.kind) e.src e.page
   in
+  (* appended only when present, so clock-off traces are byte-identical
+     to those of earlier versions *)
+  let wall =
+    match e.wall_ns with
+    | None -> ""
+    | Some w -> Printf.sprintf ",\"wall_ns\":%d" w
+  in
   let label =
     if e.label = "" then "" else Printf.sprintf ",\"label\":\"%s\"" (escape e.label)
   in
   let args = if e.args = [] then "" else ",\"args\":" ^ args_json e.args in
-  base ^ label ^ args ^ "}"
+  base ^ wall ^ label ^ args ^ "}"
 
 (* Chrome trace_event format (the JSON-array flavour): spans become
    duration events (ph B/E) on tid 0, I/O events become instants on a
-   tid per source, so Perfetto renders one lane per pager. *)
+   tid per source, so Perfetto renders one lane per pager. With a clock
+   installed, ts is wall microseconds; otherwise the logical tick. *)
 let chrome_line e =
+  let ts = match e.wall_ns with Some w -> w / 1000 | None -> e.tick in
   match e.kind with
   | Span_begin ->
       Printf.sprintf
         "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":%d,\"pid\":0,\"tid\":0}"
-        (escape e.label) e.tick
+        (escape e.label) ts
   | Span_end ->
       Printf.sprintf
         "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":%d,\"pid\":0,\"tid\":0,\"args\":%s}"
-        (escape e.label) e.tick (args_json e.args)
+        (escape e.label) ts (args_json e.args)
+  | Phase ->
+      let ns =
+        match List.assoc_opt "ns" e.args with Some n -> n | None -> 0
+      in
+      let dur = ns / 1000 in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\"tid\":%d,\"args\":{\"page\":%d,\"ns\":%d}}"
+        (escape e.label)
+        (max 0 (ts - dur))
+        dur (e.src + 1) e.page ns
   | k ->
       Printf.sprintf
         "{\"name\":\"%s\",\"cat\":\"io\",\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"page\":%d}}"
-        (kind_name k) e.tick (e.src + 1) e.page
+        (kind_name k) ts (e.src + 1) e.page
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                              *)
@@ -156,24 +230,41 @@ let ring ~capacity =
   in
   Active { s_emit = emit; s_flush = ignore; s_close = ignore; s_events = events }
 
-let jsonl oc =
+(* File sinks flush every [flush_every] events in addition to on
+   flush/close, so a killed process loses at most a bounded tail of the
+   trace rather than the whole stdlib channel buffer. *)
+let jsonl ?(flush_every = 256) oc =
+  if flush_every <= 0 then invalid_arg "Obs.jsonl: flush_every <= 0";
+  let pending = ref 0 in
   Active
     {
-      s_emit = (fun e -> output_string oc (jsonl_line e ^ "\n"));
+      s_emit =
+        (fun e ->
+          output_string oc (jsonl_line e ^ "\n");
+          incr pending;
+          if !pending >= flush_every then (
+            pending := 0;
+            flush oc));
       s_flush = (fun () -> flush oc);
       s_close = (fun () -> flush oc);
       s_events = no_events;
     }
 
-let chrome oc =
+let chrome ?(flush_every = 256) oc =
+  if flush_every <= 0 then invalid_arg "Obs.chrome: flush_every <= 0";
   let first = ref true in
+  let pending = ref 0 in
   output_string oc "[";
   Active
     {
       s_emit =
         (fun e ->
           if !first then first := false else output_string oc ",\n";
-          output_string oc (chrome_line e));
+          output_string oc (chrome_line e);
+          incr pending;
+          if !pending >= flush_every then (
+            pending := 0;
+            flush oc));
       s_flush = (fun () -> flush oc);
       s_close =
         (fun () ->
@@ -213,6 +304,7 @@ let tee a b =
 type t = {
   mutable tick : int;
   mutable sink : sink;
+  mutable clock : Clock.t;
   mutable next_src : int;
   mutable sources : (int * string) list; (* src id -> name, newest first *)
   mutable next_span : int;
@@ -222,10 +314,11 @@ type t = {
 
 type source = { o : t; sid : int }
 
-let create ?(sink = Null) () =
+let create ?(sink = Null) ?(clock = Clock.Off) () =
   {
     tick = 0;
     sink;
+    clock;
     next_src = 0;
     sources = [];
     next_span = 0;
@@ -237,6 +330,15 @@ let set_sink t sink = t.sink <- sink
 let current_sink t = t.sink
 let enabled t = t.sink <> Null
 let tick t = t.tick
+let set_clock t clock = t.clock <- clock
+let clock t = t.clock
+let wall_enabled t = Clock.enabled t.clock
+let now_ns t = Clock.now t.clock
+
+(* [None] when the clock is off, so serialized events are byte-identical
+   to those of clock-unaware versions. *)
+let stamp t =
+  match t.clock with Clock.Off -> None | c -> Some (Clock.now c)
 
 let register t ~name =
   let sid = t.next_src in
@@ -260,7 +362,42 @@ let emit s kind ~page =
   | Active ops ->
       let tick = t.tick in
       t.tick <- tick + 1;
-      ops.s_emit { tick; kind; src = s.sid; page; label = ""; args = [] }
+      ops.s_emit
+        { tick; kind; src = s.sid; page; label = ""; args = [];
+          wall_ns = stamp t }
+
+(* [emit_phase] records a completed timed section: [ns] is the measured
+   duration, [wall_ns] the stamp at emission. Phases never nest inside
+   each other (they wrap leaf operations), so summing them under a span
+   never double-counts. *)
+let emit_phase s ~phase ~page ~ns =
+  let t = s.o in
+  match t.sink with
+  | Null -> ()
+  | Active ops ->
+      let tick = t.tick in
+      t.tick <- tick + 1;
+      ops.s_emit
+        { tick; kind = Phase; src = s.sid; page; label = phase;
+          args = [ ("ns", ns) ]; wall_ns = stamp t }
+
+let with_phase s ~phase ~page f =
+  let t = s.o in
+  match t.clock with
+  | Clock.Off -> f ()
+  | c ->
+      let t0 = Clock.now c in
+      let finish () =
+        let ns = max 0 (Clock.now c - t0) in
+        emit_phase s ~phase ~page ~ns
+      in
+      (match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e)
 
 let span_depth t = t.depth
 
@@ -278,14 +415,14 @@ let with_span obs ~kind ?result_args f =
           t.depth <- t.depth + 1;
           push t
             { tick = tk; kind = Span_begin; src = -1; page = id; label = kind;
-              args = [] };
+              args = []; wall_ns = stamp t };
           let finish args =
             t.depth <- t.depth - 1;
             let tk = t.tick in
             t.tick <- tk + 1;
             push t
               { tick = tk; kind = Span_end; src = -1; page = id; label = kind;
-                args }
+                args; wall_ns = stamp t }
           in
           (match f () with
           | r ->
@@ -310,10 +447,11 @@ let close t =
 (* [to_file path] picks the format by extension: [.json] gets the Chrome
    trace_event array (load in chrome://tracing or ui.perfetto.dev),
    anything else newline-delimited JSON objects. *)
-let to_file path =
+let to_file ?flush_every path =
   let oc = open_out path in
   let sink =
-    if Filename.check_suffix path ".json" then chrome oc else jsonl oc
+    if Filename.check_suffix path ".json" then chrome ?flush_every oc
+    else jsonl ?flush_every oc
   in
   let t = create ~sink () in
   t.on_close <- (fun () -> close_out oc);
@@ -333,6 +471,8 @@ type totals = {
   t_write_backs : int;
   t_spans : int;
   t_events : int;
+  t_wall_ns : int;
+  t_phase_ns : (string * int) list;
 }
 
 let zero_totals =
@@ -346,6 +486,8 @@ let zero_totals =
     t_write_backs = 0;
     t_spans = 0;
     t_events = 0;
+    t_wall_ns = 0;
+    t_phase_ns = [];
   }
 
 (* Extract the string value of ["key":"..."] from a JSONL line written by
@@ -382,57 +524,9 @@ let parse_line lineno line =
       | None -> fail (Printf.sprintf "unknown kind %S" k)
       | Some kind -> kind)
 
-(* Replay a JSONL trace back into I/O totals. A [Write_back] is a
-   deferred write being charged, so it counts into [t_writes] too —
-   mirroring how {!Pc_pagestore.Io_stats} accounts write-backs. *)
-let replay_channel ic =
-  let rec go lineno acc =
-    match input_line ic with
-    | exception End_of_file -> acc
-    | line when String.trim line = "" -> go (lineno + 1) acc
-    | line -> (
-        let acc = { acc with t_events = acc.t_events + 1 } in
-        match parse_line lineno (String.trim line) with
-        | Read -> go (lineno + 1) { acc with t_reads = acc.t_reads + 1 }
-        | Write -> go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
-        | Cache_hit ->
-            go (lineno + 1) { acc with t_cache_hits = acc.t_cache_hits + 1 }
-        | Alloc -> go (lineno + 1) { acc with t_allocs = acc.t_allocs + 1 }
-        | Free -> go (lineno + 1) { acc with t_frees = acc.t_frees + 1 }
-        | Evict -> go (lineno + 1) { acc with t_evictions = acc.t_evictions + 1 }
-        | Write_back ->
-            go (lineno + 1)
-              {
-                acc with
-                t_write_backs = acc.t_write_backs + 1;
-                t_writes = acc.t_writes + 1;
-              }
-        | Journal_write | Checkpoint ->
-            (* durability writes are device writes, mirroring Io_stats *)
-            go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
-        | Pin | Fault | Retry | Corrupt -> go (lineno + 1) acc
-        | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
-        | Span_end -> go (lineno + 1) acc)
-  in
-  go 1 zero_totals
-
-let replay_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> replay_channel ic)
-
-let pp_totals ppf t =
-  Format.fprintf ppf
-    "{events=%d; reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; \
-     evictions=%d; write_backs=%d; spans=%d}"
-    t.t_events t.t_reads t.t_writes t.t_cache_hits t.t_allocs t.t_frees
-    t.t_evictions t.t_write_backs t.t_spans
-
-(* ------------------------------------------------------------------ *)
-(* Per-span-label profile of a JSONL trace                            *)
-(* ------------------------------------------------------------------ *)
-
 (* Extract the integer value of ["key":123] — the numeric sibling of
-   {!field_string}. *)
+   {!field_string}. The match requires the opening quote, so a key that
+   is a suffix of another (["ns"] vs ["wall_ns"]) cannot collide. *)
 let field_int line key =
   let pat = "\"" ^ key ^ "\":" in
   let plen = String.length pat and llen = String.length line in
@@ -454,6 +548,109 @@ let field_int line key =
       if !stop = start then None
       else int_of_string_opt (String.sub line start (!stop - start))
 
+(* Replay a JSONL trace back into I/O totals. A [Write_back] is a
+   deferred write being charged, so it counts into [t_writes] too —
+   mirroring how {!Pc_pagestore.Io_stats} accounts write-backs. Lines
+   carrying [wall_ns] (v2 traces) additionally contribute a wall-clock
+   extent and per-category phase sums; v1 tick-only traces yield zeros. *)
+let replay_channel ic =
+  let wall_min = ref max_int and wall_max = ref min_int in
+  let phases : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let see_wall line =
+    match field_int line "wall_ns" with
+    | None -> ()
+    | Some w ->
+        if w < !wall_min then wall_min := w;
+        if w > !wall_max then wall_max := w
+  in
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | line when String.trim line = "" -> go (lineno + 1) acc
+    | line -> (
+        let line = String.trim line in
+        let acc = { acc with t_events = acc.t_events + 1 } in
+        let kind = parse_line lineno line in
+        see_wall line;
+        match kind with
+        | Read -> go (lineno + 1) { acc with t_reads = acc.t_reads + 1 }
+        | Write -> go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
+        | Cache_hit ->
+            go (lineno + 1) { acc with t_cache_hits = acc.t_cache_hits + 1 }
+        | Alloc -> go (lineno + 1) { acc with t_allocs = acc.t_allocs + 1 }
+        | Free -> go (lineno + 1) { acc with t_frees = acc.t_frees + 1 }
+        | Evict -> go (lineno + 1) { acc with t_evictions = acc.t_evictions + 1 }
+        | Write_back ->
+            go (lineno + 1)
+              {
+                acc with
+                t_write_backs = acc.t_write_backs + 1;
+                t_writes = acc.t_writes + 1;
+              }
+        | Journal_write | Checkpoint ->
+            (* durability writes are device writes, mirroring Io_stats *)
+            go (lineno + 1) { acc with t_writes = acc.t_writes + 1 }
+        | Phase ->
+            (match (field_string line "label", field_int line "ns") with
+            | Some label, Some ns ->
+                let cat = phase_category label in
+                let cur =
+                  Option.value ~default:0 (Hashtbl.find_opt phases cat)
+                in
+                Hashtbl.replace phases cat (cur + ns)
+            | _ -> ());
+            go (lineno + 1) acc
+        | Pin | Fault | Retry | Corrupt -> go (lineno + 1) acc
+        | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
+        | Span_end -> go (lineno + 1) acc)
+  in
+  let acc = go 1 zero_totals in
+  let t_wall_ns = if !wall_max >= !wall_min then !wall_max - !wall_min else 0 in
+  let t_phase_ns =
+    List.filter_map
+      (fun cat ->
+        match Hashtbl.find_opt phases cat with
+        | Some ns when ns > 0 -> Some (cat, ns)
+        | _ -> None)
+      phase_categories
+  in
+  { acc with t_wall_ns; t_phase_ns }
+
+let replay_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> replay_channel ic)
+
+let pp_ns ppf ns =
+  if ns >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf ppf "%.2fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else Format.fprintf ppf "%dns" ns
+
+let ns_string ns = Format.asprintf "%a" pp_ns ns
+
+let pp_totals ppf t =
+  Format.fprintf ppf
+    "{events=%d; reads=%d; writes=%d; hits=%d; allocs=%d; frees=%d; \
+     evictions=%d; write_backs=%d; spans=%d}"
+    t.t_events t.t_reads t.t_writes t.t_cache_hits t.t_allocs t.t_frees
+    t.t_evictions t.t_write_backs t.t_spans;
+  (* wall-clock lines only when the trace carries wall_ns stamps, so v1
+     tick-only traces print exactly as before *)
+  if t.t_wall_ns > 0 || t.t_phase_ns <> [] then begin
+    Format.fprintf ppf "@\nwall: %a" pp_ns t.t_wall_ns;
+    if t.t_phase_ns <> [] then
+      Format.fprintf ppf "@\nphases: %s"
+        (String.concat "; "
+           (List.map
+              (fun (cat, ns) -> Printf.sprintf "%s=%s" cat (ns_string ns))
+              t.t_phase_ns))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-span-label profile of a JSONL trace                            *)
+(* ------------------------------------------------------------------ *)
+
 module Profile = struct
   type row = {
     label : string;
@@ -462,30 +659,87 @@ module Profile = struct
     mean : float;
     p99 : int;
     max : int;
+    wall_ns : int;
+    phases : (string * int) list;
   }
+
+  type stack = {
+    stack_path : string list;
+    stack_value : int;
+    stack_ios : int;
+    stack_count : int;
+  }
+
+  type analysis = { rows : row list; stacks : stack list; has_wall : bool }
 
   type agg = {
     mutable a_count : int;
     mutable a_total : int;
+    mutable a_wall : int;
+    a_phases : (string, int) Hashtbl.t;
     a_histo : Histogram.t;
   }
 
   (* One open span: its id, label, and the I/Os seen since it opened.
      Attribution is inclusive (an event counts toward every open span),
-     mirroring the documented [with_counted] nesting contract. *)
-  type open_span = { os_id : int; os_label : string; mutable os_ios : int }
+     mirroring the documented [with_counted] nesting contract. Phase
+     durations are likewise inclusive for the per-label rows; for the
+     folded stacks a phase attaches once, as a leaf frame under the
+     innermost open span, and each span's own folded value is its
+     exclusive ("self") time — wall minus child spans minus phases. *)
+  type open_span = {
+    os_id : int;
+    os_label : string;
+    os_path : string list; (* root-first, ending in os_label *)
+    os_wall0 : int option;
+    mutable os_ios : int;
+    mutable os_child_ios : int;
+    mutable os_child_wall : int;
+    mutable os_self_phase : int;
+    os_phases : (string, int) Hashtbl.t;
+  }
 
-  let of_channel ic =
+  type snode = {
+    mutable sn_value : int;
+    mutable sn_ios : int;
+    mutable sn_count : int;
+  }
+
+  let tbl_add tbl key v =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (cur + v)
+
+  let analyze_channel ic =
     let aggs : (string, agg) Hashtbl.t = Hashtbl.create 16 in
     let agg_of label =
       match Hashtbl.find_opt aggs label with
       | Some a -> a
       | None ->
-          let a = { a_count = 0; a_total = 0; a_histo = Histogram.create () } in
+          let a =
+            {
+              a_count = 0;
+              a_total = 0;
+              a_wall = 0;
+              a_phases = Hashtbl.create 8;
+              a_histo = Histogram.create ();
+            }
+          in
           Hashtbl.add aggs label a;
           a
     in
+    (* folded stacks keyed by the ";"-joined path *)
+    let snodes : (string, snode) Hashtbl.t = Hashtbl.create 16 in
+    let snode_of key =
+      match Hashtbl.find_opt snodes key with
+      | Some n -> n
+      | None ->
+          let n = { sn_value = 0; sn_ios = 0; sn_count = 0 } in
+          Hashtbl.add snodes key n;
+          n
+    in
+    let join path = String.concat ";" path in
     let stack = ref [] in
+    let has_wall = ref false in
     let fail lineno msg =
       failwith (Printf.sprintf "Obs.profile: line %d: %s" lineno msg)
     in
@@ -505,7 +759,24 @@ module Profile = struct
               let label =
                 Option.value ~default:"" (field_string line "label")
               in
-              stack := { os_id = id; os_label = label; os_ios = 0 } :: !stack
+              let path =
+                match !stack with
+                | [] -> [ label ]
+                | top :: _ -> top.os_path @ [ label ]
+              in
+              stack :=
+                {
+                  os_id = id;
+                  os_label = label;
+                  os_path = path;
+                  os_wall0 = field_int line "wall_ns";
+                  os_ios = 0;
+                  os_child_ios = 0;
+                  os_child_wall = 0;
+                  os_self_phase = 0;
+                  os_phases = Hashtbl.create 8;
+                }
+                :: !stack
           | Span_end -> (
               let id =
                 match field_int line "page" with
@@ -520,10 +791,49 @@ module Profile = struct
                       (Printf.sprintf "span nesting mismatch: open %d, end %d"
                          top.os_id id);
                   stack := rest;
+                  let wall =
+                    match (top.os_wall0, field_int line "wall_ns") with
+                    | Some w0, Some w1 ->
+                        has_wall := true;
+                        max 0 (w1 - w0)
+                    | _ -> 0
+                  in
                   let a = agg_of top.os_label in
                   a.a_count <- a.a_count + 1;
                   a.a_total <- a.a_total + top.os_ios;
-                  Histogram.add a.a_histo top.os_ios)
+                  a.a_wall <- a.a_wall + wall;
+                  Hashtbl.iter (fun c ns -> tbl_add a.a_phases c ns) top.os_phases;
+                  Histogram.add a.a_histo top.os_ios;
+                  let self_wall =
+                    max 0 (wall - top.os_child_wall - top.os_self_phase)
+                  in
+                  let n = snode_of (join top.os_path) in
+                  n.sn_value <- n.sn_value + self_wall;
+                  n.sn_ios <- n.sn_ios + (top.os_ios - top.os_child_ios);
+                  n.sn_count <- n.sn_count + 1;
+                  (match rest with
+                  | [] -> ()
+                  | parent :: _ ->
+                      parent.os_child_wall <- parent.os_child_wall + wall;
+                      (* inclusive counting means the child's I/Os are
+                         already in the parent's os_ios *)
+                      parent.os_child_ios <- parent.os_child_ios + top.os_ios))
+          | Phase -> (
+              match (field_string line "label", field_int line "ns") with
+              | Some label, Some ns ->
+                  let cat = phase_category label in
+                  List.iter (fun os -> tbl_add os.os_phases cat ns) !stack;
+                  let path =
+                    match !stack with
+                    | [] -> [ label ]
+                    | top :: _ ->
+                        top.os_self_phase <- top.os_self_phase + ns;
+                        top.os_path @ [ label ]
+                  in
+                  let n = snode_of (join path) in
+                  n.sn_value <- n.sn_value + ns;
+                  n.sn_count <- n.sn_count + 1
+              | _ -> ())
           | Read | Write | Write_back | Journal_write | Checkpoint ->
               List.iter (fun os -> os.os_ios <- os.os_ios + 1) !stack
           | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Corrupt
@@ -531,28 +841,61 @@ module Profile = struct
           go (lineno + 1)
     in
     go 1;
-    Hashtbl.fold
-      (fun label a acc ->
-        {
-          label;
-          count = a.a_count;
-          total_ios = a.a_total;
-          mean =
-            (if a.a_count = 0 then 0.
-             else float_of_int a.a_total /. float_of_int a.a_count);
-          p99 = Histogram.p99 a.a_histo;
-          max = Histogram.max_value a.a_histo;
-        }
-        :: acc)
-      aggs []
-    |> List.sort (fun a b ->
-           match compare b.total_ios a.total_ios with
-           | 0 -> compare a.label b.label
-           | c -> c)
+    let rows =
+      Hashtbl.fold
+        (fun label a acc ->
+          let cat_sum = Hashtbl.fold (fun _ ns s -> s + ns) a.a_phases 0 in
+          let phases =
+            if (not !has_wall) && cat_sum = 0 then []
+            else
+              List.map
+                (fun cat ->
+                  if cat = "other" then
+                    (cat, max 0 (a.a_wall - cat_sum))
+                  else
+                    (cat, Option.value ~default:0 (Hashtbl.find_opt a.a_phases cat)))
+                phase_categories
+          in
+          {
+            label;
+            count = a.a_count;
+            total_ios = a.a_total;
+            mean =
+              (if a.a_count = 0 then 0.
+               else float_of_int a.a_total /. float_of_int a.a_count);
+            p99 = Histogram.p99 a.a_histo;
+            max = Histogram.max_value a.a_histo;
+            wall_ns = a.a_wall;
+            phases;
+          }
+          :: acc)
+        aggs []
+      |> List.sort (fun a b ->
+             match compare b.total_ios a.total_ios with
+             | 0 -> compare a.label b.label
+             | c -> c)
+    in
+    let stacks =
+      Hashtbl.fold
+        (fun key n acc ->
+          {
+            stack_path = String.split_on_char ';' key;
+            stack_value = n.sn_value;
+            stack_ios = n.sn_ios;
+            stack_count = n.sn_count;
+          }
+          :: acc)
+        snodes []
+      |> List.sort (fun a b -> compare a.stack_path b.stack_path)
+    in
+    { rows; stacks; has_wall = !has_wall }
 
-  let of_file path =
+  let analyze_file path =
     let ic = open_in path in
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> analyze_channel ic)
+
+  let of_channel ic = (analyze_channel ic).rows
+  let of_file path = (analyze_file path).rows
 
   let pp ppf rows =
     Format.fprintf ppf "%-18s %8s %10s %8s %6s %6s@\n" "span" "count"
@@ -562,4 +905,205 @@ module Profile = struct
         Format.fprintf ppf "%-18s %8d %10d %8.1f %6d %6d@\n" r.label r.count
           r.total_ios r.mean r.p99 r.max)
       rows
+
+  (* The wall-clock attribution table: one row per span label, the span's
+     total wall time decomposed into the phase categories. The column
+     sums equal [wall] by construction ("other" is the remainder). *)
+  let pp_phases ppf rows =
+    Format.fprintf ppf "%-18s %8s %10s" "span" "count" "wall";
+    List.iter (fun cat -> Format.fprintf ppf " %10s" cat) phase_categories;
+    Format.fprintf ppf "@\n";
+    List.iter
+      (fun r ->
+        if r.phases <> [] then begin
+          Format.fprintf ppf "%-18s %8d %10s" r.label r.count
+            (ns_string r.wall_ns);
+          List.iter
+            (fun cat ->
+              let ns = Option.value ~default:0 (List.assoc_opt cat r.phases) in
+              Format.fprintf ppf " %10s" (ns_string ns))
+            phase_categories;
+          Format.fprintf ppf "@\n"
+        end)
+      rows
+
+  (* Inclusive total of a folded node: its own self value plus every
+     deeper frame's. Traces are small; the quadratic scan is fine. *)
+  let rec is_prefix p q =
+    match (p, q) with
+    | [], _ -> true
+    | x :: p', y :: q' -> x = y && is_prefix p' q'
+    | _ :: _, [] -> false
+
+  let inclusive stacks path =
+    List.fold_left
+      (fun (v, ios) s ->
+        if is_prefix path s.stack_path then
+          (v + s.stack_value, ios + s.stack_ios)
+        else (v, ios))
+      (0, 0) stacks
+
+  (* Heaviest-child chain from each root span label, by wall time when
+     available, by I/O count otherwise. *)
+  let critical_paths { stacks; has_wall; _ } =
+    let value (v, ios) = if has_wall then v else ios in
+    let roots =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun s -> match s.stack_path with r :: _ -> Some r | [] -> None)
+           stacks)
+    in
+    let children path =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun s ->
+             let rec strip p q =
+               match (p, q) with
+               | [], y :: _ -> Some y
+               | x :: p', y :: q' when x = y -> strip p' q'
+               | _ -> None
+             in
+             strip path s.stack_path)
+           stacks)
+    in
+    let rec chain path acc =
+      let kids = children path in
+      match
+        List.sort
+          (fun a b ->
+            compare
+              (value (inclusive stacks (path @ [ b ])))
+              (value (inclusive stacks (path @ [ a ]))))
+          kids
+      with
+      | [] -> List.rev acc
+      | best :: _ ->
+          let p = path @ [ best ] in
+          chain p ((best, value (inclusive stacks p)) :: acc)
+    in
+    List.map
+      (fun r ->
+        let total = value (inclusive stacks [ r ]) in
+        (r, total, chain [ r ] []))
+      roots
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+  let pp_critical ppf analysis =
+    let unit v = if analysis.has_wall then ns_string v else string_of_int v in
+    List.iter
+      (fun (root, total, chain) ->
+        Format.fprintf ppf "critical path: %s (%s)" root (unit total);
+        List.iter
+          (fun (frame, v) ->
+            let pct =
+              if total > 0 then 100. *. float_of_int v /. float_of_int total
+              else 0.
+            in
+            Format.fprintf ppf " -> %s (%s, %.0f%%)" frame (unit v) pct)
+          chain;
+        Format.fprintf ppf "@\n")
+      (critical_paths analysis)
+
+  (* Collapsed-stack ("folded") export for flamegraph tooling: one line
+     per unique frame path, value = self wall-ns (self I/O count for
+     tick-only traces). *)
+  let write_folded oc { stacks; has_wall; _ } =
+    List.iter
+      (fun s ->
+        let v = if has_wall then s.stack_value else s.stack_ios in
+        if v > 0 then
+          Printf.fprintf oc "%s %d\n" (String.concat ";" s.stack_path) v)
+      stacks
+end
+
+(* ------------------------------------------------------------------ *)
+(* Slow-operation log                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A sink-side watcher: tee {!Slow_log.sink} beside the trace sink and
+   every span whose wall time meets the threshold is dumped as one JSON
+   line with its inclusive I/O count and phase breakdown. Purely an
+   observer — it never affects control flow or the trace itself. *)
+module Slow_log = struct
+  type frame = {
+    sl_label : string;
+    sl_wall0 : int option;
+    mutable sl_ios : int;
+    sl_phases : (string, int) Hashtbl.t;
+  }
+
+  type t = {
+    oc : out_channel;
+    threshold_ns : int;
+    mutable frames : frame list;
+    mutable logged : int;
+  }
+
+  let create oc ~threshold_ns = { oc; threshold_ns; frames = []; logged = 0 }
+
+  let logged t = t.logged
+
+  let phases_json tbl =
+    let fields =
+      List.filter_map
+        (fun cat ->
+          match Hashtbl.find_opt tbl cat with
+          | Some ns when ns > 0 -> Some (Printf.sprintf "\"%s\":%d" cat ns)
+          | _ -> None)
+        phase_categories
+    in
+    "{" ^ String.concat "," fields ^ "}"
+
+  let write_line t line =
+    output_string t.oc (line ^ "\n");
+    Stdlib.flush t.oc;
+    t.logged <- t.logged + 1
+
+  let on_event t e =
+    match e.kind with
+    | Span_begin ->
+        t.frames <-
+          {
+            sl_label = e.label;
+            sl_wall0 = e.wall_ns;
+            sl_ios = 0;
+            sl_phases = Hashtbl.create 8;
+          }
+          :: t.frames
+    | Span_end -> (
+        match t.frames with
+        | [] -> ()
+        | top :: rest ->
+            t.frames <- rest;
+            (match (top.sl_wall0, e.wall_ns) with
+            | Some w0, Some w1 when w1 - w0 >= t.threshold_ns ->
+                write_line t
+                  (Printf.sprintf
+                     "{\"label\":\"%s\",\"wall_ns\":%d,\"ios\":%d,\"phases\":%s}"
+                     (escape top.sl_label) (w1 - w0) top.sl_ios
+                     (phases_json top.sl_phases))
+            | _ -> ()))
+    | Phase ->
+        let ns = Option.value ~default:0 (List.assoc_opt "ns" e.args) in
+        let cat = phase_category e.label in
+        List.iter
+          (fun f ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt f.sl_phases cat) in
+            Hashtbl.replace f.sl_phases cat (cur + ns))
+          t.frames
+    | Read | Write | Write_back | Journal_write | Checkpoint ->
+        List.iter (fun f -> f.sl_ios <- f.sl_ios + 1) t.frames
+    | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Corrupt -> ()
+
+  let sink t = custom (on_event t)
+
+  (* A span that stayed under the wall threshold can still violate its
+     analytical bound; the CLI reports those here too. *)
+  let note_violation t ~label ~measured ~predicted =
+    write_line t
+      (Printf.sprintf
+         "{\"label\":\"%s\",\"violation\":\"cost_model\",\"measured\":%d,\"predicted\":%g}"
+         (escape label) measured predicted)
+
+  let close t = Stdlib.flush t.oc
 end

@@ -38,12 +38,29 @@ let device ?(mmap = false) t ~idx ~page_bytes =
   t.ds_devs <- dev :: t.ds_devs;
   dev
 
-let wal_store t : Wal.store =
+(* With an obs handle carrying a clock, the journal's own byte
+   operations are timed as wal.* phases: append, the commit fsync, and
+   the superblock tmp+rename+dir-sync dance. With the clock off (the
+   default) no source is even registered, so source ids — and therefore
+   existing traces — are byte-identical. *)
+let wal_store ?obs t : Wal.store =
+  let src =
+    match obs with
+    | Some o when Pc_obs.Obs.wall_enabled o ->
+        Some (Pc_obs.Obs.register o ~name:"wal")
+    | _ -> None
+  in
+  let phase name f =
+    match src with
+    | Some s ->
+        fun x -> Pc_obs.Obs.with_phase s ~phase:name ~page:(-1) (fun () -> f x)
+    | None -> f
+  in
   {
-    st_append = (fun b -> Wal_file.append t.ds_wal b);
+    st_append = phase "wal.append" (fun b -> Wal_file.append t.ds_wal b);
     st_append_torn = (fun b -> Wal_file.append_torn t.ds_wal b);
-    st_sync = (fun () -> Wal_file.sync t.ds_wal);
-    st_super = (fun b -> Wal_file.write_super t.ds_wal b);
+    st_sync = phase "wal.fsync" (fun () -> Wal_file.sync t.ds_wal);
+    st_super = phase "wal.super" (fun b -> Wal_file.write_super t.ds_wal b);
   }
 
 let close t =

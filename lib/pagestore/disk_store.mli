@@ -20,8 +20,12 @@ val dir : t -> string
 val device : ?mmap:bool -> t -> idx:int -> page_bytes:int -> Pc_blockdev.Block_device.t
 (** The file-backed block device for pager [idx]. Closed by {!close}. *)
 
-val wal_store : t -> Wal.store
-(** The byte sink for {!Wal.attach_store}. *)
+val wal_store : ?obs:Pc_obs.Obs.t -> t -> Wal.store
+(** The byte sink for {!Wal.attach_store}. With [?obs] and a clock
+    installed on the handle, journal appends, commit fsyncs and
+    superblock writes are timed as [wal.*] phase events from a source
+    named ["wal"]; with the clock off no source is registered and the
+    store is exactly the unobserved one. *)
 
 val close : t -> unit
 (** Close every device handed out and the journal file. *)

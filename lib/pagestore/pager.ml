@@ -62,6 +62,8 @@ type 'a t = {
   mutable dur : 'a dur option;
   bin : 'a backend option;
   retry_histo : Pc_obs.Histogram.t; (* transient burst lengths absorbed *)
+  phase_histos : (string, Pc_obs.Histogram.t) Hashtbl.t;
+      (* per-phase wall-clock ns; fills only when the handle's clock is on *)
 }
 
 (* The ambient plan: structures create pagers internally (often two per
@@ -115,10 +117,44 @@ let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ?backend
     dur = None;
     bin = backend;
     retry_histo = Pc_obs.Histogram.create ();
+    phase_histos = Hashtbl.create 8;
   }
 
 let page_capacity t = t.page_capacity
 let device t = Option.map (fun b -> b.dev) t.bin
+
+(* Wall-clock timing of a leaf phase. Gated on the clock, not the sink:
+   with a real clock and the null sink the per-pager latency histograms
+   still fill (bench --phases) at zero trace cost; with the clock off —
+   the default — this is a single option match and [f] runs untouched,
+   so control flow and I/O counts never depend on measured time. *)
+let phase_histogram t phase =
+  match Hashtbl.find_opt t.phase_histos phase with
+  | Some h -> h
+  | None ->
+      let h = Pc_obs.Histogram.create () in
+      Hashtbl.add t.phase_histos phase h;
+      h
+
+let timed t ~phase ~page f =
+  match t.obs with
+  | Some o when Pc_obs.Obs.wall_enabled o ->
+      let t0 = Pc_obs.Obs.now_ns o in
+      let finish () =
+        let ns = max 0 (Pc_obs.Obs.now_ns o - t0) in
+        Pc_obs.Histogram.add (phase_histogram t phase) ns;
+        match t.obs_src with
+        | Some src -> Pc_obs.Obs.emit_phase src ~phase ~page ~ns
+        | None -> ()
+      in
+      (match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e)
+  | _ -> f ()
 
 (* --- binary backend helpers ----------------------------------------- *)
 
@@ -130,17 +166,30 @@ let encode_page b ~page records =
 let dev_put t ~page records =
   match t.bin with
   | None -> ()
-  | Some b -> b.dev.Bdev.write_page page (encode_page b ~page records)
+  | Some b ->
+      let bytes =
+        timed t ~phase:"codec.encode" ~page (fun () ->
+            encode_page b ~page records)
+      in
+      timed t ~phase:"dev.write" ~page (fun () ->
+          b.dev.Bdev.write_page page bytes)
 
 let dev_put_torn t ~page records =
   match t.bin with
   | None -> ()
   | Some b ->
       let nsec = b.dev.Bdev.page_bytes / b.dev.Bdev.sector_bytes in
-      b.dev.Bdev.write_sectors page (encode_page b ~page records) (nsec / 2)
+      let bytes =
+        timed t ~phase:"codec.encode" ~page (fun () ->
+            encode_page b ~page records)
+      in
+      timed t ~phase:"dev.write" ~page (fun () ->
+          b.dev.Bdev.write_sectors page bytes (nsec / 2))
 
 let dev_trim t ~page =
-  match t.bin with None -> () | Some b -> b.dev.Bdev.trim page
+  match t.bin with
+  | None -> ()
+  | Some b -> timed t ~phase:"dev.trim" ~page (fun () -> b.dev.Bdev.trim page)
 
 (* A durable pager defers in-place device writes to the commit's apply
    step, so for a page the open transaction has already touched the
@@ -161,7 +210,14 @@ let dev_fetch t id mirror =
   | None -> Some mirror
   | Some _ when dirty_in_open_txn t id -> Some mirror
   | Some b -> (
-      match Codec.decode b.codec ~page:id (b.dev.Bdev.read_page id) with
+      match
+        let bytes =
+          timed t ~phase:"dev.read" ~page:id (fun () ->
+              b.dev.Bdev.read_page id)
+        in
+        timed t ~phase:"codec.decode" ~page:id (fun () ->
+            Codec.decode b.codec ~page:id bytes)
+      with
       | cells -> Some cells
       | exception (Codec.Corrupt_page _ | Bdev.Device_error _) -> None)
 let cache_capacity t = Buffer_pool.capacity t.pool
@@ -385,7 +441,11 @@ let enroll t wal ~idx ~seed_crcs =
           t.bin;
       pt_sync =
         (fun () ->
-          match t.bin with Some b -> b.dev.Bdev.flush () | None -> ());
+          match t.bin with
+          | Some b ->
+              timed t ~phase:"dev.fsync" ~page:(-1) (fun () ->
+                  b.dev.Bdev.flush ())
+          | None -> ());
     }
 
 (* Every mutation of a durable pager must sit inside a [Wal.with_txn]:
@@ -520,11 +580,13 @@ let read_verdict t id records =
       if d.in_txn && Hashtbl.mem d.undo id then `Ok
       else
         match Hashtbl.find_opt d.crcs id with
-        | Some crc
-          when Checksum.payload (Some (Obj.magic records : Obj.t array)) <> crc
-          ->
-            `Corrupt
-        | _ -> `Ok)
+        | Some crc ->
+            let actual =
+              timed t ~phase:"checksum.verify" ~page:id (fun () ->
+                  Checksum.payload (Some (Obj.magic records : Obj.t array)))
+            in
+            if actual <> crc then `Corrupt else `Ok
+        | None -> `Ok)
 
 (* A read that checksums wrong (or hits a [Damaged] slot) never returns
    garbage: it raises [Corrupt_page], or — in degraded mode — the page
@@ -660,7 +722,10 @@ let flush t =
   let n = Buffer_pool.flush_client t.client in
   t.stats.writes <- t.stats.writes + n;
   t.stats.write_backs <- t.stats.write_backs + n;
-  (match t.bin with Some b -> b.dev.Bdev.flush () | None -> ())
+  match t.bin with
+  | Some b ->
+      timed t ~phase:"dev.fsync" ~page:(-1) (fun () -> b.dev.Bdev.flush ())
+  | None -> ()
 
 let pin t id =
   if Buffer_pool.capacity t.pool > 0 then begin
@@ -792,6 +857,17 @@ let corrupt_page t page =
 
 let retry_histogram t = t.retry_histo
 
+(* Per-phase latency histograms, sorted by phase label. Empty unless a
+   wall clock was installed on the handle. *)
+let phase_histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.phase_histos []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fsync_stats t =
+  match Hashtbl.find_opt t.phase_histos "dev.fsync" with
+  | None -> (0, 0)
+  | Some h -> (Pc_obs.Histogram.count h, Pc_obs.Histogram.total h)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -824,4 +900,22 @@ let export_metrics t m =
         ("p50", Pc_obs.Histogram.p50 t.retry_histo);
         ("p99", Pc_obs.Histogram.p99 t.retry_histo);
         ("max", Pc_obs.Histogram.max_value t.retry_histo);
-      ]
+      ];
+  List.iter
+    (fun (phase, h) ->
+      if Pc_obs.Histogram.count h > 0 then
+        let prefix =
+          "pathcache_pager_phase_"
+          ^ String.map (fun c -> if c = '.' then '_' else c) phase
+          ^ "_ns_"
+        in
+        List.iter
+          (fun (k, v) ->
+            set (prefix ^ k) "Wall-clock phase latency snapshot (ns)." v)
+          [
+            ("count", Pc_obs.Histogram.count h);
+            ("total", Pc_obs.Histogram.total h);
+            ("p99", Pc_obs.Histogram.p99 h);
+            ("max", Pc_obs.Histogram.max_value h);
+          ])
+    (phase_histograms t)

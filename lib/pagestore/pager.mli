@@ -277,6 +277,23 @@ val corrupt_page : 'a t -> int -> unit
     fired. *)
 val retry_histogram : 'a t -> Pc_obs.Histogram.t
 
+(** {1 Wall-clock phase latency}
+
+    When the obs handle carries a clock ({!Pc_obs.Obs.set_clock}), every
+    device transfer, codec round-trip, checksum verification and fsync
+    is timed into a per-phase histogram of nanoseconds — independent of
+    the sink, so the histograms fill even with tracing off. With the
+    clock off (the default) nothing is measured and the instrumented
+    paths reduce to one option match. *)
+
+(** [(phase, histogram)] pairs sorted by phase label (["codec.decode"],
+    ["dev.fsync"], ["dev.read"], ...); empty when no clock is installed.
+    Histograms from several pagers merge with {!Pc_obs.Histogram.merge}. *)
+val phase_histograms : 'a t -> (string * Pc_obs.Histogram.t) list
+
+(** [(count, total_ns)] of this pager's device fsyncs. *)
+val fsync_stats : 'a t -> int * int
+
 (** {1 Metrics export} *)
 
 (** [export_metrics t m] publishes this pager's state into a metrics

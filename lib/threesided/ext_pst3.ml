@@ -726,11 +726,14 @@ let create ?cache_capacity ?pool ?obs ?durability ?backend ~mode ~b pts =
 
 let wal t = Pager.wal t.pager
 
-let of_snapshot ?backend r ~idx ~snapshot =
+let of_snapshot ?cache_capacity ?obs ?backend r ~idx ~snapshot =
   let (mode, b, layout, block_pages, seg_len, size) : mode * int * Skeletal_layout.t option * int array * int * int =
     Marshal.from_string snapshot 0
   in
-  let pager = Pager.attach_recovered r ~idx ?backend ~page_capacity:b () in
+  let pager =
+    Pager.attach_recovered r ~idx ?cache_capacity ?obs ?backend
+      ~obs_name:"pst3" ~page_capacity:b ()
+  in
   { mode; pager; layout; block_pages; seg_len; size; store = None }
 
 let recover ?(mode = Cached) ?backend ~b (r : Wal.recovered) =
@@ -885,24 +888,24 @@ let open_store ?mmap ~dir ~b () =
 let create_file ?cache_capacity ?obs ?mmap ~dir ~mode ~b pts =
   let ds, backend = open_store ?mmap ~dir ~b () in
   let wal = Wal.create () in
-  Wal.attach_store wal (Disk_store.wal_store ds);
+  Wal.attach_store wal (Disk_store.wal_store ?obs ds);
   let t =
     create ?cache_capacity ?obs ~durability:wal ~backend ~mode ~b pts
   in
   { t with store = Some ds }
 
-let recover_file ?cache_capacity ?mmap ?(mode = Cached) ~dir ~b () =
+let recover_file ?cache_capacity ?obs ?mmap ?(mode = Cached) ~dir ~b () =
   let image =
     Disk_store.load_image ~dir
       ~parts:[ Disk_store.part codec ~idx:0 ~page_bytes:(page_bytes ~b) ]
   in
   let r = Wal.recover image in
   let ds, backend = open_store ?mmap ~dir ~b () in
-  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ds);
+  Wal.attach_store r.Wal.r_wal (Disk_store.wal_store ?obs ds);
   let t =
     match r.Wal.r_meta with
     | Some snapshot ->
-        let t = of_snapshot ~backend r ~idx:0 ~snapshot in
+        let t = of_snapshot ?cache_capacity ?obs ~backend r ~idx:0 ~snapshot in
         let b' = Pager.page_capacity t.pager in
         if b' <> b then
           invalid_arg
@@ -913,7 +916,7 @@ let recover_file ?cache_capacity ?mmap ?(mode = Cached) ~dir ~b () =
         t
     | None ->
         (* nothing ever committed: an empty durable structure here *)
-        create ?cache_capacity ~durability:r.Wal.r_wal ~backend ~mode ~b []
+        create ?cache_capacity ?obs ~durability:r.Wal.r_wal ~backend ~mode ~b []
   in
   (* redo results were just rewritten onto the device: sync them and
      stamp a fresh superblock so the directory is clean again *)

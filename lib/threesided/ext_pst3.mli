@@ -110,6 +110,8 @@ val recover :
 val snapshot : t -> string
 
 val of_snapshot :
+  ?cache_capacity:int ->
+  ?obs:Pc_obs.Obs.t ->
   ?backend:cell Pc_pagestore.Pager.backend ->
   Pc_pagestore.Wal.recovered ->
   idx:int ->
@@ -150,8 +152,8 @@ val create_file :
     [Invalid_argument] if the directory holds a structure with a
     different [b]. *)
 val recover_file :
-  ?cache_capacity:int -> ?mmap:bool -> ?mode:mode -> dir:string -> b:int ->
-  unit -> t
+  ?cache_capacity:int -> ?obs:Pc_obs.Obs.t -> ?mmap:bool -> ?mode:mode ->
+  dir:string -> b:int -> unit -> t
 
 (** [close t] syncs and closes the underlying files (file-backed
     structures); no-op otherwise. *)

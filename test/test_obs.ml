@@ -434,6 +434,245 @@ let test_profile_rejects_garbage () =
   Sys.remove path;
   check_bool "mismatched span_end rejected with line number" true raised
 
+(* ----- wall clock and phases (DESIGN.md §9) ----- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let read_all path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let temp_dir () =
+  let d = Filename.temp_file "pc_obs_dir" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else Sys.remove p
+
+(* One span enclosing a read and a timed phase — every clock reading of
+   the mock clock is a deterministic function of event order, so the
+   serialized trace is golden. *)
+let wall_workload obs =
+  let src = Obs.register obs ~name:"p" in
+  Obs.with_span (Some obs) ~kind:"op" (fun () ->
+      Obs.emit src Obs.Read ~page:3;
+      Obs.with_phase src ~phase:"dev.read" ~page:3 (fun () -> ()))
+
+let test_golden_mock_jsonl () =
+  let path = Filename.temp_file "pc_wall" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      Obs.set_clock obs (Obs.Clock.mock ());
+      wall_workload obs;
+      Obs.close obs;
+      (* mock readings, step 1000: span_begin stamp 0; read stamp 1000;
+         phase start 2000, end 3000 (ns=1000), stamp 4000; span_end
+         stamp 5000 *)
+      Alcotest.(check (list string))
+        "mock-clock jsonl golden"
+        [
+          {|{"tick":0,"kind":"span_begin","src":-1,"page":0,"wall_ns":0,"label":"op"}|};
+          {|{"tick":1,"kind":"read","src":0,"page":3,"wall_ns":1000}|};
+          {|{"tick":2,"kind":"phase","src":0,"page":3,"wall_ns":4000,"label":"dev.read","args":{"ns":1000}}|};
+          {|{"tick":3,"kind":"span_end","src":-1,"page":0,"wall_ns":5000,"label":"op"}|};
+        ]
+        (read_lines path))
+
+(* With the clock off the same workload serializes with no [wall_ns]
+   field and no phase events at all — byte-identical to what earlier
+   versions of the tracer wrote (the pinned lines are the pre-clock
+   format). *)
+let test_golden_clock_off_jsonl () =
+  let path = Filename.temp_file "pc_wall" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      wall_workload obs;
+      Obs.close obs;
+      Alcotest.(check (list string))
+        "clock-off jsonl is the pre-clock format"
+        [
+          {|{"tick":0,"kind":"span_begin","src":-1,"page":0,"label":"op"}|};
+          {|{"tick":1,"kind":"read","src":0,"page":3}|};
+          {|{"tick":2,"kind":"span_end","src":-1,"page":0,"label":"op"}|};
+        ]
+        (read_lines path))
+
+let test_golden_mock_chrome () =
+  let path = Filename.temp_file "pc_wall" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      Obs.set_clock obs (Obs.Clock.mock ());
+      wall_workload obs;
+      Obs.close obs;
+      let s = read_all path in
+      (* ts is wall microseconds; the phase is a complete event (ph X)
+         placed at its start (stamp 4us minus dur 1us) on the source's
+         lane *)
+      List.iter
+        (fun sub -> check_bool sub true (contains_sub s sub))
+        [
+          {|{"name":"op","cat":"span","ph":"B","ts":0,"pid":0,"tid":0}|};
+          {|{"name":"read","cat":"io","ph":"i","ts":1,"pid":0,"tid":1,"s":"t","args":{"page":3}}|};
+          {|{"name":"dev.read","cat":"phase","ph":"X","ts":3,"dur":1,"pid":0,"tid":1,"args":{"page":3,"ns":1000}}|};
+          {|{"name":"op","cat":"span","ph":"E","ts":5,"pid":0,"tid":0|};
+        ])
+
+(* The profile invariant the issue pins: with a clock installed, each
+   span's per-category phase table (including the synthetic "other")
+   sums exactly to its wall time. Exercised end-to-end on a file-backed
+   tree so real device/codec/wal/checksum phases flow through. *)
+let test_phase_sums_equal_wall () =
+  let dir = temp_dir () in
+  let path = Filename.temp_file "pc_wall" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      Sys.remove path)
+    (fun () ->
+      let obs = Obs.to_file path in
+      Obs.set_clock obs (Obs.Clock.mock ());
+      let t =
+        Btree.bulk_load_file ~obs ~dir ~b:8 (List.init 500 (fun i -> (i, i)))
+      in
+      for q = 0 to 9 do
+        ignore (Btree.range t ~lo:(q * 40) ~hi:((q * 40) + 20))
+      done;
+      Btree.close t;
+      Obs.close obs;
+      let a = Obs.Profile.analyze_file path in
+      check_bool "has wall" true a.Obs.Profile.has_wall;
+      check_bool "has rows" true (a.Obs.Profile.rows <> []);
+      List.iter
+        (fun (r : Obs.Profile.row) ->
+          let sum =
+            List.fold_left (fun acc (_, ns) -> acc + ns) 0 r.Obs.Profile.phases
+          in
+          check_int
+            (r.Obs.Profile.label ^ " phases sum to wall")
+            r.Obs.Profile.wall_ns sum;
+          check_bool
+            (r.Obs.Profile.label ^ " has device time")
+            true
+            (List.mem_assoc "device" r.Obs.Profile.phases))
+        a.Obs.Profile.rows;
+      (* replay of a timed trace reports wall and per-category sums *)
+      let totals = Obs.replay_file path in
+      check_bool "replay wall > 0" true (totals.Obs.t_wall_ns > 0);
+      check_bool "replay has device phase" true
+        (List.mem_assoc "device" totals.Obs.t_phase_ns))
+
+(* Device-latency histograms fill per pager whenever the handle carries
+   a clock (no sink needed) and merge across pagers. *)
+let test_device_histogram_merge () =
+  let d1 = temp_dir () and d2 = temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf d1;
+      rm_rf d2)
+    (fun () ->
+      (* enough pages that the journaled build crosses the WAL's
+         checkpoint threshold: the checkpoint's pt_sync is the timed
+         dev.fsync *)
+      let entries = List.init 600 (fun i -> (i, i)) in
+      let build dir =
+        let obs = Obs.create ~clock:(Obs.Clock.mock ()) () in
+        let t = Btree.bulk_load_file ~obs ~dir ~b:8 entries in
+        for q = 0 to 4 do
+          ignore (Btree.range t ~lo:(q * 50) ~hi:((q * 50) + 25))
+        done;
+        t
+      in
+      let t1 = build d1 and t2 = build d2 in
+      let dev_read t =
+        match
+          List.assoc_opt "dev.read" (Pager.phase_histograms (Btree.pager t))
+        with
+        | Some h -> h
+        | None -> Alcotest.fail "no dev.read histogram"
+      in
+      let h1 = dev_read t1 and h2 = dev_read t2 in
+      check_bool "h1 nonempty" true (Histogram.count h1 > 0);
+      let merged = Histogram.create () in
+      Histogram.merge ~into:merged h1;
+      Histogram.merge ~into:merged h2;
+      check_int "merged count"
+        (Histogram.count h1 + Histogram.count h2)
+        (Histogram.count merged);
+      check_int "merged total"
+        (Histogram.total h1 + Histogram.total h2)
+        (Histogram.total merged);
+      let fsyncs, fsync_ns = Pager.fsync_stats (Btree.pager t1) in
+      check_bool "build checkpoint fsynced" true (fsyncs > 0 && fsync_ns > 0);
+      Btree.close t1;
+      Btree.close t2)
+
+let test_slow_log () =
+  let path = Filename.temp_file "pc_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sl = Obs.Slow_log.create oc ~threshold_ns:0 in
+      let obs =
+        Obs.create ~sink:(Obs.Slow_log.sink sl)
+          ~clock:(Obs.Clock.mock ()) ()
+      in
+      wall_workload obs;
+      check_int "one slow span" 1 (Obs.Slow_log.logged sl);
+      Obs.Slow_log.note_violation sl ~label:"op" ~measured:9 ~predicted:3.5;
+      check_int "violation logged too" 2 (Obs.Slow_log.logged sl);
+      Obs.Slow_log.close sl;
+      close_out oc;
+      match read_lines path with
+      | [ span; violation ] ->
+          List.iter
+            (fun sub -> check_bool sub true (contains_sub span sub))
+            [ {|"label":"op"|}; {|"ios":1|}; {|"device":1000|} ];
+          List.iter
+            (fun sub -> check_bool sub true (contains_sub violation sub))
+            [ {|"violation":"cost_model"|}; {|"measured":9|} ]
+      | lines -> Alcotest.failf "expected 2 lines, got %d" (List.length lines))
+
+let test_metrics_escaping () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "empty name rejected"
+    (Invalid_argument "Metrics: empty metric name") (fun () ->
+      ignore (Metrics.counter m ""));
+  let c =
+    Metrics.counter m ~help:"line1\nline2 \\ back"
+      ~labels:[ ("q", "a\"b\\c\nd") ]
+      "pathcache_test_total"
+  in
+  Metrics.inc c;
+  let body = Metrics.to_prometheus m in
+  check_bool "help newline+backslash escaped" true
+    (contains_sub body "line1\\nline2 \\\\ back");
+  check_bool "label value escaped" true
+    (contains_sub body "a\\\"b\\\\c\\nd")
+
 let suite =
   [
     Alcotest.test_case "golden pager trace" `Quick test_golden_pager;
@@ -465,4 +704,18 @@ let suite =
     Alcotest.test_case "profile golden table" `Quick test_profile_golden;
     Alcotest.test_case "profile rejects garbage" `Quick
       test_profile_rejects_garbage;
+    Alcotest.test_case "golden jsonl under mock clock" `Quick
+      test_golden_mock_jsonl;
+    Alcotest.test_case "clock-off jsonl is pre-clock format" `Quick
+      test_golden_clock_off_jsonl;
+    Alcotest.test_case "golden chrome under mock clock" `Quick
+      test_golden_mock_chrome;
+    Alcotest.test_case "phase sums equal span wall" `Quick
+      test_phase_sums_equal_wall;
+    Alcotest.test_case "device histograms merge across pagers" `Quick
+      test_device_histogram_merge;
+    Alcotest.test_case "slow log records spans and violations" `Quick
+      test_slow_log;
+    Alcotest.test_case "prometheus escaping and name validation" `Quick
+      test_metrics_escaping;
   ]
