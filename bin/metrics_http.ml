@@ -6,9 +6,12 @@
    so the read-side histograms keep filling between polls.
 
    One request per connection (Connection: close), no keep-alive, no
-   threads: a scrape is cheap and Prometheus polls serially. Routes:
-   GET /metrics (text exposition format), GET /healthz, GET /quit
-   (responds, then shuts down cleanly). *)
+   threads: a scrape is cheap and Prometheus polls serially. A receive
+   timeout on every accepted socket keeps a second in-flight connection
+   that never completes its request from wedging the accept loop — the
+   read times out, the connection is closed, and serving continues.
+   Routes: GET /metrics (text exposition format), GET /healthz, GET
+   /quit (responds, then shuts down cleanly). *)
 
 open Pathcaching
 
@@ -45,7 +48,15 @@ let run ~port ~n ~b ~queries ~data_dir () =
   let obs = Obs.create ~clock:(Obs.Clock.of_fn now_ns) () in
   let m = Metrics.create () in
   Metrics.attach m obs;
-  let t = Btree.bulk_load_file ~obs ~dir ~b (List.init n (fun i -> (i, i))) in
+  (* A modest private page cache so scrapes exercise hits as well as
+     misses; the access profiler tees in beside the metrics registry and
+     feeds the hit-ratio and working-set gauges below. *)
+  let t =
+    Btree.bulk_load_file ~cache_capacity:64 ~obs ~dir ~b
+      (List.init n (fun i -> (i, i)))
+  in
+  let ap = Access_profile.create () in
+  Access_profile.attach ap obs;
   let rng = Rng.create 42 in
   let span = max 1 (n / 100) in
   let scrape () =
@@ -54,6 +65,23 @@ let run ~port ~n ~b ~queries ~data_dir () =
       ignore (Btree.range t ~lo ~hi:(lo + span - 1))
     done;
     Pager.export_metrics (Btree.pager t) m;
+    (* per-client cache health incl. pathcache_cache_hit_ratio{client} *)
+    Buffer_pool.export_metrics (Pager.pool (Btree.pager t)) m;
+    List.iter
+      (fun (p : Access_profile.profile) ->
+        Metrics.set
+          (Metrics.gauge m
+             ~help:"Distinct pages in the last 256 references, by client."
+             ~labels:[ ("client", p.Access_profile.p_source) ]
+             "pathcache_working_set_pages")
+          p.Access_profile.p_ws_current;
+        Metrics.set
+          (Metrics.gauge m
+             ~help:"Peak sliding-window working set, by client."
+             ~labels:[ ("client", p.Access_profile.p_source) ]
+             "pathcache_working_set_peak_pages")
+          p.Access_profile.p_ws_peak)
+      (Access_profile.profiles ap);
     Metrics.to_prometheus m
   in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -67,6 +95,10 @@ let run ~port ~n ~b ~queries ~data_dir () =
   let stop = ref false in
   while not !stop do
     let fd, _ = Unix.accept sock in
+    (* An idle or half-open client times out instead of blocking the
+       server forever; the failed read lands in the handler below. *)
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+     with Unix.Unix_error _ -> ());
     (try
        let ic = Unix.in_channel_of_descr fd in
        let oc = Unix.out_channel_of_descr fd in
@@ -93,7 +125,8 @@ let run ~port ~n ~b ~queries ~data_dir () =
        in
        output_string oc reply;
        flush oc
-     with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+     with
+    | Sys_error _ | Sys_blocked_io | End_of_file | Unix.Unix_error _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
   done;
   Unix.close sock;

@@ -568,7 +568,9 @@ let replay_cmd =
 
 (* ----- profile ----- *)
 
-let run_profile file flame =
+let pp_mrc_table ppf curves = Reuse_dist.pp_table ppf curves
+
+let run_profile file flame mrc mrc_json =
   match Obs.Profile.analyze_file file with
   | a ->
       Format.printf "%a@?" Obs.Profile.pp a.Obs.Profile.rows;
@@ -585,6 +587,24 @@ let run_profile file flame =
           close_out oc;
           Printf.printf "folded stacks written to %s\n" path)
         flame;
+      if mrc || mrc_json <> None then begin
+        let rd = Reuse_dist.of_file file in
+        match Reuse_dist.mrcs rd with
+        | [] ->
+            if mrc then
+              Format.printf "@\nmrc: no read references in trace@."
+        | curves ->
+            if mrc then
+              Format.printf "@\nmiss-ratio curves (exact LRU)@\n%a@?"
+                pp_mrc_table curves;
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                output_string oc (Reuse_dist.to_json curves);
+                close_out oc;
+                Printf.printf "mrc json written to %s\n" path)
+              mrc_json
+      end;
       `Ok ()
   | exception Failure msg -> `Error (false, msg)
   | exception Sys_error msg -> `Error (false, msg)
@@ -610,8 +630,178 @@ let profile_cmd =
                  $(i,OUT); values are wall nanoseconds for timed traces, \
                  I/Os otherwise.")
   in
+  let mrc_arg =
+    Arg.(value & flag & info [ "mrc" ]
+           ~doc:"Also print exact LRU miss-ratio curves per pager source: \
+                 the trace's reads and cache hits feed a Mattson \
+                 reuse-distance stack, yielding the hit ratio at every \
+                 cache size from one pass (DESIGN.md \xc2\xa79).")
+  in
+  let mrc_json_arg =
+    Arg.(value & opt (some string) None & info [ "mrc-json" ] ~docv:"OUT"
+           ~doc:"Write the miss-ratio curves as JSON to $(i,OUT).")
+  in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(ret (const run_profile $ file_arg $ flame_arg))
+    Term.(ret (const run_profile $ file_arg $ flame_arg $ mrc_arg
+               $ mrc_json_arg))
+
+(* ----- advise-cache ----- *)
+
+(* Replay mode: fold a JSONL trace through an access profiler and print
+   profiles, curves, and the advised split of [budget] frames. *)
+let run_advise_trace file budget json_out =
+  let ap = Access_profile.create () in
+  match Obs.iter_file file (Access_profile.observe ap) with
+  | () -> (
+      match Reuse_dist.mrcs (Access_profile.reuse ap) with
+      | [] -> `Error (false, "trace contains no read references")
+      | curves ->
+          Format.printf "access profiles@\n%a" Access_profile.pp_profiles
+            (Access_profile.profiles ap);
+          Format.printf "@\nmiss-ratio curves (exact LRU)@\n%a" pp_mrc_table
+            curves;
+          let advice = Access_profile.advise curves ~budget in
+          Format.printf "@\nrecommended split@\n%a@?" Access_profile.pp_advice
+            advice;
+          Option.iter
+            (fun path ->
+              let oc = open_out path in
+              output_string oc (Access_profile.advice_json advice);
+              close_out oc;
+              Printf.printf "advice json written to %s\n" path)
+            json_out;
+          `Ok ())
+  | exception Failure msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+(* Live mode: two B+-trees with contrasting locality — a hot structure
+   whose queries hammer a tiny key range (small working set, the curve
+   flattens early) and a uniform one touching everything. Profile both
+   at cache 0, advise a split of the budget, then measure the advised
+   and even splits for real and report predicted vs actual. *)
+let advise_live_structs n = [ ("hot", n / 100); ("uniform", n) ]
+
+let advise_live_workload tree rng ~n ~ops ~span =
+  (* [span] keys starting mid-keyspace; uniform when [span = n] *)
+  let lo = if span >= n then 0 else n / 2 in
+  for _ = 1 to ops do
+    ignore (Btree.find tree (lo + Rng.int rng span))
+  done
+
+let run_advise_live budget n b seed ops json_out =
+  if budget < List.length (advise_live_structs n) then
+    `Error (false, "--budget must be at least one frame per structure")
+  else begin
+    let structs = advise_live_structs n in
+    let entries = List.init n (fun i -> (i, i)) in
+    (* Profiling pass: cache 0 so the stream is pure Reads; the profiler
+       attaches after the build, so curves describe the query phase only —
+       matching the measured passes below, which drop the cache first. *)
+    let curves =
+      List.map
+        (fun (name, span) ->
+          let obs = Obs.create () in
+          let tree = Btree.bulk_load_in ~obs ~b entries in
+          let ap = Access_profile.create () in
+          Access_profile.attach ap obs;
+          advise_live_workload tree (Rng.create seed) ~n ~ops ~span;
+          Format.printf "%s: %a" name Access_profile.pp_profiles
+            (Access_profile.profiles ap);
+          match Reuse_dist.mrcs (Access_profile.reuse ap) with
+          | (_, m) :: _ -> (name, m)
+          | [] -> failwith "advise-cache: profiling pass saw no references")
+        structs
+    in
+    Format.printf "@\nmiss-ratio curves (exact LRU)@\n%a" pp_mrc_table curves;
+    let advice = Access_profile.advise curves ~budget in
+    Format.printf "@\nrecommended split@\n%a" Access_profile.pp_advice advice;
+    (* Measured pass: one private LRU pool per structure, sized by the
+       split under test; deterministic workload regeneration per cell. *)
+    let measure frames (_, span) =
+      let pool = Buffer_pool.create ~capacity:frames () in
+      let tree = Btree.bulk_load_in ~pool ~b entries in
+      let pager = Btree.pager tree in
+      Pager.drop_cache pager;
+      Pager.reset_stats pager;
+      advise_live_workload tree (Rng.create seed) ~n ~ops ~span;
+      let st = Pager.stats pager in
+      (st.Io_stats.cache_hits, st.Io_stats.reads)
+    in
+    let run_split tag allocs =
+      let results =
+        List.map2
+          (fun (al : Access_profile.alloc) s -> measure al.a_frames s)
+          allocs structs
+      in
+      let misses = List.fold_left (fun acc (_, m) -> acc + m) 0 results in
+      Format.printf "@\n%s (measured)@\n" tag;
+      List.iter2
+        (fun (al : Access_profile.alloc) (hits, miss) ->
+          let refs = hits + miss in
+          Format.printf
+            "  %-8s frames=%-4d predicted-hit%%=%5.1f measured-hit%%=%5.1f@\n"
+            al.a_source al.a_frames
+            (100. *. Access_profile.alloc_hit_ratio al)
+            (if refs = 0 then 0. else 100. *. float_of_int hits /. float_of_int refs))
+        allocs results;
+      Format.printf "  total misses: %d@\n" misses;
+      misses
+    in
+    let rec_misses = run_split "recommended split" advice.Access_profile.allocs in
+    let even_misses = run_split "even split" advice.Access_profile.even in
+    Format.printf "@\nmeasured misses: recommended=%d even=%d (%s)@."
+      rec_misses even_misses
+      (if rec_misses < even_misses then "recommended wins"
+       else if rec_misses = even_misses then "tie"
+       else "even wins");
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Access_profile.advice_json advice);
+        close_out oc;
+        Printf.printf "advice json written to %s\n" path)
+      json_out;
+    `Ok ()
+  end
+
+let run_advise trace budget n b seed ops json_out =
+  match trace with
+  | Some file -> run_advise_trace file budget json_out
+  | None -> run_advise_live budget n b seed ops json_out
+
+let advise_cmd =
+  let doc =
+    "Recommend how to split a global frame budget across structures. \
+     With $(b,--trace) $(i,FILE), replays a JSONL trace (written with \
+     --trace on any build command) through the reuse-distance profiler \
+     and advises over its per-source miss-ratio curves. Without it, runs \
+     a live demonstration: two B+-trees with contrasting locality (a hot \
+     small working set vs uniform access) are profiled, the budget is \
+     split by marginal-miss-rate descent, and both the recommended and \
+     the naive even split are then measured for real, printing predicted \
+     vs actual hit ratios and total misses."
+  in
+  let trace_in_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"JSONL trace to replay instead of the live demonstration.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 64 & info [ "budget" ] ~docv:"FRAMES"
+           ~doc:"Global frame budget to partition.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"K"
+           ~doc:"Point lookups per structure in the live demonstration.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT"
+           ~doc:"Write the advice (recommended + even split, predicted \
+                 misses) as JSON to $(i,OUT).")
+  in
+  Cmd.v (Cmd.info "advise-cache" ~doc)
+    Term.(ret
+            (const run_advise $ trace_in_arg $ budget_arg $ n_arg $ b_arg
+             $ seed_arg $ ops_arg $ json_arg))
 
 (* ----- serve-metrics ----- *)
 
@@ -822,6 +1012,7 @@ let () =
             replay_cmd;
             recover_cmd;
             profile_cmd;
+            advise_cmd;
             serve_metrics_cmd;
             check_cmd;
           ]))

@@ -25,6 +25,13 @@ type pending = {
       (* trace source of the owning pager: eviction and write-back events
          are emitted here, at decision time, correctly attributed even
          when the evictor is another client sharing the pool *)
+  p_name : string;
+  (* monotonic per-client counters (never reset by drain) — the cache
+     health serve-metrics exports per structure *)
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_evictions : int;
+  mutable c_write_backs : int;
 }
 
 type t = {
@@ -98,11 +105,24 @@ let reset_stats t =
   t.st.write_backs <- 0;
   t.st.overcommits <- 0
 
-let register ?obs t =
+let register ?obs ?name t =
   let owner = t.next_owner in
   t.next_owner <- owner + 1;
+  let p_name =
+    match name with Some n -> n | None -> Printf.sprintf "client%d" owner
+  in
   Hashtbl.replace t.owners owner
-    { p_evictions = 0; p_write_backs = 0; p_drops = []; p_obs = obs };
+    {
+      p_evictions = 0;
+      p_write_backs = 0;
+      p_drops = [];
+      p_obs = obs;
+      p_name;
+      c_hits = 0;
+      c_misses = 0;
+      c_evictions = 0;
+      c_write_backs = 0;
+    };
   { pool = t; owner; seq = false }
 
 let obs_emit p kind ~page =
@@ -150,6 +170,8 @@ let evict_one t =
             if f.dirty then t.st.write_backs <- t.st.write_backs + 1;
             p.p_evictions <- p.p_evictions + 1;
             if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
+            p.c_evictions <- p.c_evictions + 1;
+            if f.dirty then p.c_write_backs <- p.c_write_backs + 1;
             p.p_drops <- f.f_page :: p.p_drops;
             obs_emit p Pc_obs.Obs.Evict ~page:f.f_page;
             if f.dirty then obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page
@@ -181,7 +203,9 @@ let admit ?hint c page =
         match hint with Some h -> h | None -> if c.seq then `Cold else `Hot
       in
       Replacement.s_insert t.policy_state ~hint k;
-      t.st.misses <- t.st.misses + 1
+      t.st.misses <- t.st.misses + 1;
+      let p = Hashtbl.find t.owners c.owner in
+      p.c_misses <- p.c_misses + 1
     end
   end
 
@@ -191,6 +215,8 @@ let touch c page =
     let k = pack ~owner:c.owner ~page in
     if Hashtbl.mem t.frames k then begin
       t.st.hits <- t.st.hits + 1;
+      let p = Hashtbl.find t.owners c.owner in
+      p.c_hits <- p.c_hits + 1;
       Replacement.s_touch t.policy_state k
     end
   end
@@ -252,6 +278,7 @@ let flush_client c =
     (fun f ->
       f.dirty <- false;
       t.st.write_backs <- t.st.write_backs + 1;
+      p.c_write_backs <- p.c_write_backs + 1;
       obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
     mine;
   List.length mine
@@ -263,6 +290,7 @@ let flush t =
       t.st.write_backs <- t.st.write_backs + 1;
       let p = Hashtbl.find t.owners f.f_owner in
       p.p_write_backs <- p.p_write_backs + 1;
+      p.c_write_backs <- p.c_write_backs + 1;
       obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
     (dirty_frames t ~owner:None)
 
@@ -283,6 +311,28 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "{hits=%d; misses=%d; evictions=%d; write_backs=%d; overcommits=%d}"
     s.hits s.misses s.evictions s.write_backs s.overcommits
+
+type client_stats = {
+  cs_name : string;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_write_backs : int;
+}
+
+let client_stats t =
+  Hashtbl.fold (fun owner p acc -> (owner, p) :: acc) t.owners []
+  |> List.sort compare
+  |> List.map (fun (_, p) ->
+         {
+           cs_name = p.p_name;
+           cs_hits = p.c_hits;
+           cs_misses = p.c_misses;
+           cs_evictions = p.c_evictions;
+           cs_write_backs = p.c_write_backs;
+         })
+
+let client_name c = (pending_of c).p_name
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                     *)
@@ -308,4 +358,25 @@ let export_metrics t m =
   set "pathcache_pool_write_backs"
     "Deferred writes charged at eviction or flush." st.write_backs;
   set "pathcache_pool_overcommits"
-    "Admissions past capacity forced by pinned frames." st.overcommits
+    "Admissions past capacity forced by pinned frames." st.overcommits;
+  (* per-client cache health, labelled by the client's registered name *)
+  List.iter
+    (fun cs ->
+      let labels = [ ("client", cs.cs_name) ] in
+      let set name help v =
+        Pc_obs.Metrics.set (Pc_obs.Metrics.gauge m ~help ~labels name) v
+      in
+      set "pathcache_pool_client_hits" "Pool hits, by client." cs.cs_hits;
+      set "pathcache_pool_client_misses" "Pool misses, by client."
+        cs.cs_misses;
+      set "pathcache_pool_client_evictions" "Frames evicted, by owner."
+        cs.cs_evictions;
+      set "pathcache_pool_client_write_backs"
+        "Deferred writes charged, by owner." cs.cs_write_backs;
+      let refs = cs.cs_hits + cs.cs_misses in
+      Pc_obs.Metrics.fset
+        (Pc_obs.Metrics.fgauge m
+           ~help:"Pool hit ratio (hits / (hits + misses)), by client."
+           ~labels "pathcache_cache_hit_ratio")
+        (if refs = 0 then 0. else float_of_int cs.cs_hits /. float_of_int refs))
+    (client_stats t)

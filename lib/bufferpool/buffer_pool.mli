@@ -81,8 +81,11 @@ val reset_stats : t -> unit
     client's eviction and write-back trace events to that source; with a
     shared pool, eviction events fire at decision time under whichever
     client's operation triggered them, but always tagged with the
-    {e owning} client's source. *)
-val register : ?obs:Pc_obs.Obs.source -> t -> client
+    {e owning} client's source. [name] labels the client in
+    {!client_stats} and metrics export (default ["client<i>"]). *)
+val register : ?obs:Pc_obs.Obs.source -> ?name:string -> t -> client
+
+val client_name : client -> string
 
 val pool_of : client -> t
 
@@ -167,8 +170,27 @@ val drop_client : client -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Per-client cache health} *)
+
+(** Monotonic per-client counters (never reset by {!drain} or
+    {!reset_stats}; [cs_evictions]/[cs_write_backs] count frames this
+    client {e owned}, whoever triggered the eviction). *)
+type client_stats = {
+  cs_name : string;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+  cs_write_backs : int;
+}
+
+(** Snapshot of every registered client's counters, in registration
+    order. *)
+val client_stats : t -> client_stats list
+
 (** [export_metrics t m] publishes the pool's state into a metrics
     registry as gauges labelled by replacement policy: frame budget,
-    occupancy, pins, and every {!stats} counter. Snapshot semantics —
+    occupancy, pins, and every {!stats} counter — plus per-client
+    [pathcache_pool_client_*] gauges and a
+    [pathcache_cache_hit_ratio{client}] float gauge. Snapshot semantics —
     call again to refresh before exporting the registry. *)
 val export_metrics : t -> Pc_obs.Metrics.t -> unit

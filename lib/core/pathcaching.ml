@@ -48,6 +48,8 @@ module Obs = Pc_obs.Obs
 module Histogram = Pc_obs.Histogram
 module Cost_model = Pc_obs.Cost_model
 module Metrics = Pc_obs.Metrics
+module Reuse_dist = Pc_obs.Reuse_dist
+module Access_profile = Pc_obs.Access_profile
 module Bench_gate = Pc_obs.Bench_gate
 module Pager = Pc_pagestore.Pager
 module Wal = Pc_pagestore.Wal

@@ -8,6 +8,7 @@
 type value =
   | Counter of int ref
   | Gauge of int ref
+  | Fgauge of float ref
   | Histo of Histogram.t
 
 type instance = { labels : (string * string) list; value : value }
@@ -82,6 +83,22 @@ let gauge t ?(help = "") ?(labels = []) name : gauge =
 
 let set (g : gauge) v = g := v
 let gauge_value (g : gauge) = !g
+
+type fgauge = float ref
+
+(* Float gauges share the Prometheus "gauge" type but are a distinct
+   family kind internally, so re-registering a name across int/float
+   flavours is caught like any other type clash. *)
+let fgauge t ?(help = "") ?(labels = []) name : fgauge =
+  match
+    get_instance t ~name ~help ~typ:"fgauge" ~labels ~make:(fun () ->
+        Fgauge (ref 0.))
+  with
+  | Fgauge r -> r
+  | _ -> assert false
+
+let fset (g : fgauge) v = g := v
+let fgauge_value (g : fgauge) = !g
 
 let histogram t ?(help = "") ?(labels = []) name =
   match
@@ -210,14 +227,19 @@ let to_prometheus t =
       if f.f_help <> "" then
         Buffer.add_string buf
           (Printf.sprintf "# HELP %s %s\n" f.f_name (escape_help f.f_help));
+      (* float gauges are plain gauges on the wire *)
+      let wire_type = if f.f_type = "fgauge" then "gauge" else f.f_type in
       Buffer.add_string buf
-        (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_type);
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name wire_type);
       List.iter
         (fun i ->
           match i.value with
           | Counter r | Gauge r ->
               Buffer.add_string buf
                 (Printf.sprintf "%s%s %d\n" f.f_name (label_str i.labels) !r)
+          | Fgauge r ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %.6f\n" f.f_name (label_str i.labels) !r)
           | Histo h ->
               (* cumulative le-buckets over the nonzero log buckets *)
               let cum = ref 0 in
@@ -257,15 +279,17 @@ let to_json t =
   List.iteri
     (fun fi f ->
       if fi > 0 then Buffer.add_string buf ",";
+      let wire_type = if f.f_type = "fgauge" then "gauge" else f.f_type in
       Buffer.add_string buf
         (Printf.sprintf "\n  \"%s\": {\"type\":\"%s\",\"help\":\"%s\",\"values\":["
-           f.f_name f.f_type (escape_label f.f_help));
+           f.f_name wire_type (escape_label f.f_help));
       List.iteri
         (fun ii i ->
           if ii > 0 then Buffer.add_string buf ",";
           let v =
             match i.value with
             | Counter r | Gauge r -> string_of_int !r
+            | Fgauge r -> Printf.sprintf "%.6f" !r
             | Histo h -> Histogram.to_json h
           in
           Buffer.add_string buf

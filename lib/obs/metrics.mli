@@ -48,6 +48,18 @@ val gauge :
 val set : gauge -> int -> unit
 val gauge_value : gauge -> int
 
+type fgauge
+
+(** [fgauge t name] registers (or finds) a float-valued gauge (ratios,
+    fractions); exported as a plain Prometheus gauge. A name registered
+    as an int {!gauge} cannot be re-registered as an [fgauge] (and vice
+    versa) — that raises [Invalid_argument] like any other type clash. *)
+val fgauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> fgauge
+
+val fset : fgauge -> float -> unit
+val fgauge_value : fgauge -> float
+
 (** [histogram t name] registers (or finds) a log-bucketed
     {!Histogram.t}; record into it with {!Histogram.add}. *)
 val histogram :

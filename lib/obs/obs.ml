@@ -620,6 +620,75 @@ let replay_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> replay_channel ic)
 
+(* Parse the flat integer-valued args object written by {!args_json};
+   keys are fixed identifiers (no escapes to worry about). *)
+let field_args line =
+  let pat = "\"args\":{" in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start ->
+      let pos = ref start and out = ref [] and ok = ref true in
+      while !ok && !pos < llen && line.[!pos] <> '}' do
+        if line.[!pos] = ',' then incr pos;
+        if !pos >= llen || line.[!pos] <> '"' then ok := false
+        else
+          match String.index_from_opt line (!pos + 1) '"' with
+          | None -> ok := false
+          | Some stop ->
+              let key = String.sub line (!pos + 1) (stop - !pos - 1) in
+              if stop + 1 >= llen || line.[stop + 1] <> ':' then ok := false
+              else begin
+                let s = stop + 2 in
+                let e = ref s in
+                while
+                  !e < llen
+                  && match line.[!e] with '0' .. '9' | '-' -> true | _ -> false
+                do
+                  incr e
+                done;
+                match int_of_string_opt (String.sub line s (!e - s)) with
+                | Some v ->
+                    out := (key, v) :: !out;
+                    pos := !e
+                | None -> ok := false
+              end
+      done;
+      List.rev !out
+
+(* Reconstruct full events from a JSONL trace — the input side of the
+   analytics layers (Reuse_dist, Access_profile) that also listen live. *)
+let iter_channel ic f =
+  let rec go lineno =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> go (lineno + 1)
+    | line ->
+        let line = String.trim line in
+        let kind = parse_line lineno line in
+        f
+          {
+            tick = Option.value ~default:0 (field_int line "tick");
+            kind;
+            src = Option.value ~default:(-1) (field_int line "src");
+            page = Option.value ~default:0 (field_int line "page");
+            label = Option.value ~default:"" (field_string line "label");
+            args = field_args line;
+            wall_ns = field_int line "wall_ns";
+          };
+        go (lineno + 1)
+  in
+  go 1
+
+let iter_file path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> iter_channel ic f)
+
 let pp_ns ppf ns =
   if ns >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (float_of_int ns /. 1e9)
   else if ns >= 1_000_000 then
@@ -897,12 +966,19 @@ module Profile = struct
   let of_channel ic = (analyze_channel ic).rows
   let of_file path = (analyze_file path).rows
 
+  (* Label column width: at least the historical 18 (keeps old goldens
+     byte-identical) and wide enough for the longest label so long span
+     names (e.g. ext_pst3.query_3sided) no longer misalign columns. *)
+  let label_width rows =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 18 rows
+
   let pp ppf rows =
-    Format.fprintf ppf "%-18s %8s %10s %8s %6s %6s@\n" "span" "count"
+    let w = label_width rows in
+    Format.fprintf ppf "%-*s %8s %10s %8s %6s %6s@\n" w "span" "count"
       "total-io" "mean" "p99" "max";
     List.iter
       (fun r ->
-        Format.fprintf ppf "%-18s %8d %10d %8.1f %6d %6d@\n" r.label r.count
+        Format.fprintf ppf "%-*s %8d %10d %8.1f %6d %6d@\n" w r.label r.count
           r.total_ios r.mean r.p99 r.max)
       rows
 
@@ -910,13 +986,14 @@ module Profile = struct
      total wall time decomposed into the phase categories. The column
      sums equal [wall] by construction ("other" is the remainder). *)
   let pp_phases ppf rows =
-    Format.fprintf ppf "%-18s %8s %10s" "span" "count" "wall";
+    let w = label_width rows in
+    Format.fprintf ppf "%-*s %8s %10s" w "span" "count" "wall";
     List.iter (fun cat -> Format.fprintf ppf " %10s" cat) phase_categories;
     Format.fprintf ppf "@\n";
     List.iter
       (fun r ->
         if r.phases <> [] then begin
-          Format.fprintf ppf "%-18s %8d %10s" r.label r.count
+          Format.fprintf ppf "%-*s %8d %10s" w r.label r.count
             (ns_string r.wall_ns);
           List.iter
             (fun cat ->

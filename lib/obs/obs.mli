@@ -267,6 +267,17 @@ val zero_totals : totals
 val replay_channel : in_channel -> totals
 val replay_file : string -> totals
 
+(** [iter_channel ic f] reconstructs each event of a JSONL trace —
+    tick, kind, source, page, label, args, and [wall_ns] when stamped —
+    and applies [f], in trace order. This is the raw-event counterpart
+    of {!replay_channel}, feeding analytics layers ({!Reuse_dist},
+    {!Access_profile}) that also consume the live stream, so a replayed
+    trace and a live attachment fold identically. Same [Failure]
+    contract as {!replay_channel}. *)
+val iter_channel : in_channel -> (event -> unit) -> unit
+
+val iter_file : string -> (event -> unit) -> unit
+
 (** Prints the I/O totals record; traces carrying [wall_ns] get extra
     [wall:]/[phases:] lines (tick-only traces print exactly as before). *)
 val pp_totals : Format.formatter -> totals -> unit

@@ -107,7 +107,7 @@ let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ?backend
     live = 0;
     frames = Hashtbl.create 64;
     pool;
-    client = Buffer_pool.register ?obs:obs_src pool;
+    client = Buffer_pool.register ?obs:obs_src ~name:obs_name pool;
     stats = Io_stats.create ();
     fault = None;
     plan = !ambient_plan;

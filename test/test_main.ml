@@ -19,6 +19,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("durability", Test_durability.suite);
       ("obs", Test_obs.suite);
+      ("mrc", Test_mrc.suite);
       ("costmodel", Test_costmodel.suite);
       ("check", Test_check.suite);
       ("blockdev", Test_blockdev.suite);
