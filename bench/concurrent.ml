@@ -1,0 +1,245 @@
+(* E18: aggregate query throughput across reader domains (DESIGN.md
+   §14, EXPERIMENTS.md E18).
+
+   One Shared_store, D reader domains, each running an independent
+   seeded stream of key-range and 3-sided queries against the published
+   snapshot for a fixed wall-clock slice; the cell reports aggregate
+   queries/second and the speedup over the D=1 baseline. Every K-th
+   answer is conformance-checked against a sequential scan of the same
+   immutable point set — the store is read-only during timed cells, so
+   any deviation is a real violation and the bench exits non-zero.
+
+   A final mixed cell runs the same readers with one writer domain
+   mutating the store throughout (inserts/deletes of a disjoint id
+   range), reporting reader and writer throughput together — the
+   readers-run-with-writer claim measured, not asserted. Mixed-cell
+   answers shift under the writer's feet, so that cell reports
+   throughput only.
+
+   The speedup gate is conditional on the hardware: with fewer than 4
+   cores available ([Domain.recommended_domain_count]), parallel
+   speedup is physically impossible and the gate reports itself
+   skipped; with 4+ cores, 4 domains must reach >= 2x the 1-domain
+   baseline or the bench fails.
+
+   Run with: dune exec bench/concurrent.exe -- [--fast] [--out FILE] *)
+
+module Point = Pc_util.Point
+module Rng = Pc_util.Rng
+module Shared_store = Pc_conc.Shared_store
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+
+let out_file =
+  let rec find = function
+    | "--out" :: f :: _ -> f
+    | _ :: tl -> find tl
+    | [] -> "BENCH_concurrent.json"
+  in
+  find (Array.to_list Sys.argv)
+
+let universe = 1 lsl 16
+
+(* ------------------------------------------------------------------ *)
+(* Query streams and the sequential oracle                            *)
+(* ------------------------------------------------------------------ *)
+
+type query = Qk of int * int | Q3 of int * int * int
+
+let gen_query rng =
+  let coord () = Rng.int rng universe in
+  if Rng.bool rng then begin
+    let lo = coord () in
+    Qk (lo, lo + 512)
+  end
+  else begin
+    let xl = coord () in
+    Q3 (xl, xl + 512, universe / 2)
+  end
+
+let run_query store = function
+  | Qk (lo, hi) -> List.length (Shared_store.krange store ~lo ~hi)
+  | Q3 (xl, xr, yb) -> List.length (Shared_store.query3 store ~xl ~xr ~yb)
+
+let oracle_answer pts = function
+  | Qk (lo, hi) ->
+      List.fold_left
+        (fun a (p : Point.t) -> if lo <= p.x && p.x <= hi then a + 1 else a)
+        0 pts
+  | Q3 (xl, xr, yb) ->
+      List.fold_left
+        (fun a (p : Point.t) ->
+          if xl <= p.x && p.x <= xr && p.y >= yb then a + 1 else a)
+        0 pts
+
+(* ------------------------------------------------------------------ *)
+(* Timed cells                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Each reader runs until [deadline], checking every [check_every]-th
+   answer against the oracle; returns (queries, violations, checked). *)
+let reader store pts ~seed ~deadline ~check_every =
+  let rng = Rng.create seed in
+  let ops = ref 0 and violations = ref 0 and checked = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    for _ = 1 to 32 do
+      let q = gen_query rng in
+      let got = run_query store q in
+      incr ops;
+      if !ops mod check_every = 0 then begin
+        incr checked;
+        if got <> oracle_answer pts q then incr violations
+      end
+    done
+  done;
+  (!ops, !violations, !checked)
+
+let read_cell store pts ~domains ~seconds ~check_every =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let spawned =
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () ->
+            reader store pts ~seed:(100 + i) ~deadline ~check_every))
+  in
+  let own = reader store pts ~seed:99 ~deadline ~check_every in
+  let all = own :: Array.to_list (Array.map Domain.join spawned) in
+  let ops = List.fold_left (fun a (o, _, _) -> a + o) 0 all in
+  let violations = List.fold_left (fun a (_, v, _) -> a + v) 0 all in
+  let checked = List.fold_left (fun a (_, _, c) -> a + c) 0 all in
+  (ops, violations, checked)
+
+(* The mixed cell: readers keep querying while one writer inserts and
+   deletes a disjoint id range; throughput-only (answers move). *)
+let mixed_cell store ~domains ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let writer () =
+    let rng = Rng.create 4242 in
+    let wrote = ref 0 in
+    let next = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      for _ = 1 to 16 do
+        let id = 50_000_000 + (!next mod 4096) in
+        incr next;
+        if Rng.int rng 3 = 0 then ignore (Shared_store.delete store id)
+        else
+          Shared_store.insert store
+            (Point.make ~x:(Rng.int rng universe) ~y:(Rng.int rng universe)
+               ~id);
+        incr wrote
+      done
+    done;
+    !wrote
+  in
+  let read_one seed =
+    let rng = Rng.create seed in
+    let ops = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      for _ = 1 to 32 do
+        ignore (run_query store (gen_query rng));
+        incr ops
+      done
+    done;
+    !ops
+  in
+  let wd = Domain.spawn writer in
+  let readers =
+    Array.init domains (fun i -> Domain.spawn (fun () -> read_one (200 + i)))
+  in
+  let writes = Domain.join wd in
+  let reads = Array.fold_left (fun a d -> a + Domain.join d) 0 readers in
+  (reads, writes)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let n = if fast then 20_000 else 80_000 in
+  let seconds = if fast then 0.5 else 2.0 in
+  let check_every = 16 in
+  let rng = Rng.create 1 in
+  let pts =
+    List.init n (fun id ->
+        Point.make ~x:(Rng.int rng universe) ~y:(Rng.int rng universe) ~id)
+  in
+  let store = Shared_store.create ~b:16 ~checkpoint_every:1024 pts in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "E18 concurrent query throughput: n=%d, %.1fs per cell, every %dth \
+     answer oracle-checked, %d core(s) available\n\n"
+    n seconds check_every cores;
+  Printf.printf "%8s %12s %12s %9s %9s %11s\n" "domains" "queries" "qps"
+    "speedup" "checked" "violations";
+  let sweep = [ 1; 2; 4 ] in
+  let base_qps = ref 0. in
+  let total_violations = ref 0 in
+  let cells =
+    List.map
+      (fun domains ->
+        let ops, violations, checked =
+          read_cell store pts ~domains ~seconds ~check_every
+        in
+        let qps = float_of_int ops /. seconds in
+        if domains = 1 then base_qps := qps;
+        total_violations := !total_violations + violations;
+        let speedup = qps /. !base_qps in
+        Printf.printf "%8d %12d %12.0f %8.2fx %9d %11d\n" domains ops qps
+          speedup checked violations;
+        (domains, ops, qps, speedup, checked, violations))
+      sweep
+  in
+  let mixed_readers = 4 in
+  let reads, writes = mixed_cell store ~domains:mixed_readers ~seconds in
+  Printf.printf
+    "\nmixed: %d readers + 1 writer for %.1fs -> %.0f reads/s alongside %.0f \
+     writes/s (store v%d, %d checkpoint(s))\n"
+    mixed_readers seconds
+    (float_of_int reads /. seconds)
+    (float_of_int writes /. seconds)
+    (Shared_store.version store)
+    (Shared_store.checkpoints store);
+  Shared_store.check_invariants store;
+  (* persist the cells *)
+  let oc = open_out out_file in
+  Printf.fprintf oc "{\n  \"experiment\": \"E18\",\n  \"n\": %d,\n" n;
+  Printf.fprintf oc "  \"seconds_per_cell\": %g,\n  \"cores\": %d,\n" seconds
+    cores;
+  Printf.fprintf oc "  \"cells\": [\n";
+  List.iteri
+    (fun i (domains, ops, qps, speedup, checked, violations) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"queries\": %d, \"qps\": %.0f, \"speedup\": \
+         %.3f, \"checked\": %d, \"violations\": %d}%s\n"
+        domains ops qps speedup checked violations
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"mixed\": {\"readers\": %d, \"reads_per_s\": %.0f, \"writes_per_s\": \
+     %.0f}\n}\n"
+    mixed_readers
+    (float_of_int reads /. seconds)
+    (float_of_int writes /. seconds);
+  close_out oc;
+  Printf.printf "wrote %s\n" out_file;
+  (* gates: conformance always; speedup only where speedup is possible *)
+  if !total_violations > 0 then begin
+    Printf.printf "E18 FAILED: %d conformance violation(s)\n"
+      !total_violations;
+    exit 1
+  end;
+  match List.find_opt (fun (d, _, _, _, _, _) -> d = 4) cells with
+  | Some (_, _, _, speedup, _, _) when cores >= 4 ->
+      if speedup >= 2.0 then
+        Printf.printf "gate: 4-domain speedup %.2fx >= 2x — pass\n" speedup
+      else begin
+        Printf.printf
+          "E18 FAILED: 4-domain speedup %.2fx < 2x on %d cores\n" speedup
+          cores;
+        exit 1
+      end
+  | _ ->
+      Printf.printf
+        "gate: skipped — %d core(s) available, parallel speedup needs >= 4 \
+         (throughput reported above)\n"
+        cores

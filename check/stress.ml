@@ -26,6 +26,7 @@ let () =
   let b = ref 8 in
   let out = ref "_repros" in
   let crash = ref false in
+  let domains = ref 0 in
   let spec =
     [
       ( "--budget",
@@ -40,12 +41,16 @@ let () =
         "  crash-point sweep only: power-fail at every I/O (sim backend) \
          and at every journal frame boundary (file backend) and verify \
          recovery" );
+      ( "--domains",
+        Arg.Set_int domains,
+        "N  concurrent sweep only: N domains of generated workloads \
+         against one shared store, histories checked for linearizability" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "stress [--budget 30s] [--seeds 32] [--ops 400] [--b 8] [--out DIR] \
-     [--crash]";
+     [--crash] [--domains N]";
   let deadline = Unix.gettimeofday () +. !budget in
   let failures = ref 0 in
   let runs = ref 0 in
@@ -53,6 +58,53 @@ let () =
     try Unix.mkdir !out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   in
   let out_of_time () = Unix.gettimeofday () > deadline in
+  if !domains > 0 then begin
+    (* Concurrent sweep: each seed runs N domains of generated
+       operations against one shared store, then the recorded
+       invocation/response history must be linearizable against the
+       in-memory oracle. Violations are shrunk to a minimal
+       sub-history and written as .repro files for [pathcache_cli
+       check]; inconclusive searches are reported but do not fail the
+       sweep (they are budget exhaustion, not evidence). *)
+    let per_domain = max 1 (!ops / !domains) in
+    let inconclusive = ref 0 in
+    (try
+       for seed = 0 to !seeds - 1 do
+         if out_of_time () then raise Exit;
+         incr runs;
+         let store, history =
+           Lin.run ~b:!b ~domains:!domains ~per_domain ~seed ()
+         in
+         Pc_conc.Shared_store.check_invariants store;
+         match Lin.check history with
+         | Lin.Linearizable -> ()
+         | Lin.Inconclusive msg ->
+             incr inconclusive;
+             Format.printf "INCONCLUSIVE seed=%d: %s@." seed msg
+         | Lin.Violation small ->
+             incr failures;
+             ensure_out ();
+             let path =
+               Filename.concat !out
+                 (Printf.sprintf "lin-d%d-seed%d.repro" !domains seed)
+             in
+             Lin.save small path;
+             Format.printf
+               "FAIL seed=%d: non-linearizable history, shrunk %d -> %d \
+                calls, wrote %s@.%a"
+               seed
+               (Array.length history.Lin.calls)
+               (Array.length small.Lin.calls)
+               path Lin.pp_history small
+       done
+     with Exit -> ());
+    Format.printf
+      "stress --domains %d: %d runs x %d ops/domain, %d failure(s), %d \
+       inconclusive%s@."
+      !domains !runs per_domain !failures !inconclusive
+      (if out_of_time () then " (budget exhausted)" else "");
+    exit (min 1 !failures)
+  end;
   if !crash then begin
     (* Crash-point sweep: power-fail at every recorded I/O of each
        workload, recover from the disk image alone, verify against the

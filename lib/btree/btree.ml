@@ -693,6 +693,7 @@ let bulk_load_in ?cache_capacity ?pool ?obs ?durability ~b entries =
 (* ------------------------------------------------------------------ *)
 
 let wal t = Pager.wal t.pager
+let snapshot_readable t = Pager.snapshot_readable t.pager
 let rebind t pager = { t with pager }
 
 let of_snapshot r ~idx ~snapshot =

@@ -70,6 +70,11 @@ val bulk_load_in :
 (** [wal t] is the journal of the backing pager, if durable. *)
 val wal : t -> Pc_pagestore.Wal.t option
 
+(** Whether the backing pager's read path is mutation-free, i.e. the
+    tree may be queried from many domains at once with no lock (see
+    {!Pc_pagestore.Pager.snapshot_readable}). *)
+val snapshot_readable : t -> bool
+
 (** [recover ~b r] rebuilds the tree from a {!Pc_pagestore.Wal.recover}
     result: pages re-attach at enrollment index 0 and the scalar state
     comes from the last commit record. If nothing was ever committed the

@@ -6,10 +6,14 @@ type stats = {
   mutable overcommits : int;
 }
 
+(* [pinned] is the frame's latch: a non-zero pin count keeps the frame
+   resident, and the replacement policy consults it with one atomic load.
+   Atomic so that pins taken under the pool lock are visible tear-free to
+   monitoring reads that do not hold it. *)
 type frame = {
   f_owner : int;
   f_page : int;
-  mutable pinned : int;
+  pinned : int Atomic.t;
   mutable dirty : bool;
 }
 
@@ -27,11 +31,13 @@ type pending = {
          when the evictor is another client sharing the pool *)
   p_name : string;
   (* monotonic per-client counters (never reset by drain) — the cache
-     health serve-metrics exports per structure *)
-  mutable c_hits : int;
-  mutable c_misses : int;
-  mutable c_evictions : int;
-  mutable c_write_backs : int;
+     health serve-metrics exports per structure. Atomic: they are read by
+     exporters and stress assertions without the pool lock and must never
+     tear or decrease. *)
+  c_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_evictions : int Atomic.t;
+  c_write_backs : int Atomic.t;
 }
 
 type t = {
@@ -43,6 +49,13 @@ type t = {
   owners : (int, pending) Hashtbl.t;
   mutable next_owner : int;
   st : stats;
+  lock : Mutex.t option;
+      (* [Some _] = domain-safe mode: every operation that reads or
+         mutates the frame table, the replacement policy, the owners
+         table or the aggregate stats runs under this mutex. [None] —
+         the default — is the single-domain fast path: no lock is ever
+         taken and behavior (and therefore every deterministic I/O
+         count) is byte-identical to the pre-concurrency pool. *)
 }
 
 type client = { pool : t; owner : int; mutable seq : bool }
@@ -66,7 +79,14 @@ let pack ~owner ~page =
 let mk_stats () =
   { hits = 0; misses = 0; evictions = 0; write_backs = 0; overcommits = 0 }
 
-let make ?(validate = false) ?(write_back = false) policy_state ~capacity =
+(* The single-domain fast path is [lock = None]: one match, no mutex.
+   [Mutex.protect] releases on exceptions, so a raising policy callback
+   cannot wedge the pool. *)
+let[@inline] locked t f =
+  match t.lock with None -> f () | Some m -> Mutex.protect m f
+
+let make ?(validate = false) ?(write_back = false) ?(threadsafe = false)
+    policy_state ~capacity =
   if capacity < 0 then invalid_arg "Buffer_pool.create: negative capacity";
   {
     pool_capacity = capacity;
@@ -77,21 +97,29 @@ let make ?(validate = false) ?(write_back = false) policy_state ~capacity =
     owners = Hashtbl.create 8;
     next_owner = 0;
     st = mk_stats ();
+    lock = (if threadsafe then Some (Mutex.create ()) else None);
   }
 
-let create ?(policy = Replacement.Lru) ?validate ?write_back ~capacity () =
-  make ?validate ?write_back (Replacement.make policy ~capacity) ~capacity
+let create ?(policy = Replacement.Lru) ?validate ?write_back ?threadsafe
+    ~capacity () =
+  make ?validate ?write_back ?threadsafe
+    (Replacement.make policy ~capacity)
+    ~capacity
 
-let create_custom ?validate ?write_back policy_mod ~capacity () =
-  make ?validate ?write_back
+let create_custom ?validate ?write_back ?threadsafe policy_mod ~capacity () =
+  make ?validate ?write_back ?threadsafe
     (Replacement.make_custom policy_mod ~capacity)
     ~capacity
 
 let capacity t = t.pool_capacity
-let occupancy t = Hashtbl.length t.frames
+let threadsafe t = t.lock <> None
+let occupancy t = locked t (fun () -> Hashtbl.length t.frames)
 
 let pinned_frames t =
-  Hashtbl.fold (fun _ f acc -> if f.pinned > 0 then acc + 1 else acc) t.frames 0
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ f acc -> if Atomic.get f.pinned > 0 then acc + 1 else acc)
+        t.frames 0)
 
 let policy_name t = Replacement.s_name t.policy_state
 let write_back_mode t = t.write_back
@@ -99,31 +127,33 @@ let validate_mode t = t.validate
 let stats t = t.st
 
 let reset_stats t =
-  t.st.hits <- 0;
-  t.st.misses <- 0;
-  t.st.evictions <- 0;
-  t.st.write_backs <- 0;
-  t.st.overcommits <- 0
+  locked t (fun () ->
+      t.st.hits <- 0;
+      t.st.misses <- 0;
+      t.st.evictions <- 0;
+      t.st.write_backs <- 0;
+      t.st.overcommits <- 0)
 
 let register ?obs ?name t =
-  let owner = t.next_owner in
-  t.next_owner <- owner + 1;
-  let p_name =
-    match name with Some n -> n | None -> Printf.sprintf "client%d" owner
-  in
-  Hashtbl.replace t.owners owner
-    {
-      p_evictions = 0;
-      p_write_backs = 0;
-      p_drops = [];
-      p_obs = obs;
-      p_name;
-      c_hits = 0;
-      c_misses = 0;
-      c_evictions = 0;
-      c_write_backs = 0;
-    };
-  { pool = t; owner; seq = false }
+  locked t (fun () ->
+      let owner = t.next_owner in
+      t.next_owner <- owner + 1;
+      let p_name =
+        match name with Some n -> n | None -> Printf.sprintf "client%d" owner
+      in
+      Hashtbl.replace t.owners owner
+        {
+          p_evictions = 0;
+          p_write_backs = 0;
+          p_drops = [];
+          p_obs = obs;
+          p_name;
+          c_hits = Atomic.make 0;
+          c_misses = Atomic.make 0;
+          c_evictions = Atomic.make 0;
+          c_write_backs = Atomic.make 0;
+        };
+      { pool = t; owner; seq = false })
 
 let obs_emit p kind ~page =
   match p.p_obs with
@@ -131,32 +161,36 @@ let obs_emit p kind ~page =
   | Some src -> Pc_obs.Obs.emit src kind ~page
 
 let pool_of c = c.pool
+
+(* Unlocked: callers hold the pool lock (or run on the fast path). *)
 let pending_of c = Hashtbl.find c.pool.owners c.owner
 
 let drain c =
-  let p = pending_of c in
-  if p.p_evictions = 0 && p.p_write_backs = 0 && p.p_drops = [] then None
-  else begin
-    let d =
-      {
-        d_evictions = p.p_evictions;
-        d_write_backs = p.p_write_backs;
-        d_drops = List.rev p.p_drops;
-      }
-    in
-    p.p_evictions <- 0;
-    p.p_write_backs <- 0;
-    p.p_drops <- [];
-    Some d
-  end
+  locked c.pool (fun () ->
+      let p = pending_of c in
+      if p.p_evictions = 0 && p.p_write_backs = 0 && p.p_drops = [] then None
+      else begin
+        let d =
+          {
+            d_evictions = p.p_evictions;
+            d_write_backs = p.p_write_backs;
+            d_drops = List.rev p.p_drops;
+          }
+        in
+        p.p_evictions <- 0;
+        p.p_write_backs <- 0;
+        p.p_drops <- [];
+        Some d
+      end)
 
 let evictable t k =
   match Hashtbl.find_opt t.frames k with
-  | Some f -> f.pinned = 0
+  | Some f -> Atomic.get f.pinned = 0
   | None -> true
 
 (* Evict one frame chosen by the policy; false when every frame is
-   pinned. The owner learns about it at its next drain. *)
+   pinned. The owner learns about it at its next drain. Runs under the
+   pool lock in domain-safe mode (only [admit] calls it). *)
 let evict_one t =
   match Replacement.s_victim t.policy_state ~evictable:(evictable t) with
   | None -> false
@@ -170,8 +204,8 @@ let evict_one t =
             if f.dirty then t.st.write_backs <- t.st.write_backs + 1;
             p.p_evictions <- p.p_evictions + 1;
             if f.dirty then p.p_write_backs <- p.p_write_backs + 1;
-            p.c_evictions <- p.c_evictions + 1;
-            if f.dirty then p.c_write_backs <- p.c_write_backs + 1;
+            Atomic.incr p.c_evictions;
+            if f.dirty then Atomic.incr p.c_write_backs;
             p.p_drops <- f.f_page :: p.p_drops;
             obs_emit p Pc_obs.Obs.Evict ~page:f.f_page;
             if f.dirty then obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page
@@ -187,77 +221,95 @@ let evict_one t =
 
 let admit ?hint c page =
   let t = c.pool in
-  if t.pool_capacity > 0 then begin
-    let k = pack ~owner:c.owner ~page in
-    if not (Hashtbl.mem t.frames k) then begin
-      let blocked = ref false in
-      while (not !blocked) && Hashtbl.length t.frames >= t.pool_capacity do
-        if not (evict_one t) then begin
-          blocked := true;
-          t.st.overcommits <- t.st.overcommits + 1
-        end
-      done;
-      Hashtbl.replace t.frames k
-        { f_owner = c.owner; f_page = page; pinned = 0; dirty = false };
-      let hint =
-        match hint with Some h -> h | None -> if c.seq then `Cold else `Hot
-      in
-      Replacement.s_insert t.policy_state ~hint k;
-      t.st.misses <- t.st.misses + 1;
-      let p = Hashtbl.find t.owners c.owner in
-      p.c_misses <- p.c_misses + 1
-    end
-  end
+  if t.pool_capacity > 0 then
+    locked t (fun () ->
+        let k = pack ~owner:c.owner ~page in
+        if not (Hashtbl.mem t.frames k) then begin
+          let blocked = ref false in
+          while (not !blocked) && Hashtbl.length t.frames >= t.pool_capacity do
+            if not (evict_one t) then begin
+              blocked := true;
+              t.st.overcommits <- t.st.overcommits + 1
+            end
+          done;
+          Hashtbl.replace t.frames k
+            {
+              f_owner = c.owner;
+              f_page = page;
+              pinned = Atomic.make 0;
+              dirty = false;
+            };
+          let hint =
+            match hint with Some h -> h | None -> if c.seq then `Cold else `Hot
+          in
+          Replacement.s_insert t.policy_state ~hint k;
+          t.st.misses <- t.st.misses + 1;
+          let p = Hashtbl.find t.owners c.owner in
+          Atomic.incr p.c_misses
+        end)
 
 let touch c page =
   let t = c.pool in
-  if t.pool_capacity > 0 then begin
-    let k = pack ~owner:c.owner ~page in
-    if Hashtbl.mem t.frames k then begin
-      t.st.hits <- t.st.hits + 1;
-      let p = Hashtbl.find t.owners c.owner in
-      p.c_hits <- p.c_hits + 1;
-      Replacement.s_touch t.policy_state k
-    end
-  end
+  if t.pool_capacity > 0 then
+    locked t (fun () ->
+        let k = pack ~owner:c.owner ~page in
+        if Hashtbl.mem t.frames k then begin
+          t.st.hits <- t.st.hits + 1;
+          let p = Hashtbl.find t.owners c.owner in
+          Atomic.incr p.c_hits;
+          Replacement.s_touch t.policy_state k
+        end)
 
-let resident c page = Hashtbl.mem c.pool.frames (pack ~owner:c.owner ~page)
+let resident c page =
+  locked c.pool (fun () ->
+      Hashtbl.mem c.pool.frames (pack ~owner:c.owner ~page))
 
 let forget c page =
   let t = c.pool in
-  let k = pack ~owner:c.owner ~page in
-  if Hashtbl.mem t.frames k then begin
-    Hashtbl.remove t.frames k;
-    Replacement.s_remove t.policy_state k
-  end
+  locked t (fun () ->
+      let k = pack ~owner:c.owner ~page in
+      if Hashtbl.mem t.frames k then begin
+        Hashtbl.remove t.frames k;
+        Replacement.s_remove t.policy_state k
+      end)
 
 let with_frame c page f =
-  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
-  | Some fr -> f fr
-  | None -> ()
+  locked c.pool (fun () ->
+      match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+      | Some fr -> f fr
+      | None -> ())
 
 let mark_dirty c page = with_frame c page (fun fr -> fr.dirty <- true)
 
 let is_dirty c page =
-  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
-  | Some fr -> fr.dirty
-  | None -> false
+  locked c.pool (fun () ->
+      match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+      | Some fr -> fr.dirty
+      | None -> false)
 
-let pin c page = with_frame c page (fun fr -> fr.pinned <- fr.pinned + 1)
+let pin c page = with_frame c page (fun fr -> Atomic.incr fr.pinned)
 
 let unpin c page =
-  with_frame c page (fun fr -> fr.pinned <- max 0 (fr.pinned - 1))
+  with_frame c page (fun fr ->
+      (* clamp at zero like the historical pool: an unpaired unpin is a
+         no-op, never a negative latch *)
+      let rec go () =
+        let v = Atomic.get fr.pinned in
+        if v > 0 && not (Atomic.compare_and_set fr.pinned v (v - 1)) then go ()
+      in
+      go ())
 
 let pinned c page =
-  match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
-  | Some fr -> fr.pinned > 0
-  | None -> false
+  locked c.pool (fun () ->
+      match Hashtbl.find_opt c.pool.frames (pack ~owner:c.owner ~page) with
+      | Some fr -> Atomic.get fr.pinned > 0
+      | None -> false)
 
 let advise_sequential c flag = c.seq <- flag
 let sequential c = c.seq
 
 (* Flush in (owner, page) order so write-back accounting is deterministic
-   regardless of hashtable iteration order. *)
+   regardless of hashtable iteration order. Unlocked helper. *)
 let dirty_frames t ~owner =
   Hashtbl.fold
     (fun _ f acc ->
@@ -268,44 +320,48 @@ let dirty_frames t ~owner =
   |> List.sort (fun a b -> compare (a.f_owner, a.f_page) (b.f_owner, b.f_page))
 
 let dirty_pages c =
-  List.map (fun f -> f.f_page) (dirty_frames c.pool ~owner:(Some c.owner))
+  locked c.pool (fun () ->
+      List.map (fun f -> f.f_page) (dirty_frames c.pool ~owner:(Some c.owner)))
 
 let flush_client c =
   let t = c.pool in
-  let p = pending_of c in
-  let mine = dirty_frames t ~owner:(Some c.owner) in
-  List.iter
-    (fun f ->
-      f.dirty <- false;
-      t.st.write_backs <- t.st.write_backs + 1;
-      p.c_write_backs <- p.c_write_backs + 1;
-      obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
-    mine;
-  List.length mine
+  locked t (fun () ->
+      let p = pending_of c in
+      let mine = dirty_frames t ~owner:(Some c.owner) in
+      List.iter
+        (fun f ->
+          f.dirty <- false;
+          t.st.write_backs <- t.st.write_backs + 1;
+          Atomic.incr p.c_write_backs;
+          obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
+        mine;
+      List.length mine)
 
 let flush t =
-  List.iter
-    (fun f ->
-      f.dirty <- false;
-      t.st.write_backs <- t.st.write_backs + 1;
-      let p = Hashtbl.find t.owners f.f_owner in
-      p.p_write_backs <- p.p_write_backs + 1;
-      p.c_write_backs <- p.c_write_backs + 1;
-      obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
-    (dirty_frames t ~owner:None)
+  locked t (fun () ->
+      List.iter
+        (fun f ->
+          f.dirty <- false;
+          t.st.write_backs <- t.st.write_backs + 1;
+          let p = Hashtbl.find t.owners f.f_owner in
+          p.p_write_backs <- p.p_write_backs + 1;
+          Atomic.incr p.c_write_backs;
+          obs_emit p Pc_obs.Obs.Write_back ~page:f.f_page)
+        (dirty_frames t ~owner:None))
 
 let drop_client c =
   let t = c.pool in
-  let mine =
-    Hashtbl.fold
-      (fun k f acc -> if f.f_owner = c.owner then k :: acc else acc)
-      t.frames []
-  in
-  List.iter
-    (fun k ->
-      Hashtbl.remove t.frames k;
-      Replacement.s_remove t.policy_state k)
-    mine
+  locked t (fun () ->
+      let mine =
+        Hashtbl.fold
+          (fun k f acc -> if f.f_owner = c.owner then k :: acc else acc)
+          t.frames []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.frames k;
+          Replacement.s_remove t.policy_state k)
+        mine)
 
 let pp_stats ppf s =
   Format.fprintf ppf
@@ -321,18 +377,19 @@ type client_stats = {
 }
 
 let client_stats t =
-  Hashtbl.fold (fun owner p acc -> (owner, p) :: acc) t.owners []
-  |> List.sort compare
-  |> List.map (fun (_, p) ->
-         {
-           cs_name = p.p_name;
-           cs_hits = p.c_hits;
-           cs_misses = p.c_misses;
-           cs_evictions = p.c_evictions;
-           cs_write_backs = p.c_write_backs;
-         })
+  locked t (fun () ->
+      Hashtbl.fold (fun owner p acc -> (owner, p) :: acc) t.owners []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      |> List.map (fun (_, p) ->
+             {
+               cs_name = p.p_name;
+               cs_hits = Atomic.get p.c_hits;
+               cs_misses = Atomic.get p.c_misses;
+               cs_evictions = Atomic.get p.c_evictions;
+               cs_write_backs = Atomic.get p.c_write_backs;
+             }))
 
-let client_name c = (pending_of c).p_name
+let client_name c = locked c.pool (fun () -> (pending_of c).p_name)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics export                                                     *)

@@ -29,7 +29,25 @@
       {!Pc_pagestore.Pager.Frame_mutated}).
 
     A pool of capacity 0 caches nothing: every access costs exactly one
-    I/O, the configuration used when experiments need exact counts. *)
+    I/O, the configuration used when experiments need exact counts.
+
+    {b Domain safety.} By default a pool is single-domain: no lock is
+    ever taken, and behavior — including every deterministic I/O count —
+    is byte-identical to the historical pool. Passing [~threadsafe:true]
+    to {!create}/{!create_custom} arms a pool-wide mutex: every
+    operation that reads or mutates the frame table, the replacement
+    policy, the owners table or the aggregate {!stats} runs under it.
+    Pin counts are per-frame atomic latches ({!pin} latches a frame
+    against eviction; the replacement policy honors it with one atomic
+    load), and the monotonic per-client counters behind {!client_stats}
+    are atomics, so metrics exporters and stress assertions reading them
+    without the pool lock never observe torn or decreasing values. The
+    latching order is strictly [pool lock -> frame latch]; no operation
+    acquires the pool lock while holding a latch, so the pool cannot
+    deadlock against itself. Caveat: eviction trace events fire on the
+    {e evicting} domain, so clients of a shared thread-safe pool should
+    register without [?obs] (or tolerate cross-domain emission —
+    {!Pc_obs.Obs} asserts single-writer when its sink is enabled). *)
 
 type t
 type client
@@ -46,11 +64,15 @@ type stats = {
 }
 
 (** [create ~capacity ()] makes a pool with a budget of [capacity] frames
-    shared across all registered clients. Default policy is {!Replacement.Lru}. *)
+    shared across all registered clients. Default policy is
+    {!Replacement.Lru}. [threadsafe] (default [false]) arms the pool
+    mutex so the pool may be shared across domains; see the module
+    preamble. *)
 val create :
   ?policy:Replacement.policy ->
   ?validate:bool ->
   ?write_back:bool ->
+  ?threadsafe:bool ->
   capacity:int ->
   unit ->
   t
@@ -60,12 +82,16 @@ val create :
 val create_custom :
   ?validate:bool ->
   ?write_back:bool ->
+  ?threadsafe:bool ->
   (module Replacement.S) ->
   capacity:int ->
   unit ->
   t
 
 val capacity : t -> int
+
+(** Whether the pool was created with [~threadsafe:true]. *)
+val threadsafe : t -> bool
 val occupancy : t -> int
 
 (** Number of resident frames currently pinned. *)

@@ -1,0 +1,84 @@
+(** A concurrently-servable point store: lock-free snapshot readers,
+    one serialized writer — the readers-writer protocol behind the
+    session server and the concurrent differential harness.
+
+    The store keeps the current state as an immutable {e snapshot}
+    published through one [Atomic.t]: a B-tree (key ranges) and a
+    3-sided PST built at the last {e checkpoint}, plus a persistent-map
+    overlay of inserts and deletes since. N reader domains each perform
+    one [Atomic.get] and then query the snapshot with no further
+    synchronization — the base structures sit on capacity-0 pagers
+    whose read path performs no structural mutation, and the overlay is
+    immutable. Writers serialize on a mutex, derive the next snapshot,
+    and publish it with one [Atomic.set]; that store is the operation's
+    linearization point. When the overlay outgrows [checkpoint_every],
+    the writer rebuilds fresh base structures from the visible point
+    set (bulk load) and publishes an empty overlay.
+
+    {b Reclamation} is snapshot-on-checkpoint over the GC: a superseded
+    snapshot stays alive exactly as long as some reader still holds it,
+    and is collected afterwards — there are no epochs to advance and no
+    quiescence to wait for. With [?wal], every mutation and checkpoint
+    appends a committed journal transaction {e before} its snapshot is
+    published, so any state a reader can observe lies at or before the
+    WAL commit point.
+
+    Query semantics match the differential oracle: points are upserted
+    by [id]; [krange] returns sorted [(key, value)] pairs (duplicates
+    preserved), [query3] returns each matching point once. *)
+
+type t
+
+(** Writer-side/observability counters, read from the current snapshot. *)
+type stats = {
+  st_version : int;  (** publishes so far *)
+  st_checkpoint : int;  (** rebuilds so far *)
+  st_base : int;  (** points in the built structures *)
+  st_adds : int;  (** overlay inserts *)
+  st_dels : int;  (** overlay deletes (and shadowed re-inserts) *)
+  st_size : int;  (** visible points *)
+}
+
+(** [create pts] bulk-loads the initial snapshot. [b] is the page
+    capacity of the underlying structures (default 8, min 4);
+    [checkpoint_every] (default 512) bounds the overlay size before a
+    rebuild; [wal] journals mutations and checkpoints. *)
+val create :
+  ?b:int -> ?checkpoint_every:int -> ?wal:Pc_pagestore.Wal.t ->
+  Pc_util.Point.t list -> t
+
+(** {1 Readers — safe from any domain, lock-free} *)
+
+(** [mem t id] / [find t id]: point lookup by id. *)
+val mem : t -> int -> bool
+
+val find : t -> int -> Pc_util.Point.t option
+
+(** [krange t ~lo ~hi] is all visible [(key, value)] pairs with
+    [lo <= key <= hi], sorted (B-tree order, duplicates preserved). *)
+val krange : t -> lo:int -> hi:int -> (int * int) list
+
+(** [query3 t ~xl ~xr ~yb] is the 3-sided query
+    [xl <= x <= xr, y >= yb]; each visible point appears once, in no
+    particular order. *)
+val query3 : t -> xl:int -> xr:int -> yb:int -> Pc_util.Point.t list
+
+val size : t -> int
+val version : t -> int
+val checkpoints : t -> int
+val stats : t -> stats
+
+(** {1 The writer — callers may race; operations serialize internally} *)
+
+(** [insert t p] upserts [p] by id. *)
+val insert : t -> Pc_util.Point.t -> unit
+
+(** [delete t id] removes the point with [id]; [false] if absent. *)
+val delete : t -> int -> bool
+
+(** [checkpoint_now t] forces a rebuild if the overlay is non-empty. *)
+val checkpoint_now : t -> unit
+
+(** Structural invariants of the current snapshot (base structures and
+    overlay disjointness). Raises [Failure] on violation. *)
+val check_invariants : t -> unit

@@ -310,9 +310,29 @@ type t = {
   mutable next_span : int;
   mutable depth : int;
   mutable on_close : unit -> unit;
+  owner_domain : int;
+      (* The handle is single-writer: ring/JSONL/Chrome sinks append to
+         unsynchronized buffers and channels, and [tick] itself is a
+         mutable sequence. Rather than pay for a lock on every traced
+         event, the handle records its creating domain and emission
+         asserts it when the sink is enabled. Null-sink handles are
+         freely shareable (every emit is a no-op). *)
 }
 
 type source = { o : t; sid : int }
+
+exception Cross_domain_emit of { owner : int; caller : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cross_domain_emit { owner; caller } ->
+        Some
+          (Printf.sprintf
+             "Pc_obs.Obs.Cross_domain_emit: trace handle owned by domain %d \
+              used from domain %d (Obs handles are single-writer; give each \
+              domain its own handle or keep the sink null)"
+             owner caller)
+    | _ -> None)
 
 let create ?(sink = Null) ?(clock = Clock.Off) () =
   {
@@ -324,7 +344,18 @@ let create ?(sink = Null) ?(clock = Clock.Off) () =
     next_span = 0;
     depth = 0;
     on_close = ignore;
+    owner_domain = (Domain.self () :> int);
   }
+
+let owner_domain t = t.owner_domain
+
+(* Only emissions that would actually mutate the sink are checked, so
+   null-sink handles stay shareable and the default traced-off path is
+   untouched. *)
+let[@inline] check_owner t =
+  let caller = (Domain.self () :> int) in
+  if caller <> t.owner_domain then
+    raise (Cross_domain_emit { owner = t.owner_domain; caller })
 
 let set_sink t sink = t.sink <- sink
 let current_sink t = t.sink
@@ -360,6 +391,7 @@ let emit s kind ~page =
   match t.sink with
   | Null -> ()
   | Active ops ->
+      check_owner t;
       let tick = t.tick in
       t.tick <- tick + 1;
       ops.s_emit
@@ -375,6 +407,7 @@ let emit_phase s ~phase ~page ~ns =
   match t.sink with
   | Null -> ()
   | Active ops ->
+      check_owner t;
       let tick = t.tick in
       t.tick <- tick + 1;
       ops.s_emit
@@ -408,6 +441,7 @@ let with_span obs ~kind ?result_args f =
       match t.sink with
       | Null -> f ()
       | Active _ ->
+          check_owner t;
           let id = t.next_span in
           t.next_span <- id + 1;
           let tk = t.tick in

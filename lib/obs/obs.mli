@@ -148,8 +148,26 @@ val tee : sink -> sink -> sink
 type t
 
 (** [create ()] makes a handle, disabled by default ([?sink] = {!null},
-    [?clock] = {!Clock.off}). *)
+    [?clock] = {!Clock.off}).
+
+    {b Domain safety.} A handle is {e single-writer}: its sinks append
+    to unsynchronized buffers/channels and its tick counter is a plain
+    mutable. The handle records the domain that created it; any
+    sink-mutating emission ({!emit}, {!emit_phase}, an enabled
+    {!with_span}) from another domain raises {!Cross_domain_emit}
+    instead of corrupting the trace. Disabled (null-sink) handles are
+    freely shareable across domains — every emit is a no-op and the
+    guard never fires, preserving the byte-identity contract. Parallel
+    tracing therefore means one handle per domain, merged offline. *)
 val create : ?sink:sink -> ?clock:Clock.t -> unit -> t
+
+(** Raised when a handle whose sink is enabled is emitted to from a
+    domain other than the one that created it. *)
+exception Cross_domain_emit of { owner : int; caller : int }
+
+(** The id of the domain that created the handle (the only domain
+    allowed to emit through an enabled sink). *)
+val owner_domain : t -> int
 
 val set_sink : t -> sink -> unit
 

@@ -785,6 +785,20 @@ let create ?cache_capacity ?pool ?obs ?obs_name ?wal ?backend ~page_capacity ()
 let wal t = Option.map (fun d -> d.wal) t.dur
 let wal_index t = Option.map (fun d -> d.widx) t.dur
 
+(* The read path mutates nothing structural exactly when: the pool never
+   caches (capacity 0 makes admit/touch no-ops and [cache_insert] is
+   gated on a positive capacity), tracing and timing are off (no sink
+   appends, no phase-histogram fills), and there is no journal, binary
+   device, or fault hook on the path. What remains are Io_stats int
+   increments — racy-benign word stores under the OCaml 5 model. *)
+let snapshot_readable t =
+  Buffer_pool.capacity t.pool = 0
+  && (match t.obs with
+     | None -> true
+     | Some o -> not (Pc_obs.Obs.enabled o) && not (Pc_obs.Obs.wall_enabled o))
+  && Option.is_none t.dur && Option.is_none t.bin
+  && Option.is_none t.fault && Option.is_none t.plan
+
 let attach_recovered (r : Wal.recovered) ~idx ?cache_capacity ?pool ?obs
     ?obs_name ?fixup ?backend ~page_capacity () =
   let t =

@@ -173,6 +173,19 @@ val pages_in_use : 'a t -> int
 val stats : 'a t -> Io_stats.t
 val reset_stats : 'a t -> unit
 
+(** [snapshot_readable t] is [true] when the pager's {e read} path
+    performs no structural mutation, making [t] safe to read from many
+    domains at once with no lock: a capacity-0 cache (so {!read} never
+    admits, touches or evicts a frame), no enabled trace sink or clock
+    (no sink appends, no phase histograms), no journal, no block-device
+    backend, and no fault instrumentation. The only writes left on the
+    read path are the {!Io_stats} counter increments — racy-benign
+    word-sized stores under the OCaml 5 memory model (counts may
+    under-report under contention; values never tear). This is the
+    contract the concurrent snapshot store ({!Pc_conc.Shared_store})
+    asserts over the structures it publishes to reader domains. *)
+val snapshot_readable : 'a t -> bool
+
 (** [with_counted t f] runs [f ()] and returns its result together with
     the I/Os it performed on [t], computed as a snapshot difference.
 

@@ -1,0 +1,241 @@
+(* The session server: N worker domains accepting sessions over the
+   length-prefixed wire protocol, all serving shared stores.
+
+   Workers are domains, not systhreads — systhreads in one domain never
+   run in parallel, and parallel query service is the point. All
+   workers poll the same non-blocking listening socket ([select] with a
+   short timeout so the stop flag is honored promptly); whoever's
+   [accept] wins serves that session to completion. Sessions are
+   plain request/reply over {!Wire} frames with a receive timeout, so
+   an idle or half-open client costs one worker at most
+   [idle_timeout] seconds — the serve-metrics lesson.
+
+   Queries run on whichever worker domain holds the session;
+   Shared_store readers are lock-free, so K sessions on K workers
+   query in parallel, while inserts/deletes serialize on each store's
+   single writer. *)
+
+module Point = Pc_util.Point
+module Shared_store = Pc_conc.Shared_store
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop_flag : bool Atomic.t;
+  stores : (string, Shared_store.t) Hashtbl.t;
+  registry : Mutex.t; (* guards [stores] *)
+  mutable workers : unit Domain.t array;
+  sessions : int Atomic.t; (* total sessions served, for smoke tests *)
+  b : int;
+  checkpoint_every : int;
+  idle_timeout : float;
+}
+
+let port t = t.port
+let sessions_served t = Atomic.get t.sessions
+
+let valid_name n =
+  n <> ""
+  && String.length n <= 64
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       n
+
+let store_of t name =
+  Mutex.protect t.registry (fun () ->
+      match Hashtbl.find_opt t.stores name with
+      | Some s -> s
+      | None ->
+          let s =
+            Shared_store.create ~b:t.b ~checkpoint_every:t.checkpoint_every []
+          in
+          Hashtbl.replace t.stores name s;
+          s)
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type session = { mutable current : (string * Shared_store.t) option }
+
+let ints_reply l = String.concat "," (List.map string_of_int l)
+
+let pairs_reply l =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l)
+
+(* [eval] returns the reply payload and whether the session goes on.
+   Every parse failure is an [err ...] reply, never a dropped
+   connection — a malformed request must not kill the session. *)
+let eval t session req =
+  let words =
+    String.split_on_char ' ' (String.trim req)
+    |> List.filter (fun w -> w <> "")
+  in
+  let int_of w = int_of_string_opt w in
+  let with_store k =
+    match session.current with
+    | None -> ("err no store open (send: open NAME)", true)
+    | Some (_, s) -> k s
+  in
+  match words with
+  | [ "ping" ] -> ("ok pong", true)
+  | [ "open"; name ] ->
+      if valid_name name then begin
+        let s = store_of t name in
+        session.current <- Some (name, s);
+        (Printf.sprintf "ok opened %s size=%d" name (Shared_store.size s), true)
+      end
+      else ("err invalid store name", true)
+  | [ "insert"; x; y; id ] -> (
+      match (int_of x, int_of y, int_of id) with
+      | Some x, Some y, Some id ->
+          with_store (fun s ->
+              Shared_store.insert s (Point.make ~x ~y ~id);
+              ("ok", true))
+      | _ -> ("err insert wants: insert X Y ID", true))
+  | [ "delete"; id ] -> (
+      match int_of id with
+      | Some id ->
+          with_store (fun s ->
+              (Printf.sprintf "ok %b" (Shared_store.delete s id), true))
+      | None -> ("err delete wants: delete ID", true))
+  | [ "krange"; lo; hi ] -> (
+      match (int_of lo, int_of hi) with
+      | Some lo, Some hi ->
+          with_store (fun s ->
+              ( "ok pairs " ^ pairs_reply (Shared_store.krange s ~lo ~hi),
+                true ))
+      | _ -> ("err krange wants: krange LO HI", true))
+  | [ "q3"; xl; xr; yb ] -> (
+      match (int_of xl, int_of xr, int_of yb) with
+      | Some xl, Some xr, Some yb ->
+          with_store (fun s ->
+              let ids =
+                Shared_store.query3 s ~xl ~xr ~yb
+                |> List.map Point.id |> List.sort compare
+              in
+              ("ok ids " ^ ints_reply ids, true))
+      | _ -> ("err q3 wants: q3 XL XR YB", true))
+  | [ "stats" ] ->
+      with_store (fun s ->
+          let st = Shared_store.stats s in
+          ( Printf.sprintf "ok version=%d checkpoints=%d size=%d"
+              st.Shared_store.st_version st.Shared_store.st_checkpoint
+              st.Shared_store.st_size,
+            true ))
+  | [ "close" ] -> ("ok bye", false)
+  | [ "shutdown" ] ->
+      (* the serve-metrics /quit precedent: loopback-only service, any
+         client may stop it — what the CI smoke test uses *)
+      Atomic.set t.stop_flag true;
+      ("ok shutting down", false)
+  | [] -> ("err empty request", true)
+  | verb :: _ -> (Printf.sprintf "err unknown verb %S" verb, true)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions and workers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_session t fd =
+  Atomic.incr t.sessions;
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.idle_timeout
+   with Unix.Unix_error _ -> ());
+  let session = { current = None } in
+  let say s = try Wire.write_frame fd s with Unix.Unix_error _ -> () in
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else
+      match Wire.read_frame fd with
+      | Ok req ->
+          let reply, continue = eval t session req in
+          say reply;
+          if continue then loop ()
+      | Error Wire.Closed -> ()
+      | Error Wire.Timeout -> say "err idle timeout, closing"
+      | Error (Wire.Oversized _ as e) ->
+          (* the declared length is a lie or an attack; the stream can
+             no longer be framed, so reply and drop the session *)
+          say ("err " ^ Wire.error_to_string e)
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        (* the listening socket is non-blocking: when several workers
+           wake for one connection, the losers' accept just EAGAINs *)
+        match Unix.accept t.sock with
+        | fd, _ -> serve_session t fd
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(port = 9470) ?(workers = 4) ?(idle_timeout = 5.0) ?(b = 8)
+    ?(checkpoint_every = 512) () =
+  if workers < 1 then invalid_arg "Server.start: workers < 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  Unix.set_nonblock sock;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      sock;
+      port;
+      stop_flag = Atomic.make false;
+      stores = Hashtbl.create 8;
+      registry = Mutex.create ();
+      workers = [||];
+      sessions = Atomic.make 0;
+      b;
+      checkpoint_every;
+      idle_timeout;
+    }
+  in
+  t.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let request_stop t = Atomic.set t.stop_flag true
+
+let wait t =
+  Array.iter Domain.join t.workers;
+  t.workers <- [||];
+  try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t
+
+(* ------------------------------------------------------------------ *)
+(* A minimal blocking client, for tests and the CLI                   *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr }
+
+  let connect ?(host = "127.0.0.1") ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    { fd }
+
+  let request c s = Wire.request c.fd s
+
+  let close c =
+    (match request c "close" with Ok _ | Error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,71 @@
+(** The concurrent session server (DESIGN.md §14).
+
+    [start ()] binds a loopback TCP socket and spawns N worker
+    {e domains}; each accepted connection is a session served to
+    completion by one worker, so K concurrent sessions on K workers run
+    genuinely in parallel. Sessions speak the {!Wire} frame protocol;
+    payloads are one-line text requests:
+
+    {v
+    ping                  -> ok pong
+    open NAME             -> ok opened NAME size=K   (creates on demand)
+    insert X Y ID         -> ok
+    delete ID             -> ok true | ok false
+    krange LO HI          -> ok pairs x1:y1,x2:y2,...
+    q3 XL XR YB           -> ok ids id1,id2,...
+    stats                 -> ok version=V checkpoints=C size=S
+    close                 -> ok bye                  (ends the session)
+    shutdown              -> ok shutting down        (stops the server)
+    anything else         -> err <reason>            (session continues)
+    v}
+
+    Stores are {!Pc_conc.Shared_store}s named by [open]; all sessions
+    that open the same name share one store, with lock-free snapshot
+    reads and a serialized writer. Malformed requests get [err]
+    replies; an unframeable stream (oversized length prefix) or an
+    expired idle timeout gets a final [err] frame and the session is
+    dropped. *)
+
+type t
+
+(** [start ()] binds and serves. [port] 0 picks an ephemeral port (read
+    it back with {!port}); [workers] is the domain count (default 4);
+    [idle_timeout] (default 5s) bounds how long a silent connection
+    holds a worker; [b]/[checkpoint_every] configure created stores. *)
+val start :
+  ?port:int ->
+  ?workers:int ->
+  ?idle_timeout:float ->
+  ?b:int ->
+  ?checkpoint_every:int ->
+  unit ->
+  t
+
+val port : t -> int
+
+(** Sessions accepted since start. *)
+val sessions_served : t -> int
+
+(** [stop t] signals every worker, joins them, and closes the socket.
+    In-flight sessions finish their current request. *)
+val stop : t -> unit
+
+(** [request_stop t] only raises the stop flag — safe from a signal
+    handler; follow with {!wait}. *)
+val request_stop : t -> unit
+
+(** [wait t] joins the workers (returns once the server has stopped —
+    via {!stop}, {!request_stop}, or a client's [shutdown] verb) and
+    closes the socket. *)
+val wait : t -> unit
+
+(** A minimal blocking client for tests and CLI probes. *)
+module Client : sig
+  type conn
+
+  val connect : ?host:string -> port:int -> unit -> conn
+  val request : conn -> string -> (string, Wire.error) result
+
+  (** Sends [close] (best effort) and closes the socket. *)
+  val close : conn -> unit
+end

@@ -1,0 +1,75 @@
+(* The session server's wire format: length-prefixed text frames.
+
+   Every message — request or reply — is one frame: a 4-byte big-endian
+   payload length, then that many bytes of UTF-8 text. Text payloads
+   keep the protocol greppable (`printf '\x00\x00\x00\x04ping' | nc`)
+   while the prefix makes framing unambiguous under pipelining and
+   partial reads. The length is bounded: anything above [max_frame]
+   is a protocol error, not an allocation request — a client cannot
+   make the server allocate 2 GiB by sending 4 bytes. *)
+
+let max_frame = 1 lsl 20 (* 1 MiB of payload is far above any reply *)
+
+type error =
+  | Closed (* orderly EOF before or inside a frame *)
+  | Timeout (* SO_RCVTIMEO expired mid-read (idle or stalled peer) *)
+  | Oversized of int (* declared length above [max_frame] or negative *)
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Timeout -> "receive timeout"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+
+(* [read_exactly fd buf] distinguishes the three ways a socket read
+   stops early: clean EOF, receive-timeout (EAGAIN/EWOULDBLOCK from
+   SO_RCVTIMEO), and everything else (reset, shutdown) folded into
+   [Closed]. A mid-request disconnect therefore surfaces as an error
+   result, never an exception or a short buffer. *)
+let read_exactly fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> Error Closed
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error Timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> Error Closed
+      | exception Sys_blocked_io -> Error Timeout
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_exactly fd hdr with
+  | Error _ as e -> e
+  | Ok () ->
+      let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if n < 0 || n > max_frame then Error (Oversized n)
+      else begin
+        let payload = Bytes.create n in
+        match read_exactly fd payload with
+        | Error _ as e -> e
+        | Ok () -> Ok (Bytes.unsafe_to_string payload)
+      end
+
+let write_frame fd s =
+  let n = String.length s in
+  if n > max_frame then invalid_arg "Wire.write_frame: payload too large";
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string s 0 buf 4 n;
+  let rec go off =
+    if off < Bytes.length buf then
+      match Unix.write fd buf off (Bytes.length buf - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Client-side conveniences (tests, CLI probes). *)
+let request fd s =
+  write_frame fd s;
+  read_frame fd

@@ -1,0 +1,27 @@
+(** Length-prefixed text frames — the session server's wire format.
+
+    One frame is a 4-byte big-endian payload length followed by that
+    many bytes of text. Declared lengths above {!max_frame} (or
+    negative, i.e. the high bit set) are rejected before any
+    allocation. All read-side failure modes are values, not
+    exceptions: clean or mid-frame disconnects are [Closed], an
+    expired [SO_RCVTIMEO] is [Timeout]. *)
+
+(** Maximum payload bytes per frame (1 MiB). *)
+val max_frame : int
+
+type error =
+  | Closed
+  | Timeout
+  | Oversized of int  (** the declared length *)
+
+val error_to_string : error -> string
+
+(** [read_frame fd] reads one complete frame. *)
+val read_frame : Unix.file_descr -> (string, error) result
+
+(** [write_frame fd s] writes one frame, retrying partial writes. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [request fd s] = write then read one reply (client side). *)
+val request : Unix.file_descr -> string -> (string, error) result

@@ -725,6 +725,7 @@ let create ?cache_capacity ?pool ?obs ?durability ?backend ~mode ~b pts =
       t)
 
 let wal t = Pager.wal t.pager
+let snapshot_readable t = Pager.snapshot_readable t.pager
 
 let of_snapshot ?cache_capacity ?obs ?backend r ~idx ~snapshot =
   let (mode, b, layout, block_pages, seg_len, size) : mode * int * Skeletal_layout.t option * int array * int * int =

@@ -100,6 +100,11 @@ val reset_io_stats : t -> unit
 
 val wal : t -> Pc_pagestore.Wal.t option
 
+(** Whether the backing pager's read path is mutation-free, i.e. the
+    structure may be queried from many domains at once with no lock
+    (see {!Pc_pagestore.Pager.snapshot_readable}). *)
+val snapshot_readable : t -> bool
+
 val recover :
   ?mode:mode ->
   ?backend:cell Pc_pagestore.Pager.backend ->

@@ -23,4 +23,5 @@ let () =
       ("costmodel", Test_costmodel.suite);
       ("check", Test_check.suite);
       ("blockdev", Test_blockdev.suite);
+      ("conc", Test_conc.suite);
     ]
