@@ -1,0 +1,216 @@
+(* E19: service under injected device faults (DESIGN.md §15,
+   EXPERIMENTS.md E19).
+
+   One file-less B-tree on a capacity-0 pager over a seeded
+   Flaky_dev, the default retry policy installed with a real
+   backoff sleep. Three cells sweep the per-transfer fault rate —
+   0 (baseline), 0.1% and 1% — each mixing transient read/write
+   errors (burst 2) and torn page writes at that rate. Every cell
+   runs the same seeded stream of inserts, deletes and range
+   queries; every 16th range answer is checked against an
+   in-memory oracle, so the cell measures the cost of absorbing
+   faults, never the cost of being wrong.
+
+   Reported per cell: throughput, p50/p99 operation latency,
+   availability (operations answered / attempted), retries the
+   pager absorbed and faults the device injected. Gates:
+
+   - conformance: zero oracle violations anywhere;
+   - availability >= 99% at every cell (the burst fits the retry
+     budget, so a denial means the retry layer is broken);
+   - the baseline cell must see zero injected faults and zero
+     retries (the fault-free path pays nothing).
+
+   Run with: dune exec bench/chaos.exe -- [--fast] [--out FILE] *)
+
+module Bdev = Pc_blockdev.Block_device
+module Flaky = Pc_blockdev.Flaky_dev
+module Pager = Pc_pagestore.Pager
+module Retry_policy = Pc_pagestore.Retry_policy
+module Btree = Pc_btree.Btree
+module Rng = Pc_util.Rng
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+
+let out_file =
+  let rec find = function
+    | "--out" :: f :: _ -> f
+    | _ :: tl -> find tl
+    | [] -> "BENCH_chaos.json"
+  in
+  find (Array.to_list Sys.argv)
+
+let key_universe = 50_000
+
+type cell = {
+  rate : float;
+  ops : int;
+  ok : int;
+  denied : int;
+  violations : int;
+  seconds : float;
+  p50_us : float;
+  p99_us : float;
+  retries : int;
+  give_ups : int;
+  injected : Flaky.counts;
+}
+
+let availability c =
+  let attempted = c.ok + c.denied in
+  if attempted = 0 then 1.0 else float_of_int c.ok /. float_of_int attempted
+
+let percentile sorted p =
+  let len = Array.length sorted in
+  if len = 0 then 0.0 else sorted.(min (len - 1) (p * len / 100))
+
+(* One cell: [n] warm entries, then [ops] timed operations under the
+   profile's fault rate. Deterministic in [seed] except for wall time. *)
+let run_cell ~b ~seed ~n ~ops ~rate =
+  let profile =
+    {
+      Flaky.quiet with
+      Flaky.seed;
+      p_transient = rate;
+      transient_burst = 2;
+      p_torn = rate;
+    }
+  in
+  let base = Bdev.mem ~page_bytes:(Btree.page_bytes ~b) () in
+  let dev, ctl = Flaky.wrap ~profile base in
+  Flaky.set_enabled ctl false;
+  let pager =
+    Pager.create ~backend:{ Pager.dev; codec = Btree.codec } ~page_capacity:b ()
+  in
+  Pager.set_retry_policy pager
+    ~sleep:(fun ns -> Unix.sleepf (float_of_int ns /. 1e9))
+    Retry_policy.default;
+  let tree = Btree.create pager in
+  let rng = Rng.create seed in
+  let oracle = ref [] in
+  let insert () =
+    let key = Rng.int rng key_universe in
+    let value = Rng.int rng key_universe in
+    Btree.insert tree ~key ~value;
+    oracle := (key, value) :: !oracle
+  in
+  for _ = 1 to n do
+    insert ()
+  done;
+  (* the warm tree is in place; the storm begins *)
+  Flaky.set_enabled ctl true;
+  let lat = Array.make ops 0.0 in
+  let ok = ref 0 and denied = ref 0 and violations = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    let t0 = Unix.gettimeofday () in
+    (match
+       if i mod 4 = 3 then begin
+         let lo = Rng.int rng key_universe in
+         let hi = lo + Rng.int rng 100 in
+         let got = Btree.range tree ~lo ~hi in
+         if i mod 16 = 15 then begin
+           let want =
+             List.filter (fun (k, _) -> lo <= k && k <= hi) !oracle
+             |> List.sort compare
+           in
+           if got <> want then incr violations
+         end
+       end
+       else insert ()
+     with
+    | () -> incr ok
+    | exception Pager.Io_fault _ -> incr denied);
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e6
+  done;
+  let seconds = Unix.gettimeofday () -. t_start in
+  Array.sort compare lat;
+  {
+    rate;
+    ops;
+    ok = !ok;
+    denied = !denied;
+    violations = !violations;
+    seconds;
+    p50_us = percentile lat 50;
+    p99_us = percentile lat 99;
+    retries = (Pager.stats pager).Pc_pagestore.Io_stats.retries;
+    give_ups = Pager.give_ups pager;
+    injected = Flaky.counts ctl;
+  }
+
+let () =
+  let b = 16 in
+  let n = if fast then 5_000 else 20_000 in
+  let ops = if fast then 8_000 else 40_000 in
+  let seed = 42 in
+  let rates = [ 0.0; 0.001; 0.01 ] in
+  Printf.printf
+    "E19 service under injected faults: n=%d warm, %d timed ops/cell, b=%d, \
+     default retry policy (8 attempts, 100us base, real backoff sleep)\n\n"
+    n ops b;
+  Printf.printf "%8s %10s %12s %9s %9s %8s %8s %9s %11s\n" "rate" "ops/s"
+    "avail" "p50us" "p99us" "retries" "giveups" "injected" "violations";
+  let cells =
+    List.map
+      (fun rate ->
+        let c = run_cell ~b ~seed ~n ~ops ~rate in
+        let injected =
+          c.injected.Flaky.transients + c.injected.Flaky.torn
+        in
+        Printf.printf "%8.3f %10.0f %12.4f %9.1f %9.1f %8d %8d %9d %11d\n"
+          (rate *. 100.)
+          (float_of_int c.ops /. c.seconds)
+          (availability c) c.p50_us c.p99_us c.retries c.give_ups injected
+          c.violations;
+        c)
+      rates
+  in
+  (* persist *)
+  let oc = open_out out_file in
+  Printf.fprintf oc "{\n  \"experiment\": \"E19\",\n";
+  Printf.fprintf oc "  \"n\": %d,\n  \"ops_per_cell\": %d,\n  \"b\": %d,\n" n
+    ops b;
+  Printf.fprintf oc "  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "    {\"rate\": %g, \"ops_per_s\": %.0f, \"availability\": %.4f, \
+         \"p50_us\": %.1f, \"p99_us\": %.1f, \"retries\": %d, \"give_ups\": \
+         %d, \"injected_transients\": %d, \"injected_torn\": %d, \
+         \"violations\": %d}%s\n"
+        c.rate
+        (float_of_int c.ops /. c.seconds)
+        (availability c) c.p50_us c.p99_us c.retries c.give_ups
+        c.injected.Flaky.transients c.injected.Flaky.torn c.violations
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file;
+  (* gates *)
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        failed := true;
+        Printf.printf "E19 FAILED: %s\n" m)
+      fmt
+  in
+  List.iter
+    (fun c ->
+      if c.violations > 0 then
+        fail "%d oracle violation(s) at rate %g" c.violations c.rate;
+      if availability c < 0.99 then
+        fail "availability %.4f < 0.99 at rate %g" (availability c) c.rate)
+    cells;
+  (match cells with
+  | base :: _ ->
+      if base.injected.Flaky.transients + base.injected.Flaky.torn > 0 then
+        fail "baseline cell injected faults";
+      if base.retries > 0 then fail "baseline cell absorbed retries"
+  | [] -> ());
+  if !failed then exit 1;
+  Printf.printf
+    "gate: conformance clean, availability >= 0.99 at every rate, fault-free \
+     baseline untouched — pass\n"

@@ -12,6 +12,8 @@ let () =
   let idle = ref 5.0 in
   let b = ref 8 in
   let checkpoint_every = ref 512 in
+  let max_inflight = ref 0 in
+  let request_deadline = ref 0.0 in
   let spec =
     [
       ("--port", Arg.Set_int port, "P  TCP port on loopback (default 9470; 0 = ephemeral)");
@@ -23,6 +25,14 @@ let () =
       ( "--checkpoint-every",
         Arg.Set_int checkpoint_every,
         "K  overlay size that triggers a store rebuild (default 512)" );
+      ( "--max-inflight",
+        Arg.Set_int max_inflight,
+        "N  shed requests past N in flight with `err busy' (default 0 = \
+         unbounded)" );
+      ( "--request-deadline",
+        Arg.Set_float request_deadline,
+        "SEC  soft per-request deadline; overruns reply `err deadline' \
+         (default 0 = none)" );
     ]
   in
   Arg.parse spec
@@ -30,7 +40,11 @@ let () =
     "pathcache_server [--port 9470] [--workers 4] [--idle-timeout 5.0]";
   let t =
     Pc_server.Server.start ~port:!port ~workers:!workers ~idle_timeout:!idle
-      ~b:!b ~checkpoint_every:!checkpoint_every ()
+      ~b:!b ~checkpoint_every:!checkpoint_every
+      ?max_inflight:(if !max_inflight > 0 then Some !max_inflight else None)
+      ?request_deadline:
+        (if !request_deadline > 0.0 then Some !request_deadline else None)
+      ()
   in
   Printf.printf
     "pathcache_server: %d worker domain(s) on 127.0.0.1:%d (wire protocol; \

@@ -26,6 +26,7 @@ let () =
   let b = ref 8 in
   let out = ref "_repros" in
   let crash = ref false in
+  let chaos = ref false in
   let domains = ref 0 in
   let spec =
     [
@@ -41,6 +42,11 @@ let () =
         "  crash-point sweep only: power-fail at every I/O (sim backend) \
          and at every journal frame boundary (file backend) and verify \
          recovery" );
+      ( "--chaos",
+        Arg.Set chaos,
+        "  chaos sweep only: every fault-tolerance cell (flaky device \
+         under mem and file trees, quarantine, give-up, breaker) per \
+         seed; see Chaos" );
       ( "--domains",
         Arg.Set_int domains,
         "N  concurrent sweep only: N domains of generated workloads \
@@ -50,7 +56,7 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "stress [--budget 30s] [--seeds 32] [--ops 400] [--b 8] [--out DIR] \
-     [--crash] [--domains N]";
+     [--crash] [--chaos] [--domains N]";
   let deadline = Unix.gettimeofday () +. !budget in
   let failures = ref 0 in
   let runs = ref 0 in
@@ -102,6 +108,40 @@ let () =
       "stress --domains %d: %d runs x %d ops/domain, %d failure(s), %d \
        inconclusive%s@."
       !domains !runs per_domain !failures !inconclusive
+      (if out_of_time () then " (budget exhausted)" else "");
+    exit (min 1 !failures)
+  end;
+  if !chaos then begin
+    (* Chaos sweep: every fault-tolerance cell — transient / torn /
+       stalled faults absorbed exactly, latent sectors degraded but
+       never wrong, give-ups typed with full recovery, the durable
+       committed prefix surviving device faults, and the breaker's
+       degrade -> probe -> recover cycle. Cells are deterministic in
+       (b, seed); a FAIL line replays with the same flags. *)
+    let root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pc-stress-chaos-%d" (Unix.getpid ()))
+    in
+    (try
+       for seed = 0 to !seeds - 1 do
+         if out_of_time () then raise Exit;
+         let reports = Chaos.run_all ~ops:!ops ~b:!b ~seed ~root () in
+         List.iter
+           (fun r ->
+             incr runs;
+             if not (Chaos.passed r) then begin
+               incr failures;
+               Format.printf "FAIL seed=%d %a@." seed Chaos.pp_report r;
+               List.iter
+                 (fun v -> Format.printf "  violation: %s@." v)
+                 r.Chaos.c_violations
+             end)
+           reports
+       done
+     with Exit -> ());
+    Format.printf "stress --chaos: %d cell(s), %d failure(s)%s@." !runs
+      !failures
       (if out_of_time () then " (budget exhausted)" else "");
     exit (min 1 !failures)
   end;

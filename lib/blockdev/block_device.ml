@@ -1,14 +1,27 @@
 type backend = Mem | File of { path : string; mmap : bool }
 
+type error_class = Transient | Permanent | Stalled
+
+let class_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Stalled -> "stalled"
+
 exception
-  Device_error of { dev : string; op : string; page : int; reason : string }
+  Device_error of {
+    dev : string;
+    op : string;
+    page : int;
+    reason : string;
+    cls : error_class;
+  }
 
 let () =
   Printexc.register_printer (function
-    | Device_error { dev; op; page; reason } ->
+    | Device_error { dev; op; page; reason; cls } ->
         Some
-          (Printf.sprintf "Block_device.Device_error(%s: %s page %d: %s)" dev
-             op page reason)
+          (Printf.sprintf "Block_device.Device_error(%s: %s page %d: %s [%s])"
+             dev op page reason (class_name cls))
     | _ -> None)
 
 type t = {
@@ -33,7 +46,12 @@ let check_geometry ~who ~page_bytes ~sector_bytes =
   if page_bytes <= 0 || page_bytes mod sector_bytes <> 0 then
     invalid_arg (who ^ ": page_bytes must be a positive multiple of sector_bytes")
 
-let fail name op page reason = raise (Device_error { dev = name; op; page; reason })
+let fail_class cls name op page reason =
+  raise (Device_error { dev = name; op; page; reason; cls })
+
+(* Structural errors (unknown page, bad geometry, closed device) are
+   permanent: retrying the same transfer can never succeed. *)
+let fail name op page reason = fail_class Permanent name op page reason
 
 (* The in-memory byte device: a growable table of page images. This is
    the storage core the old simulator kept implicitly inside the pager,

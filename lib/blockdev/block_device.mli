@@ -24,8 +24,26 @@ type backend =
   | File of { path : string; mmap : bool }
       (** Unix file; [mmap] = reads served from a shared mapping *)
 
+(** How a device failure relates to retrying (DESIGN.md §15): a
+    [Transient] error may succeed if the same transfer is reissued (bus
+    glitch, injected soft EIO); a [Permanent] error never will (latent
+    sector, unknown page, closed device); [Stalled] marks a transfer
+    that exceeded its latency budget — retryable, but the caller should
+    also suspect the device. *)
+type error_class = Transient | Permanent | Stalled
+
+val class_name : error_class -> string
+(** ["transient"] / ["permanent"] / ["stalled"] — label used in events,
+    metrics and error text. *)
+
 exception
-  Device_error of { dev : string; op : string; page : int; reason : string }
+  Device_error of {
+    dev : string;
+    op : string;
+    page : int;
+    reason : string;
+    cls : error_class;
+  }
 (** Every device failure is typed: short reads, unknown pages, closed
     devices, OS errors. A device never returns garbage silently. *)
 
@@ -72,5 +90,10 @@ val check_geometry : who:string -> page_bytes:int -> sector_bytes:int -> unit
     tell a freed page from a torn one. *)
 val trim_stamp : string
 
-(** [fail dev op page reason] raises {!Device_error} — for implementors. *)
+(** [fail dev op page reason] raises a {!Permanent} {!Device_error} —
+    for implementors. *)
 val fail : string -> string -> int -> string -> 'a
+
+(** [fail_class cls dev op page reason] raises {!Device_error} with an
+    explicit class — used by fault injectors and OS-error mapping. *)
+val fail_class : error_class -> string -> string -> int -> string -> 'a

@@ -30,7 +30,13 @@ let create ?(mmap = false) ?(sector_bytes = 512) ~path ~page_bytes () =
     with Unix.Unix_error (e, fn, _) ->
       raise
         (Device_error
-           { dev = name; op; page; reason = fn ^ ": " ^ Unix.error_message e })
+           {
+             dev = name;
+             op;
+             page;
+             reason = fn ^ ": " ^ Unix.error_message e;
+             cls = Permanent;
+           })
   in
   let fd =
     os "open" (-1) (fun () -> Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)

@@ -1,0 +1,160 @@
+module Bdev = Block_device
+module Rng = Pc_util.Rng
+
+type profile = {
+  seed : int;
+  p_transient : float;
+  transient_burst : int;
+  p_latent : float;
+  p_torn : float;
+  p_stall : float;
+  stall_ns : int;
+  stall_timeout_ns : int;
+}
+
+let quiet =
+  {
+    seed = 0;
+    p_transient = 0.;
+    transient_burst = 1;
+    p_latent = 0.;
+    p_torn = 0.;
+    p_stall = 0.;
+    stall_ns = 0;
+    stall_timeout_ns = 0;
+  }
+
+type counts = {
+  transients : int;
+  permanents : int;
+  torn : int;
+  stalls : int;
+}
+
+type ctl = {
+  mutable enabled : bool;
+  mutable c_transients : int;
+  mutable c_permanents : int;
+  mutable c_torn : int;
+  mutable c_stalls : int;
+  rng : Rng.t;
+  (* (op tag, page) -> remaining failures of a transient burst in
+     progress; the entry drains one failure per reissue. *)
+  bursts : (string * int, int) Hashtbl.t;
+}
+
+let set_enabled ctl on =
+  ctl.enabled <- on;
+  if not on then Hashtbl.reset ctl.bursts
+
+let counts ctl =
+  {
+    transients = ctl.c_transients;
+    permanents = ctl.c_permanents;
+    torn = ctl.c_torn;
+    stalls = ctl.c_stalls;
+  }
+
+(* Latent-bad membership must be a pure function of (seed, page) — not
+   of operation order — so reads of the same page fail forever and the
+   sweep can predict the bad set. One throwaway generator per query
+   keeps it independent of the schedule stream. *)
+let is_latent profile page =
+  profile.p_latent > 0.
+  && Rng.float (Rng.create ((profile.seed * 0x9e3779b1) lxor (page * 0x85ebca6b)))
+     < profile.p_latent
+
+let wrap ?(sleep = fun (_ : int) -> ()) ~profile (dev : Bdev.t) =
+  if profile.transient_burst < 1 then
+    invalid_arg "Flaky_dev.wrap: transient_burst must be >= 1";
+  let ctl =
+    {
+      enabled = true;
+      c_transients = 0;
+      c_permanents = 0;
+      c_torn = 0;
+      c_stalls = 0;
+      rng = Rng.create profile.seed;
+      bursts = Hashtbl.create 16;
+    }
+  in
+  let name = dev.Bdev.name ^ "~flaky" in
+  let stall op page =
+    if profile.p_stall > 0. && Rng.float ctl.rng < profile.p_stall then begin
+      ctl.c_stalls <- ctl.c_stalls + 1;
+      sleep profile.stall_ns;
+      if profile.stall_timeout_ns > 0 && profile.stall_ns >= profile.stall_timeout_ns
+      then begin
+        Bdev.fail_class Bdev.Stalled name op page
+          (Printf.sprintf "transfer stalled %dns past watchdog" profile.stall_ns)
+      end
+    end
+  in
+  (* A struck transfer fails [transient_burst] times in a row for the
+     same (op, page), then the next reissue goes through — so a retry
+     budget >= the burst always recovers. *)
+  let transient op page =
+    let key = (op, page) in
+    match Hashtbl.find_opt ctl.bursts key with
+    | Some left ->
+        if left <= 1 then Hashtbl.remove ctl.bursts key
+        else Hashtbl.replace ctl.bursts key (left - 1);
+        ctl.c_transients <- ctl.c_transients + 1;
+        Bdev.fail_class Bdev.Transient name op page "injected transient EIO"
+    | None ->
+        if profile.p_transient > 0. && Rng.float ctl.rng < profile.p_transient
+        then begin
+          if profile.transient_burst > 1 then
+            Hashtbl.replace ctl.bursts key (profile.transient_burst - 1);
+          ctl.c_transients <- ctl.c_transients + 1;
+          Bdev.fail_class Bdev.Transient name op page "injected transient EIO"
+        end
+  in
+  let guard op page =
+    if ctl.enabled then begin
+      stall op page;
+      transient op page
+    end
+  in
+  let wrapped =
+    {
+      dev with
+      Bdev.name;
+      read_page =
+        (fun page ->
+          guard "read_page" page;
+          if ctl.enabled && is_latent profile page then begin
+            ctl.c_permanents <- ctl.c_permanents + 1;
+            Bdev.fail_class Bdev.Permanent name "read_page" page
+              "latent sector error"
+          end;
+          dev.Bdev.read_page page);
+      write_page =
+        (fun page b ->
+          guard "write_page" page;
+          if
+            ctl.enabled && profile.p_torn > 0.
+            && Rng.float ctl.rng < profile.p_torn
+          then begin
+            (* Tear the transfer at half the sectors, exactly like the
+               sim's Torn_write: the head lands, the tail keeps its old
+               bytes, and the writer hears a transient failure so a
+               reissue completes the page. *)
+            ctl.c_torn <- ctl.c_torn + 1;
+            let k = dev.Bdev.page_bytes / dev.Bdev.sector_bytes / 2 in
+            dev.Bdev.write_sectors page b k;
+            Bdev.fail_class Bdev.Transient name "write_page" page
+              "injected torn write"
+          end;
+          dev.Bdev.write_page page b);
+      write_sectors =
+        (fun page b k ->
+          guard "write_sectors" page;
+          dev.Bdev.write_sectors page b k);
+      flush =
+        (fun () ->
+          guard "flush" (-1);
+          dev.Bdev.flush ());
+    }
+  in
+  (wrapped, ctl)

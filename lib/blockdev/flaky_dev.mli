@@ -1,0 +1,77 @@
+(** Deterministic fault injection at the device boundary.
+
+    [wrap] interposes a seeded fault schedule between any
+    {!Block_device.t} — mem or file — and its caller, producing the
+    failure modes a real disk exhibits (DESIGN.md §15):
+
+    - {b transient} errors: a transfer fails with a
+      [cls = Transient] {!Block_device.Device_error} for a bounded burst
+      of attempts, then succeeds — the retry layer's bread and butter;
+    - {b latent sectors}: a seed-determined subset of pages fails every
+      read with [cls = Permanent] (writes still land, as on a real disk
+      whose medium is bad) — exercises quarantine-and-degrade;
+    - {b torn writes}: a page write transfers only half its sectors
+      through the underlying [write_sectors], then fails [Transient] —
+      a reissue completes it, a crash leaves the tear on disk;
+    - {b stalls}: injected latency through the [sleep] hook (wire it to
+      a mock {!Pc_obs.Obs.Clock} for deterministic time); a stall longer
+      than [stall_timeout_ns] additionally fails with [cls = Stalled],
+      modeling an I/O watchdog.
+
+    Everything is a pure function of [profile.seed] and the caller's
+    operation sequence: the same workload over the same profile sees the
+    same faults, which is what lets the chaos sweep shrink and replay
+    failures. The wrapper is dumb like the device itself — no counts
+    leak into pager accounting, so a profile of all-zero probabilities
+    is byte-identical to the unwrapped device. *)
+
+type profile = {
+  seed : int;
+  p_transient : float;  (** per-transfer probability of a transient error *)
+  transient_burst : int;
+      (** consecutive failures per struck transfer (>= 1); the
+          [transient_burst]-th retry of the same page succeeds *)
+  p_latent : float;
+      (** per-page probability that the page is latent-bad: every read
+          fails permanently. Membership is a pure function of
+          [seed] and the page id. *)
+  p_torn : float;  (** per-write probability of a torn (half) transfer *)
+  p_stall : float;  (** per-transfer probability of injected latency *)
+  stall_ns : int;  (** latency injected on a stall, in nanoseconds *)
+  stall_timeout_ns : int;
+      (** if [> 0] and a stall sleeps at least this long, the transfer
+          also fails with [cls = Stalled] after sleeping *)
+}
+
+val quiet : profile
+(** All probabilities zero, seed 0 — wrapping with [quiet] is
+    behaviourally identical to the bare device. *)
+
+(** Control handle: runtime enable/disable plus injection counters. *)
+type ctl
+
+val set_enabled : ctl -> bool -> unit
+(** Faults inject only while enabled (initially [true]). Disabling heals
+    transient bursts in progress but not latent pages, which are part of
+    the medium. *)
+
+type counts = {
+  transients : int;  (** transient failures raised *)
+  permanents : int;  (** latent-sector read failures raised *)
+  torn : int;  (** torn transfers injected *)
+  stalls : int;  (** stalls injected (including ones that timed out) *)
+}
+
+val counts : ctl -> counts
+
+val is_latent : profile -> int -> bool
+(** [is_latent profile page] — whether [page] is in the seed-determined
+    latent-bad set; exposed so tests and sweeps can predict it. *)
+
+val wrap :
+  ?sleep:(int -> unit) -> profile:profile -> Block_device.t -> Block_device.t * ctl
+(** [wrap ?sleep ~profile dev] is a device with [profile]'s faults laid
+    over [dev], plus its control handle. [sleep] receives nanoseconds on
+    each injected stall (default: ignore — faults stay deterministic
+    with no real time). The wrapped device shares [dev]'s geometry,
+    backend tag and name (suffixed [~flaky]). *)

@@ -1,6 +1,8 @@
 let magic = "PCJR"
 let wal_path ~dir = Filename.concat dir "wal.log"
 let super_path ~dir = Filename.concat dir "super"
+let super_a_path ~dir = Filename.concat dir "super.a"
+let super_b_path ~dir = Filename.concat dir "super.b"
 
 type t = {
   t_dir : string;
@@ -8,6 +10,10 @@ type t = {
   mutable torn_tail : int option;
       (* offset of a deliberately half-written record; the next append
          truncates back to it first *)
+  mutable epoch : int; (* epoch of the newest valid superblock slot *)
+  mutable cur_slot : [ `A | `B ] option;
+      (* slot holding that superblock; the next write goes to the OTHER
+         slot, so the current one stays readable through any crash *)
   mutable closed : bool;
 }
 
@@ -21,6 +27,7 @@ let oserr fn what =
            op = what;
            page = -1;
            reason = f ^ ": " ^ Unix.error_message e;
+           cls = Permanent;
          })
 
 let really_write fd b pos len =
@@ -38,6 +45,81 @@ let fsync_dir dir =
       Fun.protect ~finally:(fun () -> Unix.close dfd) (fun () -> Unix.fsync dfd))
     "fsync-dir"
 
+(* --- read-only helpers (shared by open and scan) ------------------- *)
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else
+    Some
+      (oserr
+         (fun () ->
+           let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+           Fun.protect
+             ~finally:(fun () -> Unix.close fd)
+             (fun () ->
+               let len = (Unix.fstat fd).Unix.st_size in
+               let b = Bytes.create len in
+               let off = ref 0 in
+               while !off < len do
+                 let n = Unix.read fd b !off (len - !off) in
+                 if n = 0 then raise End_of_file;
+                 off := !off + n
+               done;
+               b))
+         "read")
+
+let scan_one b off =
+  let len = Bytes.length b in
+  if off + 16 > len then None
+  else if Bytes.sub_string b off 4 <> magic then None
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le b (off + 4)) in
+    if plen < 0 || off + 16 + plen > len then None
+    else
+      let payload = Bytes.sub b (off + 16) plen in
+      if Page_codec.crc64 payload ~pos:0 ~len:plen <> Bytes.get_int64_le b (off + 8)
+      then None
+      else Some (payload, off + 16 + plen)
+
+(* A mirrored slot holds one frame whose payload is [u64 epoch | super
+   payload]; a torn or missing slot reads as [None]. *)
+let scan_slot path =
+  match read_file path with
+  | None -> None
+  | Some b -> (
+      match scan_one b 0 with
+      | None -> None
+      | Some (p, _) when Bytes.length p < 8 -> None
+      | Some (p, _) ->
+          Some
+            ( Int64.to_int (Bytes.get_int64_le p 0),
+              Bytes.sub p 8 (Bytes.length p - 8) ))
+
+(* Newest valid superblock across both mirror slots and the legacy
+   single-slot file (which reads as epoch 0, so any mirrored write
+   supersedes it). *)
+let best_super ~dir =
+  let legacy =
+    match read_file (super_path ~dir) with
+    | None -> None
+    | Some b -> (
+        match scan_one b 0 with
+        | None -> None
+        | Some (p, _) -> Some (0, None, p))
+  in
+  let slot tag path =
+    match scan_slot path with
+    | None -> None
+    | Some (e, p) -> Some (e, Some tag, p)
+  in
+  List.fold_left
+    (fun best cand ->
+      match (best, cand) with
+      | None, c | c, None -> c
+      | Some (be, _, _), Some (ce, _, _) -> if ce > be then cand else best)
+    None
+    [ legacy; slot `A (super_a_path ~dir); slot `B (super_b_path ~dir) ]
+
 let open_dir ~dir =
   oserr (fun () -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755) "mkdir";
   let fd =
@@ -47,7 +129,12 @@ let open_dir ~dir =
       "open"
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  { t_dir = dir; fd; torn_tail = None; closed = false }
+  let epoch, cur_slot =
+    match best_super ~dir with
+    | Some (e, slot, _) -> (e, slot)
+    | None -> (0, None)
+  in
+  { t_dir = dir; fd; torn_tail = None; epoch; cur_slot; closed = false }
 
 let dir t = t.t_dir
 
@@ -55,7 +142,7 @@ let check t op =
   if t.closed then
     raise
       (Block_device.Device_error
-         { dev = "wal"; op; page = -1; reason = "store closed" })
+         { dev = "wal"; op; page = -1; reason = "store closed"; cls = Permanent })
 
 let frame payload =
   let plen = Bytes.length payload in
@@ -93,21 +180,40 @@ let sync t =
   check t "sync";
   oserr (fun () -> Unix.fsync t.fd) "sync"
 
+(* A/B mirrored superblock: each write stamps the next epoch and lands
+   in-place on the slot NOT holding the newest valid superblock, so at
+   every instant — including mid-write and mid-crash — at least one slot
+   (or the legacy file) carries a whole, checksummed superblock. Picking
+   the winner is {!best_super}'s highest-valid-epoch rule; no rename
+   window, no instant with zero readable superblocks. *)
 let write_super t payload =
   check t "write_super";
-  let tmp = Filename.concat t.t_dir "super.tmp" in
+  let epoch = t.epoch + 1 in
+  let target = match t.cur_slot with Some `A -> `B | Some `B | None -> `A in
+  let path =
+    match target with
+    | `A -> super_a_path ~dir:t.t_dir
+    | `B -> super_b_path ~dir:t.t_dir
+  in
+  let existed = Sys.file_exists path in
+  let stamped = Bytes.create (8 + Bytes.length payload) in
+  Bytes.set_int64_le stamped 0 (Int64.of_int epoch);
+  Bytes.blit payload 0 stamped 8 (Bytes.length payload);
   oserr
     (fun () ->
-      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
         (fun () ->
-          let b = frame payload in
+          let b = frame stamped in
           really_write fd b 0 (Bytes.length b);
           Unix.fsync fd))
     "write_super";
-  oserr (fun () -> Unix.rename tmp (super_path ~dir:t.t_dir)) "rename-super";
-  fsync_dir t.t_dir;
+  if not existed then fsync_dir t.t_dir;
+  t.epoch <- epoch;
+  t.cur_slot <- Some target;
   (* the superblock supersedes the journal: truncate it *)
   t.torn_tail <- None;
   oserr (fun () -> Unix.ftruncate t.fd 0) "truncate";
@@ -122,40 +228,6 @@ let close t =
 
 (* --- read-only scan -------------------------------------------------- *)
 
-let read_file path =
-  if not (Sys.file_exists path) then None
-  else
-    Some
-      (oserr
-         (fun () ->
-           let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
-           Fun.protect
-             ~finally:(fun () -> Unix.close fd)
-             (fun () ->
-               let len = (Unix.fstat fd).Unix.st_size in
-               let b = Bytes.create len in
-               let off = ref 0 in
-               while !off < len do
-                 let n = Unix.read fd b !off (len - !off) in
-                 if n = 0 then raise End_of_file;
-                 off := !off + n
-               done;
-               b))
-         "read")
-
-let scan_one b off =
-  let len = Bytes.length b in
-  if off + 16 > len then None
-  else if Bytes.sub_string b off 4 <> magic then None
-  else
-    let plen = Int32.to_int (Bytes.get_int32_le b (off + 4)) in
-    if plen < 0 || off + 16 + plen > len then None
-    else
-      let payload = Bytes.sub b (off + 16) plen in
-      if Page_codec.crc64 payload ~pos:0 ~len:plen <> Bytes.get_int64_le b (off + 8)
-      then None
-      else Some (payload, off + 16 + plen)
-
 let read ~dir =
   let journal =
     match read_file (wal_path ~dir) with
@@ -169,8 +241,9 @@ let read ~dir =
         go [] 0
   in
   let super =
-    match read_file (super_path ~dir) with
-    | None -> None
-    | Some b -> ( match scan_one b 0 with None -> None | Some (p, _) -> Some p)
+    match best_super ~dir with None -> None | Some (_, _, p) -> Some p
   in
   (journal, super)
+
+let super_epoch ~dir =
+  match best_super ~dir with None -> None | Some (e, _, _) -> Some e

@@ -8,10 +8,17 @@
       fails marks the torn tail of the log: it and everything after it
       are ignored by {!read}. [append] fsyncs nothing by itself — call
       {!sync} at the commit point.
-    - [super] — the superblock, replaced atomically (write to a temp
-      file, fsync, rename, fsync the directory). {!write_super} also
-      truncates [wal.log]: a new superblock obsoletes the journal, which
-      is exactly the checkpoint contract.
+    - [super.a] / [super.b] — the A/B mirrored superblock. Each
+      {!write_super} stamps a monotonically increasing epoch into the
+      frame and overwrites the slot {e not} holding the newest valid
+      superblock, then fsyncs; {!read} picks the highest-epoch slot
+      whose CRC verifies. A crash at any instant of the swap therefore
+      leaves at least one whole superblock readable — there is no
+      rename window. Directories written before the mirror existed keep
+      working: the legacy single-slot [super] file reads as epoch 0 and
+      any mirrored write supersedes it. {!write_super} also truncates
+      [wal.log]: a new superblock obsoletes the journal, which is
+      exactly the checkpoint contract.
 
     {!append_torn} deliberately writes only the first half of a record's
     bytes, emulating a crash mid-append; the next {!append} first
@@ -28,7 +35,8 @@ val append_torn : t -> bytes -> unit
 val sync : t -> unit
 
 val write_super : t -> bytes -> unit
-(** Atomically replace the superblock, then truncate the journal. *)
+(** Replace the superblock via the A/B mirror (next epoch into the
+    stale slot, fsync), then truncate the journal. *)
 
 val close : t -> unit
 
@@ -38,5 +46,15 @@ val read : dir:string -> bytes list * bytes option
     missing or corrupt superblock reads as [None]. *)
 
 val wal_path : dir:string -> string
+
 val super_path : dir:string -> string
+(** The legacy single-slot location — still read (as epoch 0), never
+    written. *)
+
+val super_a_path : dir:string -> string
+val super_b_path : dir:string -> string
 (** File locations, exposed so crash tests can do byte surgery. *)
+
+val super_epoch : dir:string -> int option
+(** Epoch of the superblock {!read} would return; [None] if no valid
+    superblock exists in any slot. *)

@@ -118,11 +118,15 @@ val page_bytes : b:int -> int
     {!create_in} / {!bulk_load_in} with every page on disk under [dir]
     and the journal durable. [mmap] serves reads from a shared mapping.
     The tree is always durable (the file backend without a journal would
-    not survive a crash anyway). *)
+    not survive a crash anyway). [wrap_dev] interposes on the page
+    device before the pager sees it — the chaos sweep lays a
+    {!Pc_blockdev.Flaky_dev} over it; the journal file is not wrapped
+    (its faults are injected at the [Wal.store] layer). *)
 val create_file :
   ?cache_capacity:int ->
   ?obs:Pc_obs.Obs.t ->
   ?mmap:bool ->
+  ?wrap_dev:(Pc_blockdev.Block_device.t -> Pc_blockdev.Block_device.t) ->
   dir:string ->
   b:int ->
   unit ->
@@ -132,6 +136,7 @@ val bulk_load_file :
   ?cache_capacity:int ->
   ?obs:Pc_obs.Obs.t ->
   ?mmap:bool ->
+  ?wrap_dev:(Pc_blockdev.Block_device.t -> Pc_blockdev.Block_device.t) ->
   dir:string ->
   b:int ->
   (int * int) list ->
@@ -147,6 +152,7 @@ val recover_file :
   ?cache_capacity:int ->
   ?obs:Pc_obs.Obs.t ->
   ?mmap:bool ->
+  ?wrap_dev:(Pc_blockdev.Block_device.t -> Pc_blockdev.Block_device.t) ->
   dir:string ->
   b:int ->
   unit ->

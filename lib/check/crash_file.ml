@@ -52,9 +52,17 @@ let pp_report ppf r =
 
 (* ---- raw directory snapshots ---------------------------------------- *)
 
+(* The superblock is A/B mirrored (plus the legacy single-slot file),
+   so a snapshot carries all three files opaquely. *)
+type supersnap = {
+  ss_legacy : string option;
+  ss_a : string option;
+  ss_b : string option;
+}
+
 type dirsnap = {
   s_wal : string;
-  s_super : string option;
+  s_super : supersnap;
   s_pages : string option;
 }
 
@@ -69,7 +77,12 @@ let read_opt path =
 let snap ~dir =
   {
     s_wal = Option.value ~default:"" (read_opt (Wf.wal_path ~dir));
-    s_super = read_opt (Wf.super_path ~dir);
+    s_super =
+      {
+        ss_legacy = read_opt (Wf.super_path ~dir);
+        ss_a = read_opt (Wf.super_a_path ~dir);
+        ss_b = read_opt (Wf.super_b_path ~dir);
+      };
     s_pages = read_opt (Ds.pages_path ~dir ~idx:0);
   }
 
@@ -91,7 +104,9 @@ let write_image ~dir ~wal ~super ~pages =
   rm_rf dir;
   Unix.mkdir dir 0o755;
   write_file (Wf.wal_path ~dir) wal;
-  Option.iter (write_file (Wf.super_path ~dir)) super;
+  Option.iter (write_file (Wf.super_path ~dir)) super.ss_legacy;
+  Option.iter (write_file (Wf.super_a_path ~dir)) super.ss_a;
+  Option.iter (write_file (Wf.super_b_path ~dir)) super.ss_b;
   Option.iter (write_file (Ds.pages_path ~dir ~idx:0)) pages
 
 (* ---- journal frame geometry ------------------------------------------ *)

@@ -1,0 +1,71 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  mu : Mutex.t;
+  mutable st : state;
+  mutable failures : int; (* consecutive failures while Closed *)
+  mutable denied : int; (* denials since the breaker opened *)
+  mutable trip_count : int;
+}
+
+let create ?(threshold = 3) ?(cooldown = 8) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown < 1 then invalid_arg "Breaker.create: cooldown must be >= 1";
+  {
+    threshold;
+    cooldown;
+    mu = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    denied = 0;
+    trip_count = 0;
+  }
+
+let state t = Mutex.protect t.mu (fun () -> t.st)
+let trips t = Mutex.protect t.mu (fun () -> t.trip_count)
+
+let allow t =
+  Mutex.protect t.mu (fun () ->
+      match t.st with
+      | Closed | Half_open -> true
+      | Open ->
+          t.denied <- t.denied + 1;
+          if t.denied >= t.cooldown then begin
+            t.st <- Half_open;
+            true (* this call is the probe *)
+          end
+          else false)
+
+let trip t =
+  t.st <- Open;
+  t.failures <- 0;
+  t.denied <- 0;
+  t.trip_count <- t.trip_count + 1
+
+let success t =
+  Mutex.protect t.mu (fun () ->
+      match t.st with
+      | Closed -> t.failures <- 0
+      | Half_open ->
+          t.st <- Closed;
+          t.failures <- 0;
+          t.denied <- 0
+      | Open -> () (* stale report from before the trip; ignore *))
+
+let failure t =
+  Mutex.protect t.mu (fun () ->
+      match t.st with
+      | Closed ->
+          t.failures <- t.failures + 1;
+          if t.failures >= t.threshold then trip t
+      | Half_open -> trip t (* the probe failed: back to Open *)
+      | Open -> ())
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+let state_code = function Closed -> 0 | Half_open -> 1 | Open -> 2

@@ -1,0 +1,52 @@
+(** A circuit breaker for the writer path (DESIGN.md §15).
+
+    Classic three-state machine, made deterministic by counting
+    operations instead of reading a clock:
+
+    - [Closed] — normal service. Each failure increments a consecutive-
+      failure count; reaching [threshold] trips the breaker [Open].
+    - [Open] — calls are refused ({!allow} returns [false]) and the
+      caller serves degraded. After [cooldown] refused calls the next
+      one is admitted as a {e probe} and the state moves to [Half_open].
+    - [Half_open] — the probe's verdict decides: {!success} closes the
+      breaker (full service resumes), {!failure} re-opens it for another
+      cooldown.
+
+    Counting denied calls for the cooldown keeps every transition a pure
+    function of the call sequence — the chaos sweep replays schedules
+    byte-identically and tests need no mock clock. All entry points are
+    mutex-protected; callers may race freely. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+(** [threshold] consecutive failures trip the breaker (default 3);
+    [cooldown] refused calls re-admit a probe (default 8). Both must be
+    >= 1. *)
+
+val state : t -> state
+
+val allow : t -> bool
+(** Ask to proceed. [Closed]/[Half_open]: [true]. [Open]: counts the
+    denial and returns [false], except the [cooldown]-th denial flips to
+    [Half_open] and returns [true] — that call is the probe. *)
+
+val success : t -> unit
+(** Report the allowed call succeeded: resets the failure count; from
+    [Half_open], closes the breaker. *)
+
+val failure : t -> unit
+(** Report the allowed call failed: from [Closed], counts toward
+    [threshold]; from [Half_open], re-opens immediately. *)
+
+val trips : t -> int
+(** Times the breaker has moved [Closed]/[Half_open] -> [Open]. *)
+
+val state_name : state -> string
+(** ["closed"] / ["open"] / ["half_open"]. *)
+
+val state_code : state -> int
+(** 0 = closed, 1 = half-open, 2 = open — the value exported as the
+    [pathcache_breaker_state] gauge. *)

@@ -32,7 +32,15 @@ type t = {
   b : int;
   checkpoint_every : int;
   wal : Wal.t option;
+  breaker : Breaker.t option;
+  mutable commit_hook : (unit -> unit) option;
+      (* fault-injection seam: runs inside the breaker-guarded commit
+         region, standing in for any write-path failure (journal fsync,
+         device fault during a rebuild). Chaos cells and the server
+         fault smoke script it; [None] in production. *)
 }
+
+exception Degraded of string
 
 type stats = {
   st_version : int;
@@ -68,7 +76,12 @@ let build ~b ~version ~checkpoint pts =
     dels = IntMap.empty;
   }
 
-let create ?(b = 8) ?(checkpoint_every = 512) ?wal pts =
+let () =
+  Printexc.register_printer (function
+    | Degraded m -> Some (Printf.sprintf "Shared_store.Degraded(%s)" m)
+    | _ -> None)
+
+let create ?(b = 8) ?(checkpoint_every = 512) ?wal ?breaker pts =
   if b < 4 then invalid_arg "Shared_store.create: b < 4";
   if checkpoint_every < 1 then
     invalid_arg "Shared_store.create: checkpoint_every < 1";
@@ -84,7 +97,17 @@ let create ?(b = 8) ?(checkpoint_every = 512) ?wal pts =
     b;
     checkpoint_every;
     wal;
+    breaker;
+    commit_hook = None;
   }
+
+let breaker t = t.breaker
+let set_commit_hook t h = t.commit_hook <- h
+
+let degraded t =
+  match t.breaker with
+  | Some br -> Breaker.state br = Breaker.Open
+  | None -> false
 
 let snapshot t = Atomic.get t.current
 let version t = (snapshot t).version
@@ -195,16 +218,47 @@ let maybe_checkpoint t s =
       (visible_points s)
   else s
 
+(* The breaker guards the commit path: checkpoint rebuild + WAL txn.
+   Any exception there — journal fsync failure, device fault during a
+   rebuild, writer deadline — counts as a failure; [threshold] of them
+   in a row trip the breaker and mutations fail fast with [Degraded]
+   while the last published snapshot keeps serving readers. A no-op
+   mutation ([next] returns [None]) touches neither the journal nor the
+   breaker: it proves nothing about the write path. *)
+let guard_commit t f =
+  let f () =
+    (match t.commit_hook with None -> () | Some h -> h ());
+    f ()
+  in
+  match t.breaker with
+  | None -> f ()
+  | Some br -> (
+      if not (Breaker.allow br) then
+        raise (Degraded "circuit open: store is read-only");
+      match f () with
+      | v ->
+          Breaker.success br;
+          v
+      | exception e ->
+          Breaker.failure br;
+          raise e)
+
 let publish t ~meta next =
   Mutex.protect t.writer (fun () ->
       let s = Atomic.get t.current in
       match next s with
       | None -> false
       | Some s' ->
-          let s' = maybe_checkpoint t { s' with version = s.version + 1 } in
-          (match t.wal with
-          | None -> ()
-          | Some w -> Wal.with_txn (Some w) ~meta (fun () -> ()));
+          let s' =
+            guard_commit t (fun () ->
+                let s' =
+                  maybe_checkpoint t { s' with version = s.version + 1 }
+                in
+                (match t.wal with
+                | None -> ()
+                | Some w -> Wal.with_txn (Some w) ~meta (fun () -> ()));
+                s')
+          in
           Atomic.set t.current s';
           true)
 
@@ -241,15 +295,19 @@ let checkpoint_now t =
       if overlay_size s = 0 then ()
       else begin
         let s' =
-          build ~b:t.b ~version:(s.version + 1) ~checkpoint:(s.checkpoint + 1)
-            (visible_points s)
+          guard_commit t (fun () ->
+              let s' =
+                build ~b:t.b ~version:(s.version + 1)
+                  ~checkpoint:(s.checkpoint + 1) (visible_points s)
+              in
+              (match t.wal with
+              | None -> ()
+              | Some w ->
+                  Wal.with_txn (Some w)
+                    ~meta:(fun () -> "shared_store:checkpoint")
+                    (fun () -> ()));
+              s')
         in
-        (match t.wal with
-        | None -> ()
-        | Some w ->
-            Wal.with_txn (Some w)
-              ~meta:(fun () -> "shared_store:checkpoint")
-              (fun () -> ()));
         Atomic.set t.current s'
       end)
 

@@ -39,13 +39,39 @@ type stats = {
   st_size : int;  (** visible points *)
 }
 
+exception Degraded of string
+(** Raised by mutating entry points while the store's circuit breaker
+    is open: the write path has been failing (journal fsync errors,
+    device faults during rebuild) and the store is serving read-only
+    from the last published snapshot. The server maps this to a typed
+    [err degraded] reply. See {!Breaker}. *)
+
 (** [create pts] bulk-loads the initial snapshot. [b] is the page
     capacity of the underlying structures (default 8, min 4);
     [checkpoint_every] (default 512) bounds the overlay size before a
-    rebuild; [wal] journals mutations and checkpoints. *)
+    rebuild; [wal] journals mutations and checkpoints; [breaker] guards
+    the commit path — consecutive write-path failures trip it, mutations
+    then raise {!Degraded} until a half-open probe succeeds, and readers
+    are never affected. Without [breaker] (the default) write-path
+    exceptions propagate on every call, as before. *)
 val create :
   ?b:int -> ?checkpoint_every:int -> ?wal:Pc_pagestore.Wal.t ->
-  Pc_util.Point.t list -> t
+  ?breaker:Breaker.t -> Pc_util.Point.t list -> t
+
+val breaker : t -> Breaker.t option
+
+(** [set_commit_hook t h] installs a fault-injection seam on the commit
+    path: [h] runs inside the breaker-guarded region of every mutation
+    and checkpoint, standing in for any write-path failure (a journal
+    fsync error, a device fault during a rebuild). An exception it
+    raises counts as a commit failure toward the breaker. The chaos
+    sweep and the server fault smoke script it; leave it [None] in
+    production. *)
+val set_commit_hook : t -> (unit -> unit) option -> unit
+
+(** [degraded t] — the breaker is open: mutations fail fast with
+    {!Degraded}, reads keep serving the last published snapshot. *)
+val degraded : t -> bool
 
 (** {1 Readers — safe from any domain, lock-free} *)
 

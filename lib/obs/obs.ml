@@ -53,6 +53,7 @@ type kind =
   | Pin
   | Fault
   | Retry
+  | Give_up
   | Journal_write
   | Checkpoint
   | Corrupt
@@ -81,6 +82,7 @@ let kind_name = function
   | Pin -> "pin"
   | Fault -> "fault"
   | Retry -> "retry"
+  | Give_up -> "give_up"
   | Journal_write -> "journal_write"
   | Checkpoint -> "checkpoint"
   | Corrupt -> "corrupt"
@@ -99,6 +101,7 @@ let kind_of_name = function
   | "pin" -> Some Pin
   | "fault" -> Some Fault
   | "retry" -> Some Retry
+  | "give_up" -> Some Give_up
   | "journal_write" -> Some Journal_write
   | "checkpoint" -> Some Checkpoint
   | "corrupt" -> Some Corrupt
@@ -634,7 +637,7 @@ let replay_channel ic =
                 Hashtbl.replace phases cat (cur + ns)
             | _ -> ());
             go (lineno + 1) acc
-        | Pin | Fault | Retry | Corrupt -> go (lineno + 1) acc
+        | Pin | Fault | Retry | Give_up | Corrupt -> go (lineno + 1) acc
         | Span_begin -> go (lineno + 1) { acc with t_spans = acc.t_spans + 1 }
         | Span_end -> go (lineno + 1) acc)
   in
@@ -939,8 +942,9 @@ module Profile = struct
               | _ -> ())
           | Read | Write | Write_back | Journal_write | Checkpoint ->
               List.iter (fun os -> os.os_ios <- os.os_ios + 1) !stack
-          | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Corrupt
-            -> ());
+          | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Give_up
+          | Corrupt ->
+              ());
           go (lineno + 1)
     in
     go 1;
@@ -1204,7 +1208,9 @@ module Slow_log = struct
           t.frames
     | Read | Write | Write_back | Journal_write | Checkpoint ->
         List.iter (fun f -> f.sl_ios <- f.sl_ios + 1) t.frames
-    | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Corrupt -> ()
+    | Alloc | Free | Cache_hit | Evict | Pin | Fault | Retry | Give_up | Corrupt
+      ->
+        ()
 
   let sink t = custom (on_event t)
 

@@ -64,6 +64,11 @@ type kind =
   | Retry
       (** a transient read burst the pager absorbed in place: one event
           per burst, after the failed attempts' [Fault] events *)
+  | Give_up
+      (** a retried transfer abandoned: the {!Pc_pagestore.Retry_policy}
+          exhausted its attempts or per-op deadline and the error
+          escalated (to a quarantine or an [Io_fault]); args carry the
+          attempt count and elapsed backoff ns *)
   | Journal_write
       (** a page journaled at commit by the durability layer
           ({!Pc_pagestore.Wal}); a device write, counted as such by

@@ -184,7 +184,7 @@ let observe t (e : Obs.event) =
   | Obs.Read | Obs.Cache_hit -> record_read (state t e.Obs.src) e.Obs.page
   | Obs.Write | Obs.Alloc -> record_write (state t e.Obs.src) e.Obs.page
   | Obs.Free -> Stack.forget (state t e.Obs.src).stack e.Obs.page
-  | Obs.Evict | Obs.Write_back | Obs.Pin | Obs.Fault | Obs.Retry
+  | Obs.Evict | Obs.Write_back | Obs.Pin | Obs.Fault | Obs.Retry | Obs.Give_up
   | Obs.Journal_write | Obs.Checkpoint | Obs.Corrupt | Obs.Phase
   | Obs.Span_begin | Obs.Span_end ->
       ()

@@ -61,6 +61,10 @@ type 'a t = {
   name : string; (* the [obs_name]; labels this pager's exported metrics *)
   mutable dur : 'a dur option;
   bin : 'a backend option;
+  mutable retry : (Retry_policy.t * (int -> unit)) option;
+      (* policy + sleep hook for transient *device* errors; [None] keeps
+         the legacy semantics (any device error reads as undecodable) *)
+  mutable give_ups : int; (* retried transfers abandoned at the policy *)
   retry_histo : Pc_obs.Histogram.t; (* transient burst lengths absorbed *)
   phase_histos : (string, Pc_obs.Histogram.t) Hashtbl.t;
       (* per-phase wall-clock ns; fills only when the handle's clock is on *)
@@ -116,6 +120,8 @@ let create_raw ?(cache_capacity = 0) ?pool ?obs ?(obs_name = "pager") ?backend
     name = obs_name;
     dur = None;
     bin = backend;
+    retry = None;
+    give_ups = 0;
     retry_histo = Pc_obs.Histogram.create ();
     phase_histos = Hashtbl.create 8;
   }
@@ -158,21 +164,75 @@ let timed t ~phase ~page f =
 
 (* --- binary backend helpers ----------------------------------------- *)
 
+(* Trace-event hook at every counter site; a single option match when
+   tracing is off, so counts and timing stay on the uninstrumented
+   path. *)
+let ev t kind ~page =
+  match t.obs_src with
+  | None -> ()
+  | Some src -> Pc_obs.Obs.emit src kind ~page
+
 let encode_page b ~page records =
   Codec.encode b.codec ~page_bytes:b.dev.Bdev.page_bytes ~page records
 
 (* The charged device write, materialized: encode the page and put it on
-   the device (whole, or the first half of its sectors for a tear). *)
+   the device (whole, or the first half of its sectors for a tear).
+
+   [Transient]/[Stalled] device errors are reissued under the installed
+   {!Retry_policy} with the same accounting as the read path: each
+   reissue is charged as a write, absorbed failures count into
+   [Io_stats.retries] and the burst histogram, and exhausting the
+   policy emits [Give_up] and raises [Io_fault]. Reissuing the whole
+   page also heals a torn write — the tear left half the sectors stale,
+   the reissue rewrites all of them. With no policy installed (or a
+   [Permanent] error) the error propagates as before. *)
 let dev_put t ~page records =
   match t.bin with
   | None -> ()
-  | Some b ->
+  | Some b -> (
       let bytes =
         timed t ~phase:"codec.encode" ~page (fun () ->
             encode_page b ~page records)
       in
-      timed t ~phase:"dev.write" ~page (fun () ->
-          b.dev.Bdev.write_page page bytes)
+      let put () =
+        timed t ~phase:"dev.write" ~page (fun () ->
+            b.dev.Bdev.write_page page bytes)
+      in
+      match put () with
+      | () -> ()
+      | exception
+          (Bdev.Device_error { cls = Bdev.Transient | Bdev.Stalled; _ } as e)
+        -> (
+          match t.retry with
+          | None -> raise e
+          | Some (rp, sleep) ->
+              ev t Pc_obs.Obs.Fault ~page;
+              let rec reissue attempt elapsed_ns =
+                match Retry_policy.decide rp ~attempt ~elapsed_ns with
+                | Retry_policy.Give_up ->
+                    let absorbed = attempt - 1 in
+                    if absorbed > 0 then begin
+                      t.stats.retries <- t.stats.retries + absorbed;
+                      Pc_obs.Histogram.add t.retry_histo absorbed
+                    end;
+                    t.give_ups <- t.give_ups + 1;
+                    ev t Pc_obs.Obs.Give_up ~page;
+                    raise (Io_fault { page; op = "write" })
+                | Retry_policy.Retry { sleep_ns } -> (
+                    sleep sleep_ns;
+                    t.stats.writes <- t.stats.writes + 1;
+                    match put () with
+                    | () ->
+                        t.stats.retries <- t.stats.retries + attempt;
+                        Pc_obs.Histogram.add t.retry_histo attempt;
+                        ev t Pc_obs.Obs.Retry ~page
+                    | exception
+                        Bdev.Device_error
+                          { cls = Bdev.Transient | Bdev.Stalled; _ } ->
+                        ev t Pc_obs.Obs.Fault ~page;
+                        reissue (attempt + 1) (elapsed_ns + sleep_ns))
+              in
+              reissue 1 0))
 
 let dev_put_torn t ~page records =
   match t.bin with
@@ -191,6 +251,54 @@ let dev_trim t ~page =
   | None -> ()
   | Some b -> timed t ~phase:"dev.trim" ~page (fun () -> b.dev.Bdev.trim page)
 
+(* The device barrier (fsync), with the same transient-retry discipline
+   as transfers: a flush is not a page transfer, so reissues charge no
+   read/write, but absorbed failures still count into [retries] and the
+   burst histogram ([page = -1]), and exhausting the policy raises
+   [Io_fault]. A failed fsync that gives up must escalate — pretending
+   the barrier held would break the commit protocol. *)
+let dev_flush t =
+  match t.bin with
+  | None -> ()
+  | Some b -> (
+      let sync () =
+        timed t ~phase:"dev.fsync" ~page:(-1) (fun () -> b.dev.Bdev.flush ())
+      in
+      match sync () with
+      | () -> ()
+      | exception
+          (Bdev.Device_error { cls = Bdev.Transient | Bdev.Stalled; _ } as e)
+        -> (
+          match t.retry with
+          | None -> raise e
+          | Some (rp, sleep) ->
+              ev t Pc_obs.Obs.Fault ~page:(-1);
+              let rec reissue attempt elapsed_ns =
+                match Retry_policy.decide rp ~attempt ~elapsed_ns with
+                | Retry_policy.Give_up ->
+                    let absorbed = attempt - 1 in
+                    if absorbed > 0 then begin
+                      t.stats.retries <- t.stats.retries + absorbed;
+                      Pc_obs.Histogram.add t.retry_histo absorbed
+                    end;
+                    t.give_ups <- t.give_ups + 1;
+                    ev t Pc_obs.Obs.Give_up ~page:(-1);
+                    raise (Io_fault { page = -1; op = "flush" })
+                | Retry_policy.Retry { sleep_ns } -> (
+                    sleep sleep_ns;
+                    match sync () with
+                    | () ->
+                        t.stats.retries <- t.stats.retries + attempt;
+                        Pc_obs.Histogram.add t.retry_histo attempt;
+                        ev t Pc_obs.Obs.Retry ~page:(-1)
+                    | exception
+                        Bdev.Device_error
+                          { cls = Bdev.Transient | Bdev.Stalled; _ } ->
+                        ev t Pc_obs.Obs.Fault ~page:(-1);
+                        reissue (attempt + 1) (elapsed_ns + sleep_ns))
+              in
+              reissue 1 0))
+
 (* A durable pager defers in-place device writes to the commit's apply
    step, so for a page the open transaction has already touched the
    device still holds the pre-transaction image — the slots mirror is
@@ -204,33 +312,75 @@ let dirty_in_open_txn t id =
    do not decode (torn sector, bit rot, trimmed page) — never garbage.
    Without a backend the mirror IS the storage and is returned as-is;
    pages dirtied by the open transaction are served from the mirror too
-   (their device image is stale until the commit applies it). *)
-let dev_fetch t id mirror =
+   (their device image is stale until the commit applies it).
+
+   Device errors split on the taxonomy: [Permanent] ones read as
+   undecodable and take the corrupt/quarantine path like a bad checksum;
+   [Transient]/[Stalled] ones are reissued under the installed
+   {!Retry_policy} — each reissue is charged as a read (a retried
+   transfer is still a transfer), absorbed failures count into
+   [Io_stats.retries] and the burst histogram exactly like the sim's
+   [Fault_plan] bursts, and exhausting the policy emits [Give_up] and
+   raises [Io_fault]. With no policy installed every device error keeps
+   the legacy undecodable reading. *)
+let dev_fetch t ~op id mirror =
   match t.bin with
   | None -> Some mirror
   | Some _ when dirty_in_open_txn t id -> Some mirror
   | Some b -> (
-      match
+      let fetch () =
         let bytes =
           timed t ~phase:"dev.read" ~page:id (fun () ->
               b.dev.Bdev.read_page id)
         in
         timed t ~phase:"codec.decode" ~page:id (fun () ->
             Codec.decode b.codec ~page:id bytes)
-      with
+      in
+      match fetch () with
       | cells -> Some cells
-      | exception (Codec.Corrupt_page _ | Bdev.Device_error _) -> None)
+      | exception Codec.Corrupt_page _ -> None
+      | exception Bdev.Device_error { cls = Bdev.Permanent; _ } -> None
+      | exception Bdev.Device_error { cls = Bdev.Transient | Bdev.Stalled; _ }
+        -> (
+          match t.retry with
+          | None -> None
+          | Some (rp, sleep) ->
+              ev t Pc_obs.Obs.Fault ~page:id;
+              let rec reissue attempt elapsed_ns =
+                match Retry_policy.decide rp ~attempt ~elapsed_ns with
+                | Retry_policy.Give_up ->
+                    let absorbed = attempt - 1 in
+                    if absorbed > 0 then begin
+                      t.stats.retries <- t.stats.retries + absorbed;
+                      Pc_obs.Histogram.add t.retry_histo absorbed
+                    end;
+                    t.give_ups <- t.give_ups + 1;
+                    ev t Pc_obs.Obs.Give_up ~page:id;
+                    raise (Io_fault { page = id; op })
+                | Retry_policy.Retry { sleep_ns } -> (
+                    sleep sleep_ns;
+                    t.stats.reads <- t.stats.reads + 1;
+                    match fetch () with
+                    | cells ->
+                        t.stats.retries <- t.stats.retries + attempt;
+                        Pc_obs.Histogram.add t.retry_histo attempt;
+                        ev t Pc_obs.Obs.Retry ~page:id;
+                        Some cells
+                    | exception Codec.Corrupt_page _ -> None
+                    | exception
+                        Bdev.Device_error { cls = Bdev.Permanent; _ } ->
+                        None
+                    | exception
+                        Bdev.Device_error
+                          { cls = Bdev.Transient | Bdev.Stalled; _ } ->
+                        ev t Pc_obs.Obs.Fault ~page:id;
+                        reissue (attempt + 1) (elapsed_ns + sleep_ns))
+              in
+              reissue 1 0))
+
 let cache_capacity t = Buffer_pool.capacity t.pool
 let pool t = t.pool
 let obs t = t.obs
-
-(* Trace-event hook at every counter site; a single option match when
-   tracing is off, so counts and timing stay on the uninstrumented
-   path. *)
-let ev t kind ~page =
-  match t.obs_src with
-  | None -> ()
-  | Some src -> Pc_obs.Obs.emit src kind ~page
 
 let check_fault t ~op ~page =
   match t.fault with
@@ -439,13 +589,7 @@ let enroll t wal ~idx ~seed_crcs =
               | Some (Live records) -> Some (encode_page b ~page records)
               | Some Freed | Some Damaged | None -> None)
           t.bin;
-      pt_sync =
-        (fun () ->
-          match t.bin with
-          | Some b ->
-              timed t ~phase:"dev.fsync" ~page:(-1) (fun () ->
-                  b.dev.Bdev.flush ())
-          | None -> ());
+      pt_sync = (fun () -> dev_flush t);
     }
 
 (* Every mutation of a durable pager must sit inside a [Wal.with_txn]:
@@ -633,7 +777,7 @@ let read t id =
               guard_read t ~op:"read" ~page:id;
               t.stats.reads <- t.stats.reads + 1;
               ev t Pc_obs.Obs.Read ~page:id;
-              match dev_fetch t id records with
+              match dev_fetch t ~op:"read" id records with
               | None -> corrupt_read t id
               | Some records -> (
                   match read_verdict t id records with
@@ -722,10 +866,7 @@ let flush t =
   let n = Buffer_pool.flush_client t.client in
   t.stats.writes <- t.stats.writes + n;
   t.stats.write_backs <- t.stats.write_backs + n;
-  match t.bin with
-  | Some b ->
-      timed t ~phase:"dev.fsync" ~page:(-1) (fun () -> b.dev.Bdev.flush ())
-  | None -> ()
+  dev_flush t
 
 let pin t id =
   if Buffer_pool.capacity t.pool > 0 then begin
@@ -761,9 +902,12 @@ let advise_willneed t ids =
           guard_read t ~op:"advise_willneed" ~page:id;
           t.stats.reads <- t.stats.reads + 1;
           ev t Pc_obs.Obs.Read ~page:id;
-          match dev_fetch t id records with
+          match dev_fetch t ~op:"advise_willneed" id records with
           | Some records -> cache_insert ~hint:`Hot t id records
           | None -> () (* undecodable: let the verifying read handle it *)
+          | exception Io_fault _ -> ()
+          (* prefetch is best-effort: a given-up transfer is already
+             counted and will surface on the verifying read if asked *)
         end)
       ids
 
@@ -871,6 +1015,15 @@ let corrupt_page t page =
 
 let retry_histogram t = t.retry_histo
 
+(* --- device-error retry policy ------------------------------------ *)
+
+let set_retry_policy t ?(sleep = fun (_ : int) -> ()) policy =
+  t.retry <- Some (policy, sleep)
+
+let clear_retry_policy t = t.retry <- None
+let retry_policy t = Option.map fst t.retry
+let give_ups t = t.give_ups
+
 (* Per-phase latency histograms, sorted by phase label. Empty unless a
    wall clock was installed on the handle. *)
 let phase_histograms t =
@@ -903,6 +1056,14 @@ let export_metrics t m =
         ("pathcache_pager_io_" ^ k)
         "Cumulative I/O counter snapshot (see Io_stats)." v)
     (Io_stats.to_args t.stats);
+  set "pathcache_io_retries_total"
+    "Transient transfer failures absorbed by retrying (sim bursts and \
+     device-error reissues)."
+    t.stats.retries;
+  set "pathcache_io_gave_up_total"
+    "Retried transfers abandoned at the retry policy's attempt or \
+     deadline budget."
+    t.give_ups;
   if Pc_obs.Histogram.count t.retry_histo > 0 then
     List.iter
       (fun (k, v) ->

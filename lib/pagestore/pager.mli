@@ -287,8 +287,36 @@ val corrupt_page : 'a t -> int -> unit
 
 (** Distribution of transient read-burst lengths absorbed in-pager (see
     {!Io_stats.t.retries}); empty unless a {!Fault_plan.Transient} plan
-    fired. *)
+    fired or a {!Retry_policy} absorbed device errors. *)
 val retry_histogram : 'a t -> Pc_obs.Histogram.t
+
+(** {1 Device-error retry}
+
+    A real device under the pager can fail a transfer with a typed
+    {!Pc_blockdev.Block_device.Device_error}. Installing a
+    {!Retry_policy} makes the pager reissue [Transient]/[Stalled] read
+    failures with bounded backoff: each reissue is charged as a read,
+    absorbed failures count into {!Io_stats.t.retries} and
+    {!retry_histogram} exactly like simulated bursts, and a transfer the
+    policy abandons emits a [Give_up] event and raises {!Io_fault}.
+    [Permanent] errors skip the policy and take the corrupt/quarantine
+    path ({!set_degraded}) like any undecodable page. With no policy
+    installed (the default) every device error reads as undecodable —
+    the legacy semantics, byte-identical traces. *)
+
+(** [set_retry_policy t ?sleep policy] installs [policy]. [sleep]
+    receives each prescribed backoff in ns (default: ignore, which keeps
+    retries deterministic — elapsed time is simulated as the sum of
+    prescribed sleeps); pass a real or mock-clock sleeper to make
+    backoff take wall time. *)
+val set_retry_policy : 'a t -> ?sleep:(int -> unit) -> Retry_policy.t -> unit
+
+val clear_retry_policy : 'a t -> unit
+val retry_policy : 'a t -> Retry_policy.t option
+
+(** Transfers abandoned at the policy's attempt/deadline budget —
+    exported as [pathcache_io_gave_up_total]. *)
+val give_ups : 'a t -> int
 
 (** {1 Wall-clock phase latency}
 

@@ -1,0 +1,56 @@
+type t = {
+  max_attempts : int;
+  base_ns : int;
+  multiplier : float;
+  cap_ns : int;
+  deadline_ns : int;
+}
+
+let make ?(max_attempts = 8) ?(base_ns = 100_000) ?(multiplier = 2.0)
+    ?(cap_ns = 10_000_000) ?(deadline_ns = 100_000_000) () =
+  if max_attempts < 1 then
+    invalid_arg "Retry_policy.make: max_attempts must be >= 1";
+  if base_ns < 0 then invalid_arg "Retry_policy.make: base_ns must be >= 0";
+  if multiplier < 1.0 then
+    invalid_arg "Retry_policy.make: multiplier must be >= 1.0";
+  if cap_ns < base_ns then
+    invalid_arg "Retry_policy.make: cap_ns must be >= base_ns";
+  if deadline_ns < 0 then
+    invalid_arg "Retry_policy.make: deadline_ns must be >= 0";
+  { max_attempts; base_ns; multiplier; cap_ns; deadline_ns }
+
+let default = make ()
+
+let no_retry =
+  make ~max_attempts:1 ~base_ns:0 ~cap_ns:0 ~deadline_ns:0 ()
+
+type decision = Retry of { sleep_ns : int } | Give_up
+
+(* Growth is computed in float but the result is an int of ns; once the
+   float crosses cap_ns we stop exponentiating, so the arithmetic never
+   overflows no matter the attempt count. *)
+let backoff_ns t ~attempt =
+  let raw =
+    float_of_int t.base_ns *. (t.multiplier ** float_of_int (attempt - 1))
+  in
+  if raw >= float_of_int t.cap_ns then t.cap_ns else int_of_float raw
+
+let decide t ~attempt ~elapsed_ns =
+  if attempt >= t.max_attempts then Give_up
+  else if elapsed_ns >= t.deadline_ns then Give_up
+  else
+    let sleep = backoff_ns t ~attempt in
+    Retry { sleep_ns = min sleep (t.deadline_ns - elapsed_ns) }
+
+let schedule t =
+  let rec go attempt elapsed acc =
+    match decide t ~attempt ~elapsed_ns:elapsed with
+    | Give_up -> List.rev acc
+    | Retry { sleep_ns } -> go (attempt + 1) (elapsed + sleep_ns) (sleep_ns :: acc)
+  in
+  go 1 0 []
+
+let to_string t =
+  Printf.sprintf
+    "retry(max_attempts=%d base=%dns x%.2f cap=%dns deadline=%dns)"
+    t.max_attempts t.base_ns t.multiplier t.cap_ns t.deadline_ns

@@ -1,0 +1,64 @@
+(** Bounded retry with exponential backoff and a per-operation deadline.
+
+    The policy is pure arithmetic — no clock, no randomness — so a retry
+    schedule is a deterministic function of the policy alone: the pager
+    (and tests) simulate elapsed time as the sum of the backoffs the
+    policy itself prescribed. That is what makes give-up behaviour
+    reproducible under the chaos sweep and byte-identical in traces
+    (DESIGN.md §15).
+
+    An {e attempt} is one issue of the transfer. After the [n]-th failed
+    attempt the caller asks {!decide} with [attempt = n] and the backoff
+    slept so far; the answer is either [Retry {sleep_ns}] — sleep that
+    long (mock or real) and reissue — or [Give_up]. The prescribed sleep
+    never overshoots the deadline: the last sleep is clamped so elapsed
+    time lands exactly on [deadline_ns], and the next decision gives up. *)
+
+type t = {
+  max_attempts : int;  (** total attempts, first included; >= 1 *)
+  base_ns : int;  (** backoff before the first retry; >= 0 *)
+  multiplier : float;  (** backoff growth per retry; >= 1.0 *)
+  cap_ns : int;  (** per-sleep ceiling; >= [base_ns] *)
+  deadline_ns : int;  (** per-operation budget across all backoffs *)
+}
+
+val make :
+  ?max_attempts:int ->
+  ?base_ns:int ->
+  ?multiplier:float ->
+  ?cap_ns:int ->
+  ?deadline_ns:int ->
+  unit ->
+  t
+(** Validated constructor; raises [Invalid_argument] on a field outside
+    its documented range. Defaults: 8 attempts, 100µs base, 2.0×,
+    10ms cap, 100ms deadline. *)
+
+val default : t
+(** [make ()]. *)
+
+val no_retry : t
+(** One attempt, zero budget: first failure escalates immediately. *)
+
+type decision = Retry of { sleep_ns : int } | Give_up
+
+val backoff_ns : t -> attempt:int -> int
+(** [backoff_ns t ~attempt] is the uncapped-by-deadline sleep prescribed
+    after the [attempt]-th failure: [min cap_ns (base_ns *.
+    multiplier^(attempt-1))]. *)
+
+val decide : t -> attempt:int -> elapsed_ns:int -> decision
+(** [decide t ~attempt ~elapsed_ns]: [attempt] failures have happened
+    and [elapsed_ns] of backoff has been slept. Gives up when attempts
+    are exhausted or the deadline is reached; otherwise prescribes the
+    next sleep, clamped to the remaining budget. *)
+
+val schedule : t -> int list
+(** The full backoff schedule a maximally-unlucky operation sleeps
+    through before giving up, oldest first — the closed form the QCheck
+    properties pin down: every element positive only if [base_ns > 0],
+    bounded by [cap_ns], non-decreasing while uncapped, summing to at
+    most [deadline_ns]. *)
+
+val to_string : t -> string
+(** Human-readable one-liner for logs and [stats] output. *)

@@ -22,17 +22,25 @@ type t = {
   sock : Unix.file_descr;
   port : int;
   stop_flag : bool Atomic.t;
+  draining : bool Atomic.t;
+      (* graceful shutdown: stop accepting, finish in-flight requests,
+         close sessions with a final frame, fsync stores, exit *)
   stores : (string, Shared_store.t) Hashtbl.t;
   registry : Mutex.t; (* guards [stores] *)
   mutable workers : unit Domain.t array;
   sessions : int Atomic.t; (* total sessions served, for smoke tests *)
-  b : int;
-  checkpoint_every : int;
+  inflight : int Atomic.t; (* requests being evaluated right now *)
+  shed : int Atomic.t; (* requests refused with [err busy] *)
+  max_inflight : int option;
+  request_deadline : float option;
+  make_store : name:string -> Shared_store.t;
   idle_timeout : float;
 }
 
 let port t = t.port
 let sessions_served t = Atomic.get t.sessions
+let shed_requests t = Atomic.get t.shed
+let draining t = Atomic.get t.draining
 
 let valid_name n =
   n <> ""
@@ -47,9 +55,7 @@ let store_of t name =
       match Hashtbl.find_opt t.stores name with
       | Some s -> s
       | None ->
-          let s =
-            Shared_store.create ~b:t.b ~checkpoint_every:t.checkpoint_every []
-          in
+          let s = t.make_store ~name in
           Hashtbl.replace t.stores name s;
           s)
 
@@ -64,14 +70,10 @@ let ints_reply l = String.concat "," (List.map string_of_int l)
 let pairs_reply l =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v) l)
 
-(* [eval] returns the reply payload and whether the session goes on.
-   Every parse failure is an [err ...] reply, never a dropped
+(* [eval_words] returns the reply payload and whether the session goes
+   on. Every parse failure is an [err ...] reply, never a dropped
    connection — a malformed request must not kill the session. *)
-let eval t session req =
-  let words =
-    String.split_on_char ' ' (String.trim req)
-    |> List.filter (fun w -> w <> "")
-  in
+let eval_words t session words =
   let int_of w = int_of_string_opt w in
   let with_store k =
     match session.current with
@@ -120,18 +122,88 @@ let eval t session req =
   | [ "stats" ] ->
       with_store (fun s ->
           let st = Shared_store.stats s in
-          ( Printf.sprintf "ok version=%d checkpoints=%d size=%d"
+          let breaker =
+            match Shared_store.breaker s with
+            | None -> "none"
+            | Some br -> Pc_conc.Breaker.state_name (Pc_conc.Breaker.state br)
+          in
+          ( Printf.sprintf "ok version=%d checkpoints=%d size=%d breaker=%s"
               st.Shared_store.st_version st.Shared_store.st_checkpoint
-              st.Shared_store.st_size,
+              st.Shared_store.st_size breaker,
             true ))
   | [ "close" ] -> ("ok bye", false)
   | [ "shutdown" ] ->
       (* the serve-metrics /quit precedent: loopback-only service, any
-         client may stop it — what the CI smoke test uses *)
-      Atomic.set t.stop_flag true;
+         client may stop it — what the CI smoke test uses. Shutdown is a
+         drain: workers stop accepting, in-flight sessions get a final
+         frame after their current request, [wait] then fsyncs stores. *)
+      Atomic.set t.draining true;
       ("ok shutting down", false)
   | [] -> ("err empty request", true)
   | verb :: _ -> (Printf.sprintf "err unknown verb %S" verb, true)
+
+(* The full request path laid over [eval_words]:
+
+   - {b overload gate}: with [max_inflight] set, a request arriving
+     while that many are already evaluating is shed with [err busy]
+     before touching any store — bounded work in flight, load is shed at
+     the door. Control verbs (ping/close/shutdown) are exempt so a
+     loaded server can still be probed and drained.
+   - {b typed degradation}: a store whose circuit breaker is open
+     refuses mutations with {!Shared_store.Degraded}; the session sees
+     [err degraded ...] and lives on.
+   - {b exception floor}: no exception escapes a request — anything
+     unexpected becomes [err internal ...]; the session (and above it
+     the worker domain) never dies for one bad request.
+   - {b soft deadline}: with [request_deadline] set, a request whose
+     evaluation overran replies [err deadline ...] instead of its
+     result. The work already happened — a mutation's effects may have
+     applied — which is exactly the ambiguity a real timeout has; the
+     reply says so. *)
+let eval t session req =
+  let words =
+    String.split_on_char ' ' (String.trim req)
+    |> List.filter (fun w -> w <> "")
+  in
+  let control =
+    match words with
+    | [ "ping" ] | [ "close" ] | [ "shutdown" ] -> true
+    | _ -> false
+  in
+  let run () =
+    try eval_words t session words with
+    | Shared_store.Degraded m -> ("err degraded " ^ m, true)
+    | e -> ("err internal " ^ Printexc.to_string e, true)
+  in
+  let deadlined () =
+    match t.request_deadline with
+    | None -> run ()
+    | Some dl ->
+        let t0 = Unix.gettimeofday () in
+        let reply, continue = run () in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed > dl then
+          ( Printf.sprintf
+              "err deadline %.0fms exceeded (took %.0fms; a mutation's \
+               effects may have applied)"
+              (dl *. 1000.) (elapsed *. 1000.),
+            continue )
+        else (reply, continue)
+  in
+  if control then run ()
+  else
+    match t.max_inflight with
+    | None -> deadlined ()
+    | Some m ->
+        let n = Atomic.fetch_and_add t.inflight 1 in
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr t.inflight)
+          (fun () ->
+            if n >= m then begin
+              Atomic.incr t.shed;
+              ("err busy", true)
+            end
+            else deadlined ())
 
 (* ------------------------------------------------------------------ *)
 (* Sessions and workers                                               *)
@@ -142,34 +214,55 @@ let serve_session t fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.idle_timeout
    with Unix.Unix_error _ -> ());
   let session = { current = None } in
-  let say s = try Wire.write_frame fd s with Unix.Unix_error _ -> () in
+  (* A failed reply means the client is gone (EPIPE/ECONNRESET on a
+     disconnect between request and reply, or any other socket error):
+     report it so the loop drops just this session — the worker domain
+     must never die for a vanished peer. *)
+  let say s =
+    match Wire.write_frame fd s with
+    | () -> true
+    | exception
+        Unix.Unix_error
+          ((Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN | Unix.EBADF), _, _)
+      ->
+        false
+    | exception Unix.Unix_error _ -> false
+  in
   let rec loop () =
     if Atomic.get t.stop_flag then ()
+    else if Atomic.get t.draining then
+      (* graceful drain: the in-flight request (if any) was answered;
+         tell the client instead of vanishing *)
+      ignore (say "err draining, closing")
     else
       match Wire.read_frame fd with
       | Ok req ->
           let reply, continue = eval t session req in
-          say reply;
-          if continue then loop ()
+          if say reply && continue then loop ()
       | Error Wire.Closed -> ()
-      | Error Wire.Timeout -> say "err idle timeout, closing"
+      | Error Wire.Timeout -> ignore (say "err idle timeout, closing")
       | Error (Wire.Oversized _ as e) ->
           (* the declared length is a lie or an attack; the stream can
              no longer be framed, so reply and drop the session *)
-          say ("err " ^ Wire.error_to_string e)
+          ignore (say ("err " ^ Wire.error_to_string e))
   in
   loop ();
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let worker_loop t =
-  while not (Atomic.get t.stop_flag) do
+  while not (Atomic.get t.stop_flag || Atomic.get t.draining) do
     match Unix.select [ t.sock ] [] [] 0.2 with
     | [], _, _ -> ()
     | _ -> (
         (* the listening socket is non-blocking: when several workers
            wake for one connection, the losers' accept just EAGAINs *)
         match Unix.accept t.sock with
-        | fd, _ -> serve_session t fd
+        | fd, _ -> (
+            (* belt and braces under the per-request exception floor:
+               whatever escapes a session costs that session, never the
+               worker domain *)
+            try serve_session t fd
+            with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
         | exception
             Unix.Unix_error
               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -179,8 +272,19 @@ let worker_loop t =
   done
 
 let start ?(port = 9470) ?(workers = 4) ?(idle_timeout = 5.0) ?(b = 8)
-    ?(checkpoint_every = 512) () =
+    ?(checkpoint_every = 512) ?max_inflight ?request_deadline ?make_store () =
   if workers < 1 then invalid_arg "Server.start: workers < 1";
+  (match max_inflight with
+  | Some m when m < 0 -> invalid_arg "Server.start: max_inflight < 0"
+  | _ -> ());
+  let make_store =
+    match make_store with
+    | Some f -> f
+    | None ->
+        fun ~name:_ ->
+          Shared_store.create ~b ~checkpoint_every
+            ~breaker:(Pc_conc.Breaker.create ()) []
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -198,12 +302,16 @@ let start ?(port = 9470) ?(workers = 4) ?(idle_timeout = 5.0) ?(b = 8)
       sock;
       port;
       stop_flag = Atomic.make false;
+      draining = Atomic.make false;
       stores = Hashtbl.create 8;
       registry = Mutex.create ();
       workers = [||];
       sessions = Atomic.make 0;
-      b;
-      checkpoint_every;
+      inflight = Atomic.make 0;
+      shed = Atomic.make 0;
+      max_inflight;
+      request_deadline;
+      make_store;
       idle_timeout;
     }
   in
@@ -211,11 +319,21 @@ let start ?(port = 9470) ?(workers = 4) ?(idle_timeout = 5.0) ?(b = 8)
   t
 
 let request_stop t = Atomic.set t.stop_flag true
+let request_drain t = Atomic.set t.draining true
 
 let wait t =
   Array.iter Domain.join t.workers;
   t.workers <- [||];
-  try Unix.close t.sock with Unix.Unix_error _ -> ()
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (* the drain's durability barrier: fold each store's overlay into a
+     fresh checkpoint, which journals and fsyncs where a WAL is
+     attached. A store whose breaker is open can't commit — skip it;
+     its WAL already holds everything that was ever acknowledged. *)
+  Mutex.protect t.registry (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          try Shared_store.checkpoint_now s with _ -> ())
+        t.stores)
 
 let stop t =
   request_stop t;

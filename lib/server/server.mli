@@ -24,20 +24,43 @@
     reads and a serialized writer. Malformed requests get [err]
     replies; an unframeable stream (oversized length prefix) or an
     expired idle timeout gets a final [err] frame and the session is
-    dropped. *)
+    dropped.
+
+    {b Fault handling} (DESIGN.md §15): a request never kills more than
+    itself. A client that disconnects between request and reply costs
+    only its session (EPIPE/ECONNRESET on the reply are absorbed); an
+    exception escaping evaluation becomes [err internal ...]; a store
+    whose circuit breaker is open refuses mutations with
+    [err degraded ...] while queries keep serving the last published
+    snapshot; with [max_inflight] set, excess concurrent requests are
+    shed at the door with [err busy]; with [request_deadline] set, an
+    over-deadline evaluation replies [err deadline ...] (the effects of
+    a mutation may still have applied — the reply says so). [shutdown]
+    drains: workers stop accepting, in-flight sessions get one final
+    frame after their current request, and {!wait} checkpoints every
+    store as the durability barrier before returning. *)
 
 type t
 
 (** [start ()] binds and serves. [port] 0 picks an ephemeral port (read
     it back with {!port}); [workers] is the domain count (default 4);
     [idle_timeout] (default 5s) bounds how long a silent connection
-    holds a worker; [b]/[checkpoint_every] configure created stores. *)
+    holds a worker; [b]/[checkpoint_every] configure created stores;
+    [max_inflight] bounds concurrently evaluated requests (default: no
+    bound) — control verbs ping/close/shutdown are exempt;
+    [request_deadline] (seconds) is the soft per-request deadline
+    (default: none); [make_store] overrides how [open] builds a missing
+    store (default: an empty {!Pc_conc.Shared_store} with a fresh
+    circuit breaker and no WAL). *)
 val start :
   ?port:int ->
   ?workers:int ->
   ?idle_timeout:float ->
   ?b:int ->
   ?checkpoint_every:int ->
+  ?max_inflight:int ->
+  ?request_deadline:float ->
+  ?make_store:(name:string -> Pc_conc.Shared_store.t) ->
   unit ->
   t
 
@@ -45,6 +68,18 @@ val port : t -> int
 
 (** Sessions accepted since start. *)
 val sessions_served : t -> int
+
+(** Requests refused with [err busy] by the overload gate. *)
+val shed_requests : t -> int
+
+(** The server is draining: a client sent [shutdown] or
+    {!request_drain} was called. *)
+val draining : t -> bool
+
+(** [request_drain t] starts a graceful drain, as the [shutdown] verb
+    does: stop accepting, finish in-flight requests, close sessions
+    with a final frame. Follow with {!wait}. *)
+val request_drain : t -> unit
 
 (** [stop t] signals every worker, joins them, and closes the socket.
     In-flight sessions finish their current request. *)

@@ -24,4 +24,5 @@ let () =
       ("check", Test_check.suite);
       ("blockdev", Test_blockdev.suite);
       ("conc", Test_conc.suite);
+      ("faults", Test_faults.suite);
     ]
